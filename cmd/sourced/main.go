@@ -1,0 +1,69 @@
+// Command sourced serves one data source of the synthetic mixed
+// instance as an HTTP federation endpoint, so a remote tatooine
+// mediator can query it (the paper's remote-endpoint / dynamic source
+// discovery code path).
+//
+// Usage:
+//
+//	sourced -source tweets  -addr :8081
+//	sourced -source insee   -addr :8082
+//	sourced -source graph   -addr :8083
+//	sourced -source region-idf -addr :8084
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"tatooine/internal/datagen"
+	"tatooine/internal/federation"
+	"tatooine/internal/source"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sourced:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	name := flag.String("source", "tweets", "source to serve: tweets, fbposts, insee, graph, speeches, region-idf, region-bzh, region-paca")
+	addr := flag.String("addr", ":8081", "listen address")
+	seed := flag.Int64("seed", 42, "dataset seed")
+	tweets := flag.Int("tweets", 5000, "number of tweets")
+	flag.Parse()
+
+	cfg := datagen.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.NumTweets = *tweets
+	ds, err := datagen.Generate(cfg)
+	if err != nil {
+		return err
+	}
+
+	var src source.DataSource
+	switch *name {
+	case "tweets":
+		src = source.NewDocSource(datagen.TweetsURI, ds.Tweets)
+	case "fbposts":
+		src = source.NewDocSource(datagen.FacebookURI, ds.Facebook)
+	case "insee":
+		src = source.NewRelSource(datagen.INSEEURI, ds.INSEE)
+	case "graph":
+		src = source.NewRDFSource("rdf://politics", ds.Graph, true)
+	case "speeches":
+		src = source.NewXMLSource(datagen.SpeechesURI, ds.Speeches)
+	default:
+		db, ok := ds.Regional["sql://"+*name]
+		if !ok {
+			return fmt.Errorf("unknown source %q", *name)
+		}
+		src = source.NewRelSource("sql://"+*name, db)
+	}
+
+	fmt.Fprintf(os.Stderr, "serving %s (%s model) on %s\n", src.URI(), src.Model(), *addr)
+	return http.ListenAndServe(*addr, federation.Handler(src))
+}

@@ -1,0 +1,264 @@
+// Command tatooine is the CLI for the TATOOINE mixed-instance querying
+// system. It generates the synthetic French-politics mixed instance
+// (the demonstration dataset substitute) and runs mixed queries,
+// keyword searches, digests and tag-cloud analytics over it.
+//
+// Usage:
+//
+//	tatooine demo                        run the demonstration scenarios
+//	tatooine query  -q 'QUERY …'         run a CMQ (or -f query.cmq)
+//	tatooine keyword head of state SIA2016
+//	tatooine tagcloud -o tagcloud.html   Figure 3 tag clouds
+//	tatooine digest                      print per-source digests
+//	tatooine explain -q 'QUERY …'        show the execution plan
+//
+// Global flags (before the subcommand): -seed, -politicians, -tweets,
+// -weeks scale the generated instance.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tatooine/internal/analytics"
+	"tatooine/internal/core"
+	"tatooine/internal/datagen"
+	"tatooine/internal/digest"
+	"tatooine/internal/keyword"
+	"tatooine/internal/viz"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tatooine:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	global := flag.NewFlagSet("tatooine", flag.ContinueOnError)
+	seed := global.Int64("seed", 42, "dataset seed")
+	politicians := global.Int("politicians", 120, "number of politicians")
+	tweets := global.Int("tweets", 5000, "number of tweets")
+	weeks := global.Int("weeks", 4, "number of weeks")
+	if err := global.Parse(args); err != nil {
+		return err
+	}
+	rest := global.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("missing subcommand (demo, query, keyword, tagcloud, digest, explain)")
+	}
+
+	cfg := datagen.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.NumPoliticians = *politicians
+	cfg.NumTweets = *tweets
+	cfg.Weeks = *weeks
+
+	start := time.Now()
+	ds, err := datagen.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	in, err := ds.Instance()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "mixed instance ready in %v: G=%d triples, %d tweets, %d fb posts, %d INSEE tables\n",
+		time.Since(start).Round(time.Millisecond), ds.Graph.Size(), ds.Tweets.Count(),
+		ds.Facebook.Count(), len(ds.INSEE.Tables()))
+
+	switch rest[0] {
+	case "demo":
+		return cmdDemo(ds, in)
+	case "query":
+		return cmdQuery(in, rest[1:], false)
+	case "explain":
+		return cmdQuery(in, rest[1:], true)
+	case "keyword":
+		return cmdKeyword(in, rest[1:])
+	case "tagcloud":
+		return cmdTagcloud(ds, rest[1:])
+	case "digest":
+		return cmdDigest(in)
+	default:
+		return fmt.Errorf("unknown subcommand %q", rest[0])
+	}
+}
+
+func printResult(res *core.QueryResult) {
+	fmt.Println(strings.Join(res.Cols, "\t"))
+	for _, row := range res.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.String()
+		}
+		fmt.Println(strings.Join(parts, "\t"))
+	}
+	fmt.Fprintf(os.Stderr, "%d rows; %d sub-queries, %d rows fetched, %d waves, %d bind joins, %d dynamic sources\n",
+		len(res.Rows), res.Stats.SubQueries, res.Stats.RowsFetched,
+		res.Stats.Waves, res.Stats.BindJoins, res.Stats.Dynamic)
+}
+
+func cmdQuery(in *core.Instance, args []string, explainOnly bool) error {
+	fs := flag.NewFlagSet("query", flag.ContinueOnError)
+	qtext := fs.String("q", "", "CMQ text")
+	qfile := fs.String("f", "", "file holding the CMQ")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	text := *qtext
+	if *qfile != "" {
+		data, err := os.ReadFile(*qfile)
+		if err != nil {
+			return err
+		}
+		text = string(data)
+	}
+	if text == "" {
+		return fmt.Errorf("provide -q or -f")
+	}
+	q, _, err := core.ParseCMQ(text)
+	if err != nil {
+		return err
+	}
+	res, err := in.Execute(q)
+	if err != nil {
+		return err
+	}
+	if explainOnly {
+		fmt.Print(res.Plan.Explain(q))
+		return nil
+	}
+	printResult(res)
+	return nil
+}
+
+func cmdKeyword(in *core.Instance, keywords []string) error {
+	if len(keywords) == 0 {
+		return fmt.Errorf("provide keywords")
+	}
+	cat, err := keyword.BuildCatalog(in, digest.DefaultBudget())
+	if err != nil {
+		return err
+	}
+	cands, err := cat.Search(keywords, keyword.SearchOptions{MaxCandidates: 3})
+	if err != nil {
+		return err
+	}
+	for i, cand := range cands {
+		fmt.Printf("-- candidate %d (weight %.2f)\n", i+1, cand.Weight)
+		fmt.Println("   path:", cat.Explain(cand))
+		fmt.Println("   query:", cand.Query)
+		res, err := in.Execute(cand.Query)
+		if err != nil {
+			fmt.Println("   execution failed:", err)
+			continue
+		}
+		fmt.Printf("   %d rows", len(res.Rows))
+		if len(res.Rows) > 0 {
+			fmt.Printf("; first: %v", res.Rows[0])
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func cmdTagcloud(ds *datagen.Dataset, args []string) error {
+	fs := flag.NewFlagSet("tagcloud", flag.ContinueOnError)
+	out := fs.String("o", "tagcloud.html", "output HTML file")
+	topK := fs.Int("k", 12, "terms per cloud")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tc := analytics.ComputeTagClouds(ds.Tweets, "text", ds.Classifier(), *topK, 3)
+	currents := datagen.CurrentOfParty()
+	fmt.Print(viz.RenderText(tc, currents, 6))
+	html := viz.RenderHTML(tc, viz.HTMLOptions{
+		Title:     "Vocabulary by party — state of emergency (synthetic)",
+		CurrentOf: currents,
+	})
+	if err := os.WriteFile(*out, []byte(html), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "wrote", *out)
+	return nil
+}
+
+func cmdDigest(in *core.Instance) error {
+	cat, err := keyword.BuildCatalog(in, digest.DefaultBudget())
+	if err != nil {
+		return err
+	}
+	for _, d := range cat.Digests() {
+		fmt.Printf("== %s ==\n", d.Source)
+		for _, n := range d.NodeList() {
+			line := fmt.Sprintf("  %-12s %s", n.Kind, n.Label)
+			if n.Values != nil {
+				line += fmt.Sprintf("  n=%d exact=%v", n.Values.Count(), n.Values.Exact())
+				if h := n.Values.Histogram(); h != nil {
+					line += " " + h.String()
+				}
+			}
+			fmt.Println(line)
+		}
+	}
+	return nil
+}
+
+// cmdDemo walks the three demonstration scenarios of §3.
+func cmdDemo(ds *datagen.Dataset, in *core.Instance) error {
+	hos := ds.Politicians[0]
+	fmt.Println("=== scenario: qSIA — tweets from heads of state about #SIA2016 (§2.2) ===")
+	res, err := in.Query(`
+QUERY qSIA(?t, ?id)
+GRAPH { ?x :position :headOfState . ?x :twitterAccount ?id }
+FROM <solr://tweets> IN(?id) OUT(?t, ?id)
+  { SEARCH tweets WHERE user.screen_name = ? AND entities.hashtags = 'SIA2016' RETURN _id, user.screen_name }
+LIMIT 5
+`)
+	if err != nil {
+		return err
+	}
+	printResult(res)
+
+	fmt.Println("\n=== scenario (1): factual sources for the head of state's economy claims ===")
+	res, err = in.Query(`
+QUERY facts(?t, ?dept, ?taux)
+GRAPH { ?x :position :headOfState . ?x :twitterAccount ?id . ?x :electedIn ?dept }
+FROM <solr://tweets> IN(?id) OUT(?t, ?id)
+  { SEARCH tweets WHERE user.screen_name = ? AND entities.hashtags = 'economie' RETURN _id, user.screen_name }
+FROM <sql://insee> IN(?dept) OUT(?dept, ?taux)
+  { SELECT dept, taux FROM chomage WHERE dept = ? AND annee = 2015 }
+LIMIT 5
+`)
+	if err != nil {
+		return err
+	}
+	printResult(res)
+	_ = hos
+
+	fmt.Println("\n=== scenario (2): PMI tag clouds (Figure 3) ===")
+	tc := analytics.ComputeTagClouds(ds.Tweets, "text", ds.Classifier(), 6, 3)
+	fmt.Print(viz.RenderText(tc, datagen.CurrentOfParty(), 6))
+
+	fmt.Println("\n=== keyword search: \"head of state\" + \"SIA2016\" → generated CMQ (§2.2) ===")
+	cat, err := keyword.BuildCatalog(in, digest.DefaultBudget())
+	if err != nil {
+		return err
+	}
+	cands, err := cat.Search([]string{"head of state", "SIA2016"}, keyword.SearchOptions{MaxCandidates: 1})
+	if err != nil {
+		return err
+	}
+	fmt.Println("generated:", cands[0].Query)
+	res2, err := in.Execute(cands[0].Query)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d rows\n", len(res2.Rows))
+	return nil
+}

@@ -1,0 +1,14 @@
+// Package tatooine is a reproduction of "Mixed-instance querying: a
+// lightweight integration architecture for data journalism" (Bonaque
+// et al., VLDB 2016): a mediator evaluating Conjunctive Mixed Queries
+// over a mixed instance — a custom RDF graph plus heterogeneous data
+// sources (full-text document stores, relational databases, RDF
+// endpoints) — with keyword-based query generation over source
+// digests and PMI tag-cloud analytics.
+//
+// The implementation lives under internal/ (one package per
+// subsystem; see DESIGN.md for the inventory), the runnable
+// demonstrations under examples/, the CLI under cmd/, and the
+// experiment reproduction benchmarks in bench_test.go (indexed in
+// EXPERIMENTS.md).
+package tatooine

@@ -1,0 +1,71 @@
+// Factcheck reproduces demonstration scenario (1): "identify factual
+// sources of information that relate to the claims made by a
+// personality on Twitter, for instance the French President". The
+// mixed query finds the head of state's economy tweets in the Solr
+// store and joins them — through the custom graph — with the INSEE
+// unemployment statistics for the department where they were elected.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tatooine/internal/datagen"
+)
+
+func main() {
+	cfg := datagen.DefaultConfig()
+	cfg.NumTweets = 8000
+	ds, err := datagen.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	in, err := ds.Instance()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The claim: tweets tagged #economie by the head of state. The
+	// factual source: the INSEE chomage table for their department.
+	res, err := in.Query(`
+QUERY facts(?name, ?t, ?dept, ?annee, ?taux)
+GRAPH { ?x :position :headOfState . ?x foaf:name ?name .
+        ?x :twitterAccount ?id . ?x :electedIn ?dept }
+FROM <solr://tweets> IN(?id) OUT(?t, ?id)
+  { SEARCH tweets WHERE user.screen_name = ? AND entities.hashtags = 'economie'
+    RETURN _id, user.screen_name ORDER BY retweet_count DESC LIMIT 5 }
+FROM <sql://insee> IN(?dept) OUT(?dept, ?annee, ?taux)
+  { SELECT dept, annee, taux FROM chomage WHERE dept = ? }
+ORDER BY ?annee
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("claims by the head of state and the INSEE statistics to check them against:")
+	for _, row := range res.Rows {
+		fmt.Printf("  %-22s tweet=%s dept=%s %v: unemployment %.2f%%\n",
+			row[0], row[1], row[2], row[3], row[4].Float())
+	}
+	fmt.Printf("\nplan: %d sub-queries over 2 heterogeneous sources + G, %d bind joins, %d waves\n",
+		res.Stats.SubQueries, res.Stats.BindJoins, res.Stats.Waves)
+
+	// Second fact-check: compare the claim volume per party with the
+	// election results held by the Ministry of Interior-style table.
+	res2, err := in.Query(`
+QUERY volume(?party, ?t)
+GRAPH { ?x :memberOf ?party . ?x :twitterAccount ?id }
+FROM <solr://tweets> IN(?id) OUT(?t, ?id)
+  { SEARCH tweets WHERE user.screen_name = ? AND entities.hashtags = 'economie' RETURN _id, user.screen_name }
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	perParty := map[string]int{}
+	for _, row := range res2.Rows {
+		perParty[row[0].Str()]++
+	}
+	fmt.Println("\n#economie tweet volume per party (via graph join):")
+	for p, n := range perParty {
+		fmt.Printf("  %-40s %d\n", p, n)
+	}
+}

@@ -1,0 +1,165 @@
+// Package analytics implements the paper's scenario (2) analytics
+// (§3): comparing the vocabulary of political parties on a topic by
+// ranking every term w used by a party P within a tweet set Q by its
+// exponentiated pointwise mutual information,
+//
+//	PMI(w, Q) = (Σ_{t∈P} n_tw / Σ_{t∈P} n_t) · (N_Q / n_Qw)
+//
+// where n_tw is the count of w in tweet t, n_t the number of words in
+// t, N_Q the total word count of Q, and n_Qw the count of w in Q —
+// i.e., the Maximum-Likelihood-Estimated probability of w in the party
+// divided by its global probability in the corpus. The weekly,
+// per-party top terms drive the Figure 3 tag clouds.
+package analytics
+
+import (
+	"sort"
+
+	"tatooine/internal/doc"
+	"tatooine/internal/fulltext"
+)
+
+// TermScore is one ranked term.
+type TermScore struct {
+	Term  string
+	Score float64 // exponentiated PMI
+	Count int     // occurrences within the party subset
+}
+
+// PMI computes the exponentiated PMI of one term given party-local and
+// corpus-wide counts. It returns 0 when the term is absent from either.
+func PMI(partyCount, partyTotal, corpusCount, corpusTotal int) float64 {
+	if partyCount == 0 || partyTotal == 0 || corpusCount == 0 || corpusTotal == 0 {
+		return 0
+	}
+	pParty := float64(partyCount) / float64(partyTotal)
+	pCorpus := float64(corpusCount) / float64(corpusTotal)
+	return pParty / pCorpus
+}
+
+// RankTerms scores every party term against the corpus and returns the
+// top k, requiring at least minCount party occurrences (MLE on rare
+// terms is noise; the demo's clouds use a small threshold).
+func RankTerms(partyCounts map[string]int, partyTotal int,
+	corpusCounts map[string]int, corpusTotal int, k, minCount int) []TermScore {
+	if minCount < 1 {
+		minCount = 1
+	}
+	out := make([]TermScore, 0, len(partyCounts))
+	for w, n := range partyCounts {
+		if n < minCount {
+			continue
+		}
+		score := PMI(n, partyTotal, corpusCounts[w], corpusTotal)
+		if score <= 0 {
+			continue
+		}
+		out = append(out, TermScore{Term: w, Score: score, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Term < out[j].Term
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// Classifier assigns a document to a party and a week; ok=false skips
+// the document. In the demonstration the party comes from joining the
+// tweet's author with the custom RDF graph, and the week from the
+// tweet's timestamp.
+type Classifier func(d *doc.Document) (party string, week int, ok bool)
+
+// WeekClouds holds the per-party term rankings of one week.
+type WeekClouds struct {
+	Week    int
+	Parties map[string][]TermScore
+}
+
+// TagClouds is the full Figure 3 data: weekly evolution of per-party
+// vocabulary.
+type TagClouds struct {
+	Weeks []WeekClouds
+}
+
+// ComputeTagClouds scans the index's text field, groups term counts by
+// (week, party), and ranks each group against its week's corpus by
+// exponentiated PMI.
+func ComputeTagClouds(ix *fulltext.Index, field string, classify Classifier, topK, minCount int) *TagClouds {
+	type groupKey struct {
+		week  int
+		party string
+	}
+	groupCounts := make(map[groupKey]map[string]int)
+	groupTotals := make(map[groupKey]int)
+	weekCounts := make(map[int]map[string]int)
+	weekTotals := make(map[int]int)
+	analyzer := ix.Analyzer()
+
+	ix.Each(func(d *doc.Document) bool {
+		party, week, ok := classify(d)
+		if !ok {
+			return true
+		}
+		gk := groupKey{week, party}
+		if groupCounts[gk] == nil {
+			groupCounts[gk] = make(map[string]int)
+		}
+		if weekCounts[week] == nil {
+			weekCounts[week] = make(map[string]int)
+		}
+		for _, v := range d.Values(field) {
+			for _, tok := range analyzer.Tokens(v.String()) {
+				groupCounts[gk][tok]++
+				groupTotals[gk]++
+				weekCounts[week][tok]++
+				weekTotals[week]++
+			}
+		}
+		return true
+	})
+
+	weeks := make(map[int]*WeekClouds)
+	for gk, counts := range groupCounts {
+		wc, ok := weeks[gk.week]
+		if !ok {
+			wc = &WeekClouds{Week: gk.week, Parties: make(map[string][]TermScore)}
+			weeks[gk.week] = wc
+		}
+		wc.Parties[gk.party] = RankTerms(counts, groupTotals[gk],
+			weekCounts[gk.week], weekTotals[gk.week], topK, minCount)
+	}
+	out := &TagClouds{}
+	var order []int
+	for w := range weeks {
+		order = append(order, w)
+	}
+	sort.Ints(order)
+	for _, w := range order {
+		out.Weeks = append(out.Weeks, *weeks[w])
+	}
+	return out
+}
+
+// PartyNames returns the sorted set of parties across all weeks.
+func (tc *TagClouds) PartyNames() []string {
+	seen := make(map[string]struct{})
+	for _, w := range tc.Weeks {
+		for p := range w.Parties {
+			seen[p] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

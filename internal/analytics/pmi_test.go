@@ -1,0 +1,139 @@
+package analytics
+
+import (
+	"fmt"
+	"testing"
+
+	"tatooine/internal/doc"
+	"tatooine/internal/fulltext"
+)
+
+func TestPMIFormula(t *testing.T) {
+	// Party says w in 10 of 100 words; corpus has w in 20 of 1000 words:
+	// PMI = (10/100) / (20/1000) = 0.1 / 0.02 = 5.
+	if got := PMI(10, 100, 20, 1000); got != 5 {
+		t.Errorf("PMI = %f, want 5", got)
+	}
+	// Party usage at corpus rate → PMI 1 (no signal).
+	if got := PMI(2, 100, 20, 1000); got != 1 {
+		t.Errorf("baseline PMI = %f, want 1", got)
+	}
+	if PMI(0, 100, 20, 1000) != 0 || PMI(10, 0, 20, 1000) != 0 {
+		t.Error("zero counts must yield 0")
+	}
+}
+
+func TestRankTermsOrderingAndThreshold(t *testing.T) {
+	party := map[string]int{"abus": 8, "vote": 4, "hapax": 1, "commun": 10}
+	corpus := map[string]int{"abus": 10, "vote": 40, "hapax": 1, "commun": 100}
+	ranked := RankTerms(party, 23, corpus, 151, 0, 2)
+	if len(ranked) != 3 { // hapax filtered by minCount=2
+		t.Fatalf("ranked: %+v", ranked)
+	}
+	if ranked[0].Term != "abus" {
+		t.Errorf("top term: %+v", ranked)
+	}
+	// Verify descending scores.
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i-1].Score < ranked[i].Score {
+			t.Errorf("not descending: %+v", ranked)
+		}
+	}
+	// Top-k cut.
+	if got := RankTerms(party, 23, corpus, 151, 1, 1); len(got) != 1 {
+		t.Errorf("topK: %+v", got)
+	}
+}
+
+// stateEmergencyIndex builds a 2-week, 2-party corpus with planted
+// vocabulary skew, as in Figure 3: ecologists raise "abus" in week 2.
+func stateEmergencyIndex(t *testing.T) (*fulltext.Index, Classifier) {
+	t.Helper()
+	ix := fulltext.NewIndex("tweets", fulltext.Schema{
+		"text":             fulltext.TextField,
+		"user.screen_name": fulltext.KeywordField,
+	})
+	add := func(id, author, text string, week int) {
+		d := &doc.Document{ID: id}
+		d.Set("text", text)
+		d.Set("user.screen_name", author)
+		d.Set("week", week)
+		if err := ix.Add(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Week 1: factual vocabulary everywhere.
+	for i := 0; i < 5; i++ {
+		add(fmt.Sprintf("l1-%d", i), "left1", "attentats paris deuil national urgence", 1)
+		add(fmt.Sprintf("e1-%d", i), "eco1", "attentats paris solidarite urgence", 1)
+	}
+	// Week 2: ecologists object (abus, excès, risque).
+	for i := 0; i < 5; i++ {
+		add(fmt.Sprintf("l2-%d", i), "left1", "parlement vote urgence prolongation", 2)
+		add(fmt.Sprintf("e2-%d", i), "eco1", "abus exces risque libertes urgence", 2)
+	}
+	partyOf := map[string]string{"left1": "PS", "eco1": "EELV"}
+	classify := func(d *doc.Document) (string, int, bool) {
+		author := ""
+		if vals := d.Values("user.screen_name"); len(vals) > 0 {
+			author = vals[0].Str()
+		}
+		p, ok := partyOf[author]
+		if !ok {
+			return "", 0, false
+		}
+		week := int(d.Values("week")[0].Int())
+		return p, week, true
+	}
+	return ix, classify
+}
+
+func TestComputeTagCloudsWeeklyEvolution(t *testing.T) {
+	ix, classify := stateEmergencyIndex(t)
+	tc := ComputeTagClouds(ix, "text", classify, 5, 2)
+	if len(tc.Weeks) != 2 {
+		t.Fatalf("weeks: %+v", tc.Weeks)
+	}
+	if tc.Weeks[0].Week != 1 || tc.Weeks[1].Week != 2 {
+		t.Errorf("week order: %+v", tc.Weeks)
+	}
+	// Week 2 EELV must rank the objection vocabulary top (planted skew).
+	eelv := tc.Weeks[1].Parties["EELV"]
+	if len(eelv) == 0 {
+		t.Fatal("no EELV terms in week 2")
+	}
+	topTerms := map[string]bool{}
+	for _, ts := range eelv {
+		topTerms[ts.Term] = true
+	}
+	if !topTerms["abu"] { // "abus" stemmed
+		t.Errorf("EELV week-2 cloud missing stemmed abu: %+v", eelv)
+	}
+	// "urgence" is corpus-wide background: its PMI must be ~1, below the
+	// party-specific terms.
+	for _, ts := range eelv {
+		if ts.Term == "urgenc" || ts.Term == "urgence" {
+			if ts.Score > 1.5 {
+				t.Errorf("background term over-scored: %+v", ts)
+			}
+		}
+	}
+	// PS week-2 must NOT feature 'abus'.
+	for _, ts := range tc.Weeks[1].Parties["PS"] {
+		if ts.Term == "abu" {
+			t.Errorf("PS cloud contains ecologist term: %+v", ts)
+		}
+	}
+	if got := tc.PartyNames(); len(got) != 2 || got[0] != "EELV" || got[1] != "PS" {
+		t.Errorf("party names: %v", got)
+	}
+}
+
+func TestComputeTagCloudsSkipsUnclassified(t *testing.T) {
+	ix, _ := stateEmergencyIndex(t)
+	none := func(*doc.Document) (string, int, bool) { return "", 0, false }
+	tc := ComputeTagClouds(ix, "text", none, 5, 1)
+	if len(tc.Weeks) != 0 {
+		t.Errorf("unclassified docs should produce no clouds: %+v", tc.Weeks)
+	}
+}

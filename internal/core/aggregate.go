@@ -1,0 +1,281 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"tatooine/internal/value"
+)
+
+// AggKind enumerates mediator-level aggregate functions, used in CMQ
+// heads ("find the most prolific tweet authors of that affiliation",
+// §1, requires grouping and counting over the joined result).
+type AggKind uint8
+
+const (
+	AggNone AggKind = iota
+	AggCount
+	AggCountDistinct
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+func (k AggKind) String() string {
+	switch k {
+	case AggNone:
+		return ""
+	case AggCount:
+		return "COUNT"
+	case AggCountDistinct:
+		return "COUNT DISTINCT"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	default:
+		return fmt.Sprintf("AggKind(%d)", uint8(k))
+	}
+}
+
+// HeadItem is one output column of a CMQ head: a plain variable or an
+// aggregate over a variable.
+type HeadItem struct {
+	// Var is the variable projected or aggregated.
+	Var string
+	// Agg is AggNone for a plain projection.
+	Agg AggKind
+	// Alias names the output column (and is addressable in ORDER BY);
+	// it defaults to Var or "agg_var".
+	Alias string
+}
+
+// Name returns the output column name.
+func (h HeadItem) Name() string {
+	if h.Alias != "" {
+		return h.Alias
+	}
+	if h.Agg == AggNone {
+		return h.Var
+	}
+	return strings.ToLower(strings.ReplaceAll(h.Agg.String(), " ", "_")) + "_" + h.Var
+}
+
+func (h HeadItem) String() string {
+	s := "?" + h.Var
+	if h.Agg == AggCountDistinct {
+		s = "COUNT(DISTINCT ?" + h.Var + ")"
+	} else if h.Agg != AggNone {
+		s = h.Agg.String() + "(?" + h.Var + ")"
+	}
+	if h.Alias != "" && h.Alias != h.Var {
+		s += " AS ?" + h.Alias
+	}
+	return s
+}
+
+// AggregateIterator groups its input by key columns and computes
+// aggregate columns, emitting one row per group.
+type AggregateIterator struct {
+	in      Iterator
+	groupBy []string
+	items   []HeadItem
+	cols    []string
+	rows    []value.Row
+	pos     int
+}
+
+// NewAggregate builds the grouping operator. Output columns follow the
+// items' order (group keys must appear among the plain items).
+func NewAggregate(in Iterator, groupBy []string, items []HeadItem) *AggregateIterator {
+	a := &AggregateIterator{in: in, groupBy: groupBy, items: items}
+	for _, it := range items {
+		a.cols = append(a.cols, it.Name())
+	}
+	return a
+}
+
+func (a *AggregateIterator) Cols() []string { return a.cols }
+
+type aggState struct {
+	count    int
+	distinct map[string]struct{}
+	sum      float64
+	sumInt   int64
+	isFloat  bool
+	min, max value.Value
+	nonNull  int
+}
+
+func (a *AggregateIterator) Open() error {
+	if err := a.in.Open(); err != nil {
+		return err
+	}
+	inCols := a.in.Cols()
+	colPos := func(name string) (int, error) {
+		i, ok := indexOf(inCols, name)
+		if !ok {
+			return 0, fmt.Errorf("core: aggregate input misses column %q (has %v)", name, inCols)
+		}
+		return i, nil
+	}
+	keyPos := make([]int, len(a.groupBy))
+	for i, g := range a.groupBy {
+		p, err := colPos(g)
+		if err != nil {
+			return err
+		}
+		keyPos[i] = p
+	}
+	itemPos := make([]int, len(a.items))
+	for i, it := range a.items {
+		p, err := colPos(it.Var)
+		if err != nil {
+			return err
+		}
+		itemPos[i] = p
+	}
+	// Validate: plain items must be group keys (or there is no grouping
+	// and exactly one global group with only aggregates).
+	for _, it := range a.items {
+		if it.Agg != AggNone {
+			continue
+		}
+		found := false
+		for _, g := range a.groupBy {
+			if g == it.Var {
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("core: plain head variable ?%s must appear in GROUP BY", it.Var)
+		}
+	}
+
+	type group struct {
+		rep    value.Row
+		states []*aggState
+	}
+	groups := make(map[string]*group)
+	var order []string
+	newStates := func() []*aggState {
+		ss := make([]*aggState, len(a.items))
+		for i := range ss {
+			ss[i] = &aggState{distinct: make(map[string]struct{})}
+		}
+		return ss
+	}
+
+	for {
+		row, ok, err := a.in.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		var key string
+		if len(a.groupBy) > 0 {
+			parts := make(value.Row, len(keyPos))
+			for i, p := range keyPos {
+				parts[i] = row[p]
+			}
+			key = parts.Key()
+		}
+		g, seen := groups[key]
+		if !seen {
+			g = &group{rep: row.Clone(), states: newStates()}
+			groups[key] = g
+			order = append(order, key)
+		}
+		for i, it := range a.items {
+			if it.Agg == AggNone {
+				continue
+			}
+			st := g.states[i]
+			v := row[itemPos[i]]
+			st.count++
+			if v.IsNull() {
+				continue
+			}
+			st.nonNull++
+			switch it.Agg {
+			case AggCountDistinct:
+				st.distinct[v.Key()] = struct{}{}
+			case AggSum, AggAvg:
+				switch v.Kind() {
+				case value.Int:
+					st.sumInt += v.Int()
+					st.sum += v.Float()
+				case value.Float:
+					st.isFloat = true
+					st.sum += v.Float()
+				default:
+					return fmt.Errorf("core: %s over non-numeric value %s", it.Agg, v)
+				}
+			case AggMin:
+				if st.min.IsNull() || value.Less(v, st.min) {
+					st.min = v
+				}
+			case AggMax:
+				if st.max.IsNull() || value.Less(st.max, v) {
+					st.max = v
+				}
+			}
+		}
+	}
+
+	a.rows = a.rows[:0]
+	for _, key := range order {
+		g := groups[key]
+		out := make(value.Row, len(a.items))
+		for i, it := range a.items {
+			st := g.states[i]
+			switch it.Agg {
+			case AggNone:
+				out[i] = g.rep[itemPos[i]]
+			case AggCount:
+				out[i] = value.NewInt(int64(st.nonNull))
+			case AggCountDistinct:
+				out[i] = value.NewInt(int64(len(st.distinct)))
+			case AggSum:
+				if st.nonNull == 0 {
+					out[i] = value.NewNull()
+				} else if st.isFloat {
+					out[i] = value.NewFloat(st.sum)
+				} else {
+					out[i] = value.NewInt(st.sumInt)
+				}
+			case AggAvg:
+				if st.nonNull == 0 {
+					out[i] = value.NewNull()
+				} else {
+					out[i] = value.NewFloat(st.sum / float64(st.nonNull))
+				}
+			case AggMin:
+				out[i] = st.min
+			case AggMax:
+				out[i] = st.max
+			}
+		}
+		a.rows = append(a.rows, out)
+	}
+	a.pos = 0
+	return nil
+}
+
+func (a *AggregateIterator) Next() (value.Row, bool, error) {
+	if a.pos >= len(a.rows) {
+		return nil, false, nil
+	}
+	row := a.rows[a.pos]
+	a.pos++
+	return row, true, nil
+}
+
+func (a *AggregateIterator) Close() error { return a.in.Close() }

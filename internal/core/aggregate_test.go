@@ -1,0 +1,224 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"tatooine/internal/value"
+)
+
+func TestAggregateIteratorGrouping(t *testing.T) {
+	r := rel([]string{"party", "votes", "t"},
+		[]any{"PS", 10, "a"}, []any{"PS", 20, "b"}, []any{"LR", 5, "c"},
+		[]any{"LR", 5, "c"}, []any{"PS", 30, "d"})
+	items := []HeadItem{
+		{Var: "party"},
+		{Var: "t", Agg: AggCount, Alias: "n"},
+		{Var: "t", Agg: AggCountDistinct, Alias: "dn"},
+		{Var: "votes", Agg: AggSum, Alias: "sum"},
+		{Var: "votes", Agg: AggAvg, Alias: "avg"},
+		{Var: "votes", Agg: AggMin, Alias: "lo"},
+		{Var: "votes", Agg: AggMax, Alias: "hi"},
+	}
+	got, err := Materialize(NewAggregate(NewScan(r), []string{"party"}, items))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != 2 {
+		t.Fatalf("groups: %+v", got.Rows)
+	}
+	byParty := map[string]value.Row{}
+	for _, row := range got.Rows {
+		byParty[row[0].Str()] = row
+	}
+	ps := byParty["PS"]
+	if ps[1].Int() != 3 || ps[2].Int() != 3 || ps[3].Int() != 60 || ps[4].Float() != 20 ||
+		ps[5].Int() != 10 || ps[6].Int() != 30 {
+		t.Errorf("PS aggregates: %+v", ps)
+	}
+	lr := byParty["LR"]
+	if lr[1].Int() != 2 || lr[2].Int() != 1 || lr[3].Int() != 10 {
+		t.Errorf("LR aggregates: %+v", lr)
+	}
+	if got.Cols[1] != "n" || got.Cols[3] != "sum" {
+		t.Errorf("cols: %v", got.Cols)
+	}
+}
+
+func TestAggregateGlobalGroup(t *testing.T) {
+	r := rel([]string{"v"}, []any{1}, []any{2}, []any{3})
+	got, err := Materialize(NewAggregate(NewScan(r), nil, []HeadItem{
+		{Var: "v", Agg: AggCount, Alias: "n"},
+		{Var: "v", Agg: AggSum, Alias: "s"},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != 1 || got.Rows[0][0].Int() != 3 || got.Rows[0][1].Int() != 6 {
+		t.Errorf("global group: %+v", got.Rows)
+	}
+}
+
+func TestAggregateNullHandling(t *testing.T) {
+	r := rel([]string{"g", "v"}, []any{"a", 1}, []any{"a", nil}, []any{"a", 3})
+	got, err := Materialize(NewAggregate(NewScan(r), []string{"g"}, []HeadItem{
+		{Var: "g"},
+		{Var: "v", Agg: AggCount, Alias: "n"},
+		{Var: "v", Agg: AggAvg, Alias: "avg"},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// COUNT and AVG skip nulls.
+	if got.Rows[0][1].Int() != 2 || got.Rows[0][2].Float() != 2 {
+		t.Errorf("null handling: %+v", got.Rows[0])
+	}
+}
+
+func TestAggregatePlainVarMustBeGrouped(t *testing.T) {
+	r := rel([]string{"a", "b"}, []any{"x", 1})
+	_, err := Materialize(NewAggregate(NewScan(r), []string{"a"}, []HeadItem{
+		{Var: "b"}, // not in GROUP BY
+		{Var: "a", Agg: AggCount},
+	}))
+	if err == nil {
+		t.Error("ungrouped plain variable accepted")
+	}
+}
+
+func TestAggregateSumNonNumericFails(t *testing.T) {
+	r := rel([]string{"v"}, []any{"text"})
+	_, err := Materialize(NewAggregate(NewScan(r), nil, []HeadItem{
+		{Var: "v", Agg: AggSum},
+	}))
+	if err == nil {
+		t.Error("SUM over strings accepted")
+	}
+}
+
+// TestMostProlificAuthors reproduces the paper's §1 motivating query:
+// "for a given hashtag and each political affiliation, find the most
+// prolific tweet authors of that affiliation having used that hashtag,
+// and their Facebook accounts."
+func TestMostProlificAuthors(t *testing.T) {
+	in := fixtureInstance(t)
+	res, err := in.Query(`
+QUERY prolific(?cur, ?id, ?fb, COUNT(?t) AS ?n)
+GRAPH { ?x :memberOf ?p . ?p :currentOf ?cur .
+        ?x :twitterAccount ?id . ?x :facebookAccount ?fb }
+FROM <solr://tweets> IN(?id) OUT(?t, ?id)
+  { SEARCH tweets WHERE user.screen_name = ? AND entities.hashtags = 'economie' RETURN _id, user.screen_name }
+GROUP BY ?cur, ?id, ?fb
+ORDER BY ?n DESC
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cols) != 4 || res.Cols[3] != "n" {
+		t.Fatalf("cols: %v", res.Cols)
+	}
+	// fhollande has 1 economie tweet (t4), jdupont 1 (t5); amartin has
+	// no facebook account so is excluded.
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows: %+v", res.Rows)
+	}
+	for _, row := range res.Rows {
+		if row[3].Int() != 1 {
+			t.Errorf("count: %+v", row)
+		}
+		if row[2].IsNull() {
+			t.Errorf("facebook account missing: %+v", row)
+		}
+	}
+}
+
+func TestParseAggregateHead(t *testing.T) {
+	q := MustParseCMQ(`
+QUERY q(?cur, COUNT(?t) AS ?n, COUNT(DISTINCT ?id) AS ?authors, SUM(?rt) AS ?rts)
+GRAPH { ?x :p ?cur . ?x :q ?t . ?x :r ?id . ?x :s ?rt }
+GROUP BY ?cur
+ORDER BY ?n DESC
+`)
+	if len(q.HeadItems) != 4 {
+		t.Fatalf("items: %+v", q.HeadItems)
+	}
+	if q.HeadItems[0].Agg != AggNone || q.HeadItems[0].Var != "cur" {
+		t.Errorf("item0: %+v", q.HeadItems[0])
+	}
+	if q.HeadItems[1].Agg != AggCount || q.HeadItems[1].Alias != "n" {
+		t.Errorf("item1: %+v", q.HeadItems[1])
+	}
+	if q.HeadItems[2].Agg != AggCountDistinct || q.HeadItems[2].Var != "id" {
+		t.Errorf("item2: %+v", q.HeadItems[2])
+	}
+	if q.HeadItems[3].Agg != AggSum {
+		t.Errorf("item3: %+v", q.HeadItems[3])
+	}
+	if len(q.GroupBy) != 1 || q.GroupBy[0] != "cur" {
+		t.Errorf("groupBy: %v", q.GroupBy)
+	}
+	if q.OrderBy != "n" || !q.OrderDesc {
+		t.Errorf("order: %v %v", q.OrderBy, q.OrderDesc)
+	}
+}
+
+func TestParseAggregateErrors(t *testing.T) {
+	cases := []string{
+		`QUERY q(MEDIAN(?x)) GRAPH { ?a :p ?x }`,                   // unknown aggregate
+		`QUERY q(SUM(DISTINCT ?x)) GRAPH { ?a :p ?x }`,             // DISTINCT non-COUNT
+		`QUERY q(COUNT(?x) AS ) GRAPH { ?a :p ?x }`,                // empty alias
+		`QUERY q(?a) GROUP BY ?a GRAPH { ?a :p ?x }`,               // GROUP BY without aggregate
+		`QUERY q(COUNT(?zz) AS ?n) GRAPH { ?a :p ?x }`,             // agg var not produced
+		`QUERY q(COUNT(?x) AS ?n) GROUP BY ?zz GRAPH { ?a :p ?x }`, // group var not produced
+	}
+	for _, text := range cases {
+		q, _, err := ParseCMQ(text)
+		if err == nil {
+			err = q.Validate(nil)
+		}
+		if err == nil {
+			t.Errorf("expected error for %q", text)
+		}
+	}
+}
+
+func TestAggregateHeadStringRendering(t *testing.T) {
+	items := []HeadItem{
+		{Var: "cur"},
+		{Var: "t", Agg: AggCount, Alias: "n"},
+		{Var: "id", Agg: AggCountDistinct},
+	}
+	strs := []string{"?cur", "COUNT(?t) AS ?n", "COUNT(DISTINCT ?id)"}
+	for i, it := range items {
+		if it.String() != strs[i] {
+			t.Errorf("String: %q want %q", it.String(), strs[i])
+		}
+	}
+	if items[2].Name() != "count_distinct_id" {
+		t.Errorf("default name: %q", items[2].Name())
+	}
+}
+
+func TestOrderByAggregateAlias(t *testing.T) {
+	in := fixtureInstance(t)
+	res, err := in.Query(`
+QUERY q(?id, COUNT(?t) AS ?n)
+GRAPH { ?x :twitterAccount ?id }
+FROM <solr://tweets> IN(?id) OUT(?t, ?id)
+  { SEARCH tweets WHERE user.screen_name = ? RETURN _id, user.screen_name }
+GROUP BY ?id
+ORDER BY ?n DESC
+LIMIT 1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fhollande and jdupont both have 2 tweets; amartin 1. Top must
+	// have count 2.
+	if len(res.Rows) != 1 || res.Rows[0][1].Int() != 2 {
+		t.Errorf("top author: %+v", res.Rows)
+	}
+	if !strings.Contains(res.Cols[1], "n") {
+		t.Errorf("cols: %v", res.Cols)
+	}
+}

@@ -1,0 +1,450 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"tatooine/internal/source"
+	"tatooine/internal/value"
+)
+
+// ExecOptions tune query execution.
+type ExecOptions struct {
+	// Parallel runs independent atoms of a wave (and the per-binding
+	// probes of a bind join) concurrently.
+	Parallel bool
+	// MaxFanout bounds bind-join concurrency (default 8).
+	MaxFanout int
+	// NaiveOrder disables selectivity-based ordering (ablation E6):
+	// atoms run one per wave in declaration order.
+	NaiveOrder bool
+}
+
+// ExecStats reports what an execution did.
+type ExecStats struct {
+	SubQueries  int // native sub-query invocations (incl. bind-join probes)
+	RowsFetched int // rows returned by sources before residual joins
+	Waves       int
+	BindJoins   int // atoms executed as bind joins
+	Dynamic     int // distinct dynamically-resolved sources contacted
+}
+
+// QueryResult is the outcome of a CMQ execution.
+type QueryResult struct {
+	Cols  []string
+	Rows  []value.Row
+	Stats ExecStats
+	Plan  *Plan
+}
+
+// Execute runs a CMQ over the instance with default options
+// (parallelism on).
+func (in *Instance) Execute(q *CMQ) (*QueryResult, error) {
+	return in.ExecuteOpts(q, ExecOptions{Parallel: true})
+}
+
+// ExecuteOpts runs a CMQ with explicit options.
+func (in *Instance) ExecuteOpts(q *CMQ, opts ExecOptions) (*QueryResult, error) {
+	if opts.MaxFanout <= 0 {
+		opts.MaxFanout = 8
+	}
+	plan, err := in.planQuery(q, opts.NaiveOrder)
+	if err != nil {
+		return nil, err
+	}
+	ex := &executor{in: in, q: q, plan: plan, opts: opts}
+	rel, err := ex.run()
+	if err != nil {
+		return nil, err
+	}
+	out, err := ex.finish(rel)
+	if err != nil {
+		return nil, err
+	}
+	ex.stats.Waves = plan.NumWaves()
+	return &QueryResult{Cols: out.Cols, Rows: out.Rows, Stats: ex.stats, Plan: plan}, nil
+}
+
+type executor struct {
+	in    *Instance
+	q     *CMQ
+	plan  *Plan
+	opts  ExecOptions
+	stats ExecStats
+	mu    sync.Mutex // guards stats
+}
+
+func (ex *executor) addStats(subQueries, rows int) {
+	ex.mu.Lock()
+	ex.stats.SubQueries += subQueries
+	ex.stats.RowsFetched += rows
+	ex.mu.Unlock()
+}
+
+// run executes the plan wave by wave, joining each wave's atom results
+// into the growing intermediate relation.
+func (ex *executor) run() (*Relation, error) {
+	var rel *Relation
+	for wave := 0; wave < ex.plan.NumWaves(); wave++ {
+		var steps []PlanStep
+		for _, s := range ex.plan.Steps {
+			if s.Wave == wave {
+				steps = append(steps, s)
+			}
+		}
+		results := make([]*Relation, len(steps))
+		if ex.opts.Parallel && len(steps) > 1 {
+			var wg sync.WaitGroup
+			errs := make([]error, len(steps))
+			for i, s := range steps {
+				wg.Add(1)
+				go func(i int, s PlanStep) {
+					defer wg.Done()
+					results[i], errs[i] = ex.runStep(s, rel)
+				}(i, s)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			for i, s := range steps {
+				r, err := ex.runStep(s, rel)
+				if err != nil {
+					return nil, err
+				}
+				results[i] = r
+			}
+		}
+		// Join the wave's results into the intermediate relation,
+		// smallest first to keep intermediates tight.
+		sort.SliceStable(results, func(i, j int) bool {
+			return len(results[i].Rows) < len(results[j].Rows)
+		})
+		for _, r := range results {
+			if rel == nil {
+				rel = r
+				continue
+			}
+			joined, err := Materialize(NewHashJoin(NewScan(rel), NewScan(r)))
+			if err != nil {
+				return nil, err
+			}
+			rel = joined
+		}
+	}
+	if rel == nil {
+		return &Relation{}, nil
+	}
+	return rel, nil
+}
+
+// runStep executes one atom against its source(s).
+func (ex *executor) runStep(s PlanStep, rel *Relation) (*Relation, error) {
+	a := ex.q.Atoms[s.AtomIndex]
+	outs := ex.plan.outs[s.AtomIndex]
+
+	if s.Dynamic {
+		return ex.runDynamic(a, outs, rel)
+	}
+
+	src, err := ex.atomSource(a)
+	if err != nil {
+		return nil, err
+	}
+	if s.BindJoin {
+		ex.mu.Lock()
+		ex.stats.BindJoins++
+		ex.mu.Unlock()
+		return ex.bindJoin(src, a, outs, rel, "")
+	}
+	res, err := src.Execute(a.Sub, nil)
+	if err != nil {
+		return nil, err
+	}
+	ex.addStats(1, len(res.Rows))
+	return atomRelation(res, outs)
+}
+
+func (ex *executor) atomSource(a Atom) (source.DataSource, error) {
+	if a.Kind == GraphAtom {
+		return ex.in.graphSource(ex.q.Prefixes), nil
+	}
+	return ex.in.ResolveSource(a.SourceURI)
+}
+
+// runDynamic resolves the designating variable's distinct values from
+// the intermediate relation and ships the sub-query to each discovered
+// source; results carry the designator column so they join back to the
+// rows that mentioned that source (§2.2's per-embedding source
+// resolution).
+func (ex *executor) runDynamic(a Atom, outs []string, rel *Relation) (*Relation, error) {
+	if rel == nil {
+		return nil, fmt.Errorf("core: dynamic source ?%s has no bindings yet", a.SourceVar)
+	}
+	ci := rel.colIndex(a.SourceVar)
+	if ci < 0 {
+		return nil, fmt.Errorf("core: dynamic source variable ?%s not in intermediate relation", a.SourceVar)
+	}
+	uris := make(map[string]struct{})
+	for _, row := range rel.Rows {
+		if !row[ci].IsNull() {
+			uris[row[ci].Str()] = struct{}{}
+		}
+	}
+	ex.mu.Lock()
+	ex.stats.Dynamic += len(uris)
+	ex.mu.Unlock()
+
+	cols := []string{a.SourceVar}
+	var merged *Relation
+	ordered := make([]string, 0, len(uris))
+	for uri := range uris {
+		ordered = append(ordered, uri)
+	}
+	sort.Strings(ordered)
+	for _, uri := range ordered {
+		src, err := ex.in.ResolveSource(uri)
+		if err != nil {
+			return nil, fmt.Errorf("core: dynamic source ?%s: %w", a.SourceVar, err)
+		}
+		var part *Relation
+		if len(a.Sub.InVars) > 0 {
+			part, err = ex.bindJoin(src, a, outs, rel, uri)
+		} else {
+			var res *source.Result
+			res, err = src.Execute(a.Sub, nil)
+			if err == nil {
+				ex.addStats(1, len(res.Rows))
+				part, err = atomRelation(res, outs)
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		// Tag rows with the source URI under the designator column.
+		tagged := &Relation{Cols: append(cols, part.Cols...)}
+		for _, r := range part.Rows {
+			row := make(value.Row, 0, 1+len(r))
+			row = append(row, value.NewString(uri))
+			row = append(row, r...)
+			tagged.Rows = append(tagged.Rows, row)
+		}
+		if merged == nil {
+			merged = tagged
+		} else {
+			merged.Rows = append(merged.Rows, tagged.Rows...)
+		}
+	}
+	if merged == nil {
+		return &Relation{Cols: append(cols, outs...)}, nil
+	}
+	return merged, nil
+}
+
+// bindJoin executes the atom once per distinct combination of its
+// InVars values in rel, pushing the values as sub-query parameters, and
+// returns the relation (InVars ∪ OutVars). When srcURI is non-empty the
+// bindings considered are restricted to rows designating that source.
+func (ex *executor) bindJoin(src source.DataSource, a Atom, outs []string, rel *Relation, srcURI string) (*Relation, error) {
+	if rel == nil {
+		return nil, fmt.Errorf("core: bind join for atom %s has no outer bindings", a.Designator())
+	}
+	ins := make([]string, len(a.Sub.InVars))
+	inPos := make([]int, len(ins))
+	for i, iv := range a.Sub.InVars {
+		ins[i] = strings.TrimPrefix(iv, "?")
+		p := rel.colIndex(ins[i])
+		if p < 0 {
+			return nil, fmt.Errorf("core: bind-join variable ?%s not in intermediate relation", ins[i])
+		}
+		inPos[i] = p
+	}
+	srcPos := -1
+	if srcURI != "" {
+		srcPos = rel.colIndex(a.SourceVar)
+	}
+
+	// Distinct parameter tuples.
+	type paramTuple struct {
+		key    string
+		params value.Row
+	}
+	seen := make(map[string]struct{})
+	var tuples []paramTuple
+	for _, row := range rel.Rows {
+		if srcPos >= 0 && row[srcPos].Str() != srcURI {
+			continue
+		}
+		params := make(value.Row, len(inPos))
+		skip := false
+		for i, p := range inPos {
+			if row[p].IsNull() {
+				skip = true
+				break
+			}
+			params[i] = row[p]
+		}
+		if skip {
+			continue
+		}
+		k := params.Key()
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		tuples = append(tuples, paramTuple{k, params})
+	}
+
+	// Output columns: InVars first, then OutVars not already among the
+	// InVars (overlaps are equality-checked instead of duplicated).
+	cols := append([]string(nil), ins...)
+	var outKeep []int // positions in the sub-result to append
+	var outCheck []struct{ resPos, insPos int }
+	for i, o := range outs {
+		if j, dup := indexOf(ins, o); dup {
+			outCheck = append(outCheck, struct{ resPos, insPos int }{i, j})
+			continue
+		}
+		cols = append(cols, o)
+		outKeep = append(outKeep, i)
+	}
+
+	out := &Relation{Cols: cols}
+	var outMu sync.Mutex
+	probe := func(t paramTuple) error {
+		res, err := src.Execute(a.Sub, t.params)
+		if err != nil {
+			return err
+		}
+		ex.addStats(1, len(res.Rows))
+		if len(res.Cols) != len(outs) {
+			return fmt.Errorf("core: atom %s returned %d columns for %d OUT variables",
+				a.Designator(), len(res.Cols), len(outs))
+		}
+		var local []value.Row
+		for _, r := range res.Rows {
+			ok := true
+			for _, ch := range outCheck {
+				if !value.Equal(r[ch.resPos], t.params[ch.insPos]) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			row := make(value.Row, 0, len(cols))
+			row = append(row, t.params...)
+			for _, p := range outKeep {
+				row = append(row, r[p])
+			}
+			local = append(local, row)
+		}
+		outMu.Lock()
+		out.Rows = append(out.Rows, local...)
+		outMu.Unlock()
+		return nil
+	}
+
+	if ex.opts.Parallel && len(tuples) > 1 {
+		sem := make(chan struct{}, ex.opts.MaxFanout)
+		var wg sync.WaitGroup
+		errOnce := sync.Once{}
+		var firstErr error
+		for _, t := range tuples {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(t paramTuple) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				if err := probe(t); err != nil {
+					errOnce.Do(func() { firstErr = err })
+				}
+			}(t)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+	} else {
+		for _, t := range tuples {
+			if err := probe(t); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// atomRelation renames a source result's columns to the atom's OUT
+// variables. Repeated OUT variables become an equality filter plus a
+// single column.
+func atomRelation(res *source.Result, outs []string) (*Relation, error) {
+	if len(res.Cols) != len(outs) {
+		return nil, fmt.Errorf("core: sub-query returned %d columns for %d OUT variables", len(res.Cols), len(outs))
+	}
+	// Detect repeats.
+	first := make(map[string]int)
+	var keep []int
+	var checks [][2]int // (pos, firstPos) equality requirements
+	for i, o := range outs {
+		if j, dup := first[o]; dup {
+			checks = append(checks, [2]int{i, j})
+			continue
+		}
+		first[o] = i
+		keep = append(keep, i)
+	}
+	out := &Relation{}
+	for _, i := range keep {
+		out.Cols = append(out.Cols, outs[i])
+	}
+	for _, r := range res.Rows {
+		ok := true
+		for _, c := range checks {
+			if !value.Equal(r[c[0]], r[c[1]]) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		row := make(value.Row, 0, len(keep))
+		for _, i := range keep {
+			row = append(row, r[i])
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// finish applies head projection (or grouped aggregation), distinct,
+// order and limit.
+func (ex *executor) finish(rel *Relation) (*Relation, error) {
+	var it Iterator = NewScan(rel)
+	if len(ex.q.HeadItems) > 0 {
+		it = NewAggregate(it, ex.q.GroupBy, ex.q.HeadItems)
+	} else {
+		head := ex.q.Head
+		if len(head) == 0 {
+			head = rel.Cols
+		}
+		it = NewProject(it, head)
+	}
+	if ex.q.Distinct {
+		it = NewDistinct(it)
+	}
+	if ex.q.OrderBy != "" {
+		it = NewSort(it, ex.q.OrderBy, ex.q.OrderDesc)
+	}
+	if ex.q.Limit > 0 {
+		it = NewLimit(it, ex.q.Limit)
+	}
+	return Materialize(it)
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+
+	"tatooine/internal/rdf"
+	"tatooine/internal/source"
+)
+
+// Instance is a mixed instance I = (G, D): the custom
+// application-dependent RDF graph G plus a registry of data sources D
+// (Definition 2.1 of the paper).
+type Instance struct {
+	graph    *rdf.Graph
+	sources  *source.Registry
+	prefixes map[string]string
+	saturate bool
+	satGraph *rdf.Graph // cached saturation of graph
+}
+
+// InstanceOption configures an Instance.
+type InstanceOption func(*Instance)
+
+// WithPrefixes registers prefix declarations usable in BGP texts of
+// queries against this instance.
+func WithPrefixes(p map[string]string) InstanceOption {
+	return func(in *Instance) {
+		for k, v := range p {
+			in.prefixes[k] = v
+		}
+	}
+}
+
+// WithSaturation makes graph atoms evaluate over G∞ (the RDFS
+// saturation of G), the paper's answer semantics. The saturation is
+// computed lazily and cached; mutate the graph via Graph() only before
+// the first query.
+func WithSaturation() InstanceOption {
+	return func(in *Instance) { in.saturate = true }
+}
+
+// NewInstance creates a mixed instance around a custom graph. A nil
+// graph starts empty.
+func NewInstance(g *rdf.Graph, opts ...InstanceOption) *Instance {
+	if g == nil {
+		g = rdf.NewGraph()
+	}
+	in := &Instance{
+		graph:    g,
+		sources:  source.NewRegistry(),
+		prefixes: make(map[string]string),
+	}
+	for _, o := range opts {
+		o(in)
+	}
+	return in
+}
+
+// Graph returns the custom RDF graph G.
+func (in *Instance) Graph() *rdf.Graph { return in.graph }
+
+// Sources returns the source registry D.
+func (in *Instance) Sources() *source.Registry { return in.sources }
+
+// Prefixes returns the instance's prefix declarations.
+func (in *Instance) Prefixes() map[string]string { return in.prefixes }
+
+// AddSource registers a data source.
+func (in *Instance) AddSource(s source.DataSource) error {
+	return in.sources.Register(s)
+}
+
+// queryGraph returns the graph BGPs evaluate over, saturating on first
+// use when configured.
+func (in *Instance) queryGraph() *rdf.Graph {
+	if !in.saturate {
+		return in.graph
+	}
+	if in.satGraph == nil {
+		in.satGraph = rdf.Saturate(in.graph).Graph
+	}
+	return in.satGraph
+}
+
+// graphSource wraps G as an internal DataSource so the planner and
+// executor treat graph atoms uniformly with source atoms. extra prefix
+// declarations (from a query's PREFIX clauses) extend the instance's.
+func (in *Instance) graphSource(extra map[string]string) source.DataSource {
+	return source.NewRDFSource("tatooine:G", in.queryGraph(), false).WithPrefixes(in.prefixesFor(extra))
+}
+
+// prefixesFor merges the instance prefixes with query-local ones.
+func (in *Instance) prefixesFor(extra map[string]string) map[string]string {
+	if len(extra) == 0 {
+		return in.prefixes
+	}
+	merged := make(map[string]string, len(in.prefixes)+len(extra))
+	for k, v := range in.prefixes {
+		merged[k] = v
+	}
+	for k, v := range extra {
+		merged[k] = v
+	}
+	return merged
+}
+
+// Query parses and executes a textual CMQ with default options.
+func (in *Instance) Query(text string) (*QueryResult, error) {
+	q, _, err := ParseCMQ(text)
+	if err != nil {
+		return nil, err
+	}
+	return in.Execute(q)
+}
+
+// ResolveSource resolves a URI against the instance's registry
+// (including its remote-fallback resolver, enabling dynamic discovery).
+func (in *Instance) ResolveSource(uri string) (source.DataSource, error) {
+	s, err := in.sources.Resolve(uri)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return s, nil
+}

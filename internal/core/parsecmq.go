@@ -1,0 +1,487 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"tatooine/internal/source"
+)
+
+// ParseCMQ parses the textual form of a conjunctive mixed query:
+//
+//	PREFIX : <http://t.example/>
+//	QUERY qSIA(?t, ?id)
+//	GRAPH { ?x :position :headOfState . ?x :twitterAccount ?id }
+//	FROM <solr://tweets> LANG search IN(?id) OUT(?t, ?id)
+//	  { SEARCH tweets WHERE user.screen_name = ? AND entities.hashtags = 'SIA2016' RETURN _id, user.screen_name }
+//	ORDER BY ?t DESC
+//	LIMIT 100
+//	DISTINCT
+//
+// Clauses:
+//   - PREFIX name: <iri>      — prefix declarations for BGP atoms
+//   - QUERY name(?v, …)       — head (required, first non-prefix clause)
+//   - GRAPH { bgp }           — atom over the custom graph G
+//   - FROM <uri>|?var [LANG l] [IN(?v,…)] OUT(?v,…) { text } — source atom;
+//     LANG defaults by inference: text starting with SEARCH → search,
+//     SELECT → sql, otherwise bgp. OUT is optional for BGP atoms (the
+//     BGP head is used).
+//   - DISTINCT, ORDER BY ?v [DESC], LIMIT n — result modifiers
+func ParseCMQ(text string) (*CMQ, map[string]string, error) {
+	p := &cmqParser{input: text}
+	return p.parse()
+}
+
+// MustParseCMQ panics on parse errors; for tests and fixtures.
+func MustParseCMQ(text string) *CMQ {
+	q, _, err := ParseCMQ(text)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type cmqParser struct {
+	input string
+	pos   int
+}
+
+func (p *cmqParser) errf(format string, args ...any) error {
+	return fmt.Errorf("core: cmq parse at offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *cmqParser) skipWS() {
+	for p.pos < len(p.input) {
+		c := p.input[p.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			p.pos++
+			continue
+		}
+		if c == '#' {
+			for p.pos < len(p.input) && p.input[p.pos] != '\n' {
+				p.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+func (p *cmqParser) peekWord() string {
+	p.skipWS()
+	i := p.pos
+	for i < len(p.input) {
+		c := p.input[i]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '(' || c == '{' || c == '<' || c == '?' {
+			break
+		}
+		i++
+	}
+	return p.input[p.pos:i]
+}
+
+func (p *cmqParser) acceptWord(w string) bool {
+	p.skipWS()
+	got := p.peekWord()
+	if strings.EqualFold(got, w) {
+		p.pos += len(got)
+		return true
+	}
+	return false
+}
+
+func (p *cmqParser) readUntil(stop byte) (string, error) {
+	i := strings.IndexByte(p.input[p.pos:], stop)
+	if i < 0 {
+		return "", p.errf("expected %q", string(stop))
+	}
+	out := p.input[p.pos : p.pos+i]
+	p.pos += i + 1
+	return out, nil
+}
+
+// readBlock reads a {...} block with brace balancing (sub-query texts
+// never contain braces today, but balancing keeps the syntax robust).
+func (p *cmqParser) readBlock() (string, error) {
+	p.skipWS()
+	if p.pos >= len(p.input) || p.input[p.pos] != '{' {
+		return "", p.errf("expected '{'")
+	}
+	p.pos++
+	depth := 1
+	start := p.pos
+	for p.pos < len(p.input) {
+		switch p.input[p.pos] {
+		case '{':
+			depth++
+		case '}':
+			depth--
+			if depth == 0 {
+				out := p.input[start:p.pos]
+				p.pos++
+				return strings.TrimSpace(out), nil
+			}
+		case '\'': // skip string literals
+			p.pos++
+			for p.pos < len(p.input) && p.input[p.pos] != '\'' {
+				p.pos++
+			}
+		case '"':
+			p.pos++
+			for p.pos < len(p.input) && p.input[p.pos] != '"' {
+				if p.input[p.pos] == '\\' {
+					p.pos++
+				}
+				p.pos++
+			}
+		}
+		p.pos++
+	}
+	return "", p.errf("unterminated '{' block")
+}
+
+// parseHead parses the QUERY head: a parenthesized list of plain
+// variables and/or aggregates, e.g.
+//
+//	(?cur, COUNT(?t) AS ?n, COUNT(DISTINCT ?id) AS ?authors)
+//
+// Plain-only heads populate CMQ.Head; any aggregate switches the whole
+// head to CMQ.HeadItems.
+func (p *cmqParser) parseHead(q *CMQ) error {
+	p.skipWS()
+	if p.pos >= len(p.input) || p.input[p.pos] != '(' {
+		return p.errf("expected '(' after query name")
+	}
+	p.pos++
+	// Read the balanced head text.
+	depth := 1
+	start := p.pos
+	for p.pos < len(p.input) && depth > 0 {
+		switch p.input[p.pos] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		}
+		p.pos++
+	}
+	if depth != 0 {
+		return p.errf("unterminated query head")
+	}
+	inner := p.input[start : p.pos-1]
+
+	// Split on top-level commas.
+	var entries []string
+	d, seg := 0, strings.Builder{}
+	for _, r := range inner {
+		switch {
+		case r == '(':
+			d++
+			seg.WriteRune(r)
+		case r == ')':
+			d--
+			seg.WriteRune(r)
+		case r == ',' && d == 0:
+			entries = append(entries, seg.String())
+			seg.Reset()
+		default:
+			seg.WriteRune(r)
+		}
+	}
+	if strings.TrimSpace(seg.String()) != "" {
+		entries = append(entries, seg.String())
+	}
+
+	var items []HeadItem
+	hasAgg := false
+	for _, e := range entries {
+		item, err := parseHeadEntry(strings.TrimSpace(e))
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		if item.Agg != AggNone {
+			hasAgg = true
+		}
+		items = append(items, item)
+	}
+	if !hasAgg {
+		for _, it := range items {
+			q.Head = append(q.Head, it.Var)
+		}
+		return nil
+	}
+	q.HeadItems = items
+	return nil
+}
+
+var aggNames = map[string]AggKind{
+	"COUNT": AggCount, "SUM": AggSum, "AVG": AggAvg, "MIN": AggMin, "MAX": AggMax,
+}
+
+// parseHeadEntry parses "?v", "AGG(?v)", "AGG(DISTINCT ?v)", each with
+// an optional "AS ?alias".
+func parseHeadEntry(e string) (HeadItem, error) {
+	var item HeadItem
+	// Optional alias.
+	if i := strings.LastIndex(strings.ToUpper(e), " AS "); i >= 0 {
+		alias := strings.TrimSpace(e[i+4:])
+		alias = strings.TrimPrefix(alias, "?")
+		if alias == "" {
+			return item, fmt.Errorf("empty alias in head entry %q", e)
+		}
+		item.Alias = alias
+		e = strings.TrimSpace(e[:i])
+	}
+	if open := strings.IndexByte(e, '('); open >= 0 {
+		fn := strings.ToUpper(strings.TrimSpace(e[:open]))
+		kind, ok := aggNames[fn]
+		if !ok {
+			return item, fmt.Errorf("unknown aggregate %q", fn)
+		}
+		if !strings.HasSuffix(e, ")") {
+			return item, fmt.Errorf("malformed aggregate %q", e)
+		}
+		arg := strings.TrimSpace(e[open+1 : len(e)-1])
+		upArg := strings.ToUpper(arg)
+		if strings.HasPrefix(upArg, "DISTINCT ") {
+			if kind != AggCount {
+				return item, fmt.Errorf("DISTINCT only supported with COUNT in %q", e)
+			}
+			kind = AggCountDistinct
+			arg = strings.TrimSpace(arg[len("DISTINCT "):])
+		}
+		arg = strings.TrimPrefix(arg, "?")
+		if arg == "" {
+			return item, fmt.Errorf("missing aggregate argument in %q", e)
+		}
+		item.Agg = kind
+		item.Var = arg
+		return item, nil
+	}
+	v := strings.TrimPrefix(e, "?")
+	if v == "" {
+		return item, fmt.Errorf("empty head entry")
+	}
+	item.Var = v
+	return item, nil
+}
+
+// readVarList parses (?a, ?b, ...).
+func (p *cmqParser) readVarList() ([]string, error) {
+	p.skipWS()
+	if p.pos >= len(p.input) || p.input[p.pos] != '(' {
+		return nil, p.errf("expected '('")
+	}
+	p.pos++
+	inner, err := p.readUntil(')')
+	if err != nil {
+		return nil, err
+	}
+	if strings.TrimSpace(inner) == "" {
+		return nil, nil
+	}
+	var out []string
+	for _, part := range strings.Split(inner, ",") {
+		v := strings.TrimSpace(part)
+		v = strings.TrimPrefix(v, "?")
+		if v == "" {
+			return nil, p.errf("empty variable in list")
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func (p *cmqParser) parse() (*CMQ, map[string]string, error) {
+	q := &CMQ{}
+	prefixes := make(map[string]string)
+	sawQuery := false
+	for {
+		p.skipWS()
+		if p.pos >= len(p.input) {
+			break
+		}
+		switch {
+		case p.acceptWord("PREFIX"):
+			p.skipWS()
+			name, err := p.readUntil(':')
+			if err != nil {
+				return nil, nil, err
+			}
+			name = strings.TrimSpace(name)
+			p.skipWS()
+			if p.pos >= len(p.input) || p.input[p.pos] != '<' {
+				return nil, nil, p.errf("PREFIX expects <iri>")
+			}
+			p.pos++
+			iri, err := p.readUntil('>')
+			if err != nil {
+				return nil, nil, err
+			}
+			prefixes[name] = iri
+		case p.acceptWord("QUERY"):
+			if sawQuery {
+				return nil, nil, p.errf("duplicate QUERY clause")
+			}
+			sawQuery = true
+			p.skipWS()
+			name := p.peekWord()
+			p.pos += len(name)
+			q.Name = name
+			if err := p.parseHead(q); err != nil {
+				return nil, nil, err
+			}
+		case p.acceptWord("GRAPH"):
+			text, err := p.readBlock()
+			if err != nil {
+				return nil, nil, err
+			}
+			q.Atoms = append(q.Atoms, Atom{
+				Kind: GraphAtom,
+				Sub:  source.SubQuery{Language: source.LangBGP, Text: text},
+			})
+		case p.acceptWord("FROM"):
+			atom, err := p.parseFrom()
+			if err != nil {
+				return nil, nil, err
+			}
+			q.Atoms = append(q.Atoms, *atom)
+		case p.acceptWord("DISTINCT"):
+			q.Distinct = true
+		case p.acceptWord("GROUP"):
+			if !p.acceptWord("BY") {
+				return nil, nil, p.errf("expected BY after GROUP")
+			}
+			for {
+				p.skipWS()
+				if p.pos < len(p.input) && p.input[p.pos] == '?' {
+					p.pos++
+				}
+				raw := p.peekWord()
+				if raw == "" || raw == "," {
+					return nil, nil, p.errf("GROUP BY expects variables")
+				}
+				p.pos += len(raw)
+				hadComma := strings.HasSuffix(raw, ",")
+				q.GroupBy = append(q.GroupBy, strings.TrimSuffix(raw, ","))
+				if hadComma {
+					continue
+				}
+				p.skipWS()
+				if p.pos < len(p.input) && p.input[p.pos] == ',' {
+					p.pos++
+					continue
+				}
+				break
+			}
+		case p.acceptWord("ORDER"):
+			if !p.acceptWord("BY") {
+				return nil, nil, p.errf("expected BY after ORDER")
+			}
+			p.skipWS()
+			if p.pos < len(p.input) && p.input[p.pos] == '?' {
+				p.pos++
+			}
+			v := p.peekWord()
+			p.pos += len(v)
+			if v == "" {
+				return nil, nil, p.errf("ORDER BY expects a variable")
+			}
+			q.OrderBy = v
+			if p.acceptWord("DESC") {
+				q.OrderDesc = true
+			} else {
+				p.acceptWord("ASC")
+			}
+		case p.acceptWord("LIMIT"):
+			p.skipWS()
+			w := p.peekWord()
+			n, err := strconv.Atoi(w)
+			if err != nil || n < 0 {
+				return nil, nil, p.errf("bad LIMIT %q", w)
+			}
+			p.pos += len(w)
+			q.Limit = n
+		default:
+			return nil, nil, p.errf("unexpected input %q", p.peekWord())
+		}
+	}
+	if !sawQuery {
+		return nil, nil, p.errf("missing QUERY clause")
+	}
+	q.Prefixes = prefixes
+	return q, prefixes, nil
+}
+
+func (p *cmqParser) parseFrom() (*Atom, error) {
+	atom := &Atom{Kind: SourceAtom}
+	p.skipWS()
+	switch {
+	case p.pos < len(p.input) && p.input[p.pos] == '<':
+		p.pos++
+		uri, err := p.readUntil('>')
+		if err != nil {
+			return nil, err
+		}
+		atom.SourceURI = uri
+	case p.pos < len(p.input) && p.input[p.pos] == '?':
+		p.pos++
+		v := p.peekWord()
+		p.pos += len(v)
+		if v == "" {
+			return nil, p.errf("FROM ? expects a variable name")
+		}
+		atom.SourceVar = v
+	default:
+		return nil, p.errf("FROM expects <uri> or ?variable")
+	}
+
+	lang := ""
+	for {
+		switch {
+		case p.acceptWord("LANG"):
+			p.skipWS()
+			w := p.peekWord()
+			p.pos += len(w)
+			lang = strings.ToLower(w)
+		case p.acceptWord("IN"):
+			vars, err := p.readVarList()
+			if err != nil {
+				return nil, err
+			}
+			atom.Sub.InVars = vars
+		case p.acceptWord("OUT"):
+			vars, err := p.readVarList()
+			if err != nil {
+				return nil, err
+			}
+			atom.OutVars = vars
+		default:
+			text, err := p.readBlock()
+			if err != nil {
+				return nil, err
+			}
+			atom.Sub.Text = text
+			if lang == "" {
+				lang = inferLanguage(text)
+			}
+			atom.Sub.Language = source.Language(lang)
+			return atom, nil
+		}
+	}
+}
+
+func inferLanguage(text string) string {
+	up := strings.ToUpper(strings.TrimSpace(text))
+	switch {
+	case strings.HasPrefix(up, "SEARCH"):
+		return string(source.LangSearch)
+	case strings.HasPrefix(up, "SELECT"):
+		return string(source.LangSQL)
+	case strings.HasPrefix(up, "XPATH"):
+		return string(source.LangXPath)
+	default:
+		return string(source.LangBGP)
+	}
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PlanStep schedules one atom.
+type PlanStep struct {
+	// AtomIndex identifies the atom in the CMQ body.
+	AtomIndex int
+	// BindJoin pushes bound variable values into the sub-query as
+	// parameters (the atom's InVars are available when it runs).
+	BindJoin bool
+	// Dynamic marks a run-time-resolved source (SourceVar designator).
+	Dynamic bool
+	// EstCost is the planner's cardinality estimate (-1 unknown).
+	EstCost int
+	// Wave groups steps that run in parallel; waves execute in order.
+	Wave int
+}
+
+// Plan is an ordered, wave-grouped execution schedule for a CMQ,
+// honouring the paper's three rules (§2.3): source-designating
+// variables are bound before their atoms run, independent atoms share a
+// wave (parallelism), and cheaper atoms run in earlier waves
+// (selectivity-first).
+type Plan struct {
+	Steps []PlanStep
+	outs  [][]string // per-atom effective out variables
+}
+
+// NumWaves returns the number of execution waves.
+func (p *Plan) NumWaves() int {
+	n := 0
+	for _, s := range p.Steps {
+		if s.Wave+1 > n {
+			n = s.Wave + 1
+		}
+	}
+	return n
+}
+
+// Explain renders the plan for humans.
+func (p *Plan) Explain(q *CMQ) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan for %s (%d waves)\n", q.String(), p.NumWaves())
+	for _, s := range p.Steps {
+		a := q.Atoms[s.AtomIndex]
+		mode := "scan"
+		if s.BindJoin {
+			mode = "bind-join(" + strings.Join(a.Sub.InVars, ",") + ")"
+		}
+		if s.Dynamic {
+			mode += " dynamic"
+		}
+		fmt.Fprintf(&b, "  wave %d: atom %d [%s] %s est=%d out=(%s)\n",
+			s.Wave, s.AtomIndex, a.Designator(), mode, s.EstCost,
+			strings.Join(p.outs[s.AtomIndex], ","))
+	}
+	return b.String()
+}
+
+// planQuery builds the execution plan. naiveOrder disables selectivity
+// ordering (one atom per wave, declaration order) for ablation studies.
+func (in *Instance) planQuery(q *CMQ, naiveOrder bool) (*Plan, error) {
+	if err := q.Validate(in.prefixesFor(q.Prefixes)); err != nil {
+		return nil, err
+	}
+	n := len(q.Atoms)
+	outs := make([][]string, n)
+	for i, a := range q.Atoms {
+		o, err := a.outVars(in.prefixesFor(q.Prefixes))
+		if err != nil {
+			return nil, err
+		}
+		clean := make([]string, len(o))
+		for j, v := range o {
+			clean[j] = strings.TrimPrefix(v, "?")
+		}
+		outs[i] = clean
+	}
+
+	costs := make([]int, n)
+	for i, a := range q.Atoms {
+		costs[i] = in.estimateAtom(a, q.Prefixes)
+	}
+
+	plan := &Plan{outs: outs}
+	scheduled := make([]bool, n)
+	bound := make(map[string]struct{})
+	wave := 0
+	for remaining := n; remaining > 0; wave++ {
+		// An atom is runnable when its source designator is bound and
+		// its parameters are available (BGPs tolerate missing InVars by
+		// running unbound only if none of their InVars are pending —
+		// we require InVars bound for all languages: running with
+		// partial bindings would change semantics).
+		var runnable []int
+		for i, a := range q.Atoms {
+			if scheduled[i] {
+				continue
+			}
+			if a.SourceVar != "" {
+				if _, ok := bound[a.SourceVar]; !ok {
+					continue
+				}
+			}
+			ok := true
+			for _, iv := range a.Sub.InVars {
+				if _, b := bound[strings.TrimPrefix(iv, "?")]; !b {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				runnable = append(runnable, i)
+			}
+		}
+		if len(runnable) == 0 {
+			return nil, fmt.Errorf("core: circular dependency among atom parameters/designators")
+		}
+		// Selectivity-first: unknown costs (-1) sort last.
+		sort.SliceStable(runnable, func(a, b int) bool {
+			ca, cb := costs[runnable[a]], costs[runnable[b]]
+			if ca < 0 {
+				ca = 1 << 30
+			}
+			if cb < 0 {
+				cb = 1 << 30
+			}
+			return ca < cb
+		})
+		if naiveOrder {
+			// Declaration order, one atom per wave.
+			sort.Ints(runnable)
+			runnable = runnable[:1]
+		}
+		for _, i := range runnable {
+			a := q.Atoms[i]
+			plan.Steps = append(plan.Steps, PlanStep{
+				AtomIndex: i,
+				BindJoin:  len(a.Sub.InVars) > 0,
+				Dynamic:   a.SourceVar != "",
+				EstCost:   costs[i],
+				Wave:      wave,
+			})
+			scheduled[i] = true
+			remaining--
+		}
+		// Only after the whole wave completes do its outputs become
+		// available to later waves.
+		for _, s := range plan.Steps {
+			if s.Wave == wave {
+				for _, v := range outs[s.AtomIndex] {
+					bound[v] = struct{}{}
+				}
+			}
+		}
+	}
+	return plan, nil
+}
+
+// estimateAtom asks the target source for a cardinality estimate.
+// Dynamic sources are unknown (-1): they cannot be consulted before the
+// designating variable is bound.
+func (in *Instance) estimateAtom(a Atom, extra map[string]string) int {
+	if a.SourceVar != "" {
+		return -1
+	}
+	if a.Kind == GraphAtom {
+		return in.graphSource(extra).EstimateCost(a.Sub, len(a.Sub.InVars))
+	}
+	s, err := in.sources.Resolve(a.SourceURI)
+	if err != nil {
+		return -1
+	}
+	return s.EstimateCost(a.Sub, len(a.Sub.InVars))
+}

@@ -1,0 +1,205 @@
+// Package datagen generates TATOOINE's synthetic mixed instance: the
+// substitute for the paper's demonstration dataset (tweets of ~4,500
+// French politicians collected since June 2015, 10K Facebook posts, a
+// custom RDF graph of politicians/parties/currents, and INSEE-style
+// statistics tables). Generation is fully deterministic under a seed.
+//
+// The generator plants the regularities the paper's experiments rely
+// on: repeated values across sources (Twitter/Facebook accounts appear
+// both in the RDF graph and in the document stores; department codes
+// appear in several tables), party- and week-dependent vocabulary for
+// the PMI tag clouds (Figure 3), and hashtags with controllable
+// selectivity for the qSIA-style queries.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"tatooine/internal/rdf"
+)
+
+// Config controls the generated dataset's scale and shape.
+type Config struct {
+	// Seed drives all randomness (same seed → same dataset).
+	Seed int64
+	// NumPoliticians scales the RDF graph (paper: ~4,500).
+	NumPoliticians int
+	// NumTweets scales the tweet store (paper: 1.6M).
+	NumTweets int
+	// NumFacebookPosts scales the Facebook store (paper: 10K).
+	NumFacebookPosts int
+	// Weeks is the number of weekly periods covered (Figure 3 shows 4).
+	Weeks int
+	// Start is the corpus start instant (tweets spread from here).
+	Start time.Time
+}
+
+// DefaultConfig returns a laptop-friendly configuration.
+func DefaultConfig() Config {
+	return Config{
+		Seed:             42,
+		NumPoliticians:   120,
+		NumTweets:        5000,
+		NumFacebookPosts: 400,
+		Weeks:            4,
+		Start:            time.Date(2015, 11, 16, 0, 0, 0, 0, time.UTC),
+	}
+}
+
+// Current is a political current, colour-coded in Figure 3.
+type Current string
+
+// The currents of the demonstration.
+const (
+	ExtremeLeft  Current = "extreme-left"
+	Left         Current = "left"
+	Right        Current = "right"
+	ExtremeRight Current = "extreme-right"
+	Ecologist    Current = "ecologist"
+	Center       Current = "center"
+)
+
+// Party is a political party with its current and European Parliament
+// group (the hand-built data source of §1).
+type Party struct {
+	ID      string
+	Name    string
+	Current Current
+	EPGroup string
+}
+
+// Parties is the fixed synthetic party landscape.
+var Parties = []Party{
+	{"PG", "Parti de Gauche Synthétique", ExtremeLeft, "GUE/NGL"},
+	{"PS", "Parti Socialiste Synthétique", Left, "S&D"},
+	{"EELV", "Écologistes Synthétiques", Ecologist, "Greens/EFA"},
+	{"MODEM", "Mouvement du Centre Synthétique", Center, "ALDE"},
+	{"LR", "Les Républicains Synthétiques", Right, "EPP"},
+	{"FN", "Front National Synthétique", ExtremeRight, "ENF"},
+}
+
+// Politician is one synthetic public figure.
+type Politician struct {
+	ID       string // e.g. POL00001
+	Name     string
+	Gender   string
+	Position string // headOfState, minister, deputy, senator, mayor
+	PartyID  string
+	Twitter  string // screen name, joins to tweet user.screen_name
+	Facebook string // account id, joins to Facebook posts
+	DBPedia  string // synthetic LOD URI
+	Dept     string // department code, joins to INSEE tables
+}
+
+var firstNames = []string{
+	"françois", "jean", "anne", "marie", "pierre", "claude", "nicolas",
+	"martine", "julien", "sophie", "alain", "nathalie", "bruno",
+	"cécile", "manuel", "christiane", "laurent", "ségolène", "xavier",
+	"florian", "hervé", "delphine", "éric", "aurélie", "gérard",
+}
+
+var lastNames = []string{
+	"hollande", "dupont", "martin", "bernard", "durand", "moreau",
+	"lefebvre", "garcia", "roux", "fournier", "lambert", "rousseau",
+	"vincent", "muller", "faure", "blanc", "girard", "bonnet",
+	"chevalier", "francois", "mercier", "boyer", "gauthier", "perrin",
+}
+
+var positions = []string{"deputy", "senator", "mayor", "minister", "MEP"}
+
+// Departments is a subset of French departments (code → name), used by
+// both the RDF graph and the INSEE tables (common naming for machines,
+// §1).
+var Departments = [][2]string{
+	{"75", "Paris"}, {"92", "Hauts-de-Seine"}, {"93", "Seine-Saint-Denis"},
+	{"69", "Rhône"}, {"13", "Bouches-du-Rhône"}, {"33", "Gironde"},
+	{"59", "Nord"}, {"29", "Finistère"}, {"31", "Haute-Garonne"},
+	{"67", "Bas-Rhin"},
+}
+
+// GenPoliticians deterministically generates n politicians. The first
+// one is always the head of state (the demonstration's running
+// example); parties are assigned round-robin weighted by size.
+func GenPoliticians(rng *rand.Rand, n int) []Politician {
+	if n < len(Parties) {
+		n = len(Parties)
+	}
+	out := make([]Politician, 0, n)
+	for i := 0; i < n; i++ {
+		first := firstNames[rng.Intn(len(firstNames))]
+		last := lastNames[rng.Intn(len(lastNames))]
+		p := Politician{
+			ID:      fmt.Sprintf("POL%05d", i+1),
+			Name:    title(first) + " " + title(last),
+			Gender:  []string{"female", "male"}[rng.Intn(2)],
+			PartyID: Parties[i%len(Parties)].ID,
+			Dept:    Departments[rng.Intn(len(Departments))][0],
+		}
+		if i == 0 {
+			p.Position = "headOfState"
+			p.PartyID = "PS"
+		} else {
+			p.Position = positions[rng.Intn(len(positions))]
+		}
+		p.Twitter = fmt.Sprintf("%c%s%02d", first[0], last, i%100)
+		p.Facebook = "fb." + p.Twitter
+		p.DBPedia = "http://dbpedia.example/resource/" + p.ID
+		out = append(out, p)
+	}
+	return out
+}
+
+func title(s string) string {
+	if s == "" {
+		return s
+	}
+	r := []rune(s)
+	if r[0] >= 'a' && r[0] <= 'z' {
+		r[0] = r[0] - 'a' + 'A'
+	}
+	return string(r)
+}
+
+// Prefix namespaces of the generated RDF graph.
+const (
+	NS    = "http://tatooine.example/"
+	NSPol = "http://tatooine.example/pol/"
+)
+
+// BuildGraph renders politicians and parties as the custom RDF graph G
+// of the mixed instance, including a small RDFS ontology (politicians
+// are persons; every position is a sub-class of politician's roles).
+func BuildGraph(pols []Politician) *rdf.Graph {
+	g := rdf.NewGraph()
+	iri := func(local string) rdf.Term { return rdf.NewIRI(NS + local) }
+	add := func(s, p, o rdf.Term) { g.Add(rdf.Triple{S: s, P: p, O: o}) }
+	typ := rdf.NewIRI(rdf.RDFType)
+
+	// Ontology.
+	add(iri("politician"), rdf.NewIRI(rdf.RDFSSubClassOf), iri("person"))
+	add(iri("memberOf"), rdf.NewIRI(rdf.RDFSRange), iri("party"))
+	add(iri("twitterAccount"), rdf.NewIRI(rdf.RDFSDomain), iri("person"))
+
+	for _, pt := range Parties {
+		s := iri("party/" + pt.ID)
+		add(s, typ, iri("party"))
+		add(s, rdf.NewIRI(rdf.FOAFName), rdf.NewLiteral(pt.Name))
+		add(s, iri("currentOf"), iri("current/"+string(pt.Current)))
+		add(s, iri("epGroup"), rdf.NewLiteral(pt.EPGroup))
+	}
+	for _, p := range pols {
+		s := rdf.NewIRI(NSPol + p.ID)
+		add(s, typ, iri("politician"))
+		add(s, rdf.NewIRI(rdf.FOAFName), rdf.NewLiteral(p.Name))
+		add(s, iri("gender"), rdf.NewLiteral(p.Gender))
+		add(s, iri("position"), iri(p.Position))
+		add(s, iri("memberOf"), iri("party/"+p.PartyID))
+		add(s, iri("twitterAccount"), rdf.NewLiteral(p.Twitter))
+		add(s, iri("facebookAccount"), rdf.NewLiteral(p.Facebook))
+		add(s, iri("dbpedia"), rdf.NewIRI(p.DBPedia))
+		add(s, iri("electedIn"), rdf.NewLiteral(p.Dept))
+	}
+	return g
+}

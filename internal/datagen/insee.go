@@ -1,0 +1,99 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tatooine/internal/relstore"
+)
+
+// GenINSEE builds the INSEE-like curated relational database of the
+// mixed instance: departments, unemployment statistics, election
+// results per department and party, the agriculture production table
+// the paper cites, and an endpoints table whose URIs support dynamic
+// source discovery.
+func GenINSEE(rng *rand.Rand, cfg Config, endpointURIs []string) (*relstore.Database, error) {
+	db := relstore.NewDatabase("insee")
+	stmts := []string{
+		`CREATE TABLE departements (code TEXT PRIMARY KEY, name TEXT, population INT)`,
+		`CREATE TABLE chomage (dept TEXT, annee INT, taux FLOAT,
+			FOREIGN KEY (dept) REFERENCES departements(code))`,
+		`CREATE TABLE resultats (dept TEXT, annee INT, parti TEXT, voix INT,
+			FOREIGN KEY (dept) REFERENCES departements(code))`,
+		`CREATE TABLE agriculture (annee INT, filiere TEXT, production FLOAT, valeur FLOAT)`,
+		`CREATE TABLE endpoints (region TEXT, uri TEXT)`,
+	}
+	for _, s := range stmts {
+		if _, err := db.Exec(s); err != nil {
+			return nil, err
+		}
+	}
+	exec := func(q string) error {
+		_, err := db.Exec(q)
+		return err
+	}
+	for _, d := range Departments {
+		pop := 300000 + rng.Intn(2_000_000)
+		if err := exec(fmt.Sprintf(`INSERT INTO departements VALUES ('%s', '%s', %d)`,
+			d[0], escapeSQL(d[1]), pop)); err != nil {
+			return nil, err
+		}
+		for _, year := range []int{2014, 2015, 2016} {
+			taux := 6 + rng.Float64()*6
+			if err := exec(fmt.Sprintf(`INSERT INTO chomage VALUES ('%s', %d, %.2f)`,
+				d[0], year, taux)); err != nil {
+				return nil, err
+			}
+			for _, p := range Parties {
+				voix := 10000 + rng.Intn(500000)
+				if err := exec(fmt.Sprintf(`INSERT INTO resultats VALUES ('%s', %d, '%s', %d)`,
+					d[0], year, p.ID, voix)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	for _, f := range []string{"céréales", "élevage", "viticulture", "maraîchage", "lait"} {
+		for _, year := range []int{2014, 2015} {
+			if err := exec(fmt.Sprintf(`INSERT INTO agriculture VALUES (%d, '%s', %.1f, %.1f)`,
+				year, escapeSQL(f), 100+rng.Float64()*900, 50+rng.Float64()*500)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for i, uri := range endpointURIs {
+		if err := exec(fmt.Sprintf(`INSERT INTO endpoints VALUES ('region%d', '%s')`,
+			i+1, escapeSQL(uri))); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+func escapeSQL(s string) string {
+	out := ""
+	for _, r := range s {
+		if r == '\'' {
+			out += "''"
+			continue
+		}
+		out += string(r)
+	}
+	return out
+}
+
+// GenRegionalDB builds one small regional statistics database, used as
+// a dynamically-discovered source.
+func GenRegionalDB(rng *rand.Rand, name string) (*relstore.Database, error) {
+	db := relstore.NewDatabase(name)
+	if _, err := db.Exec(`CREATE TABLE stats (indicator TEXT, val INT)`); err != nil {
+		return nil, err
+	}
+	for _, ind := range []string{"population", "communes", "entreprises"} {
+		if _, err := db.Exec(fmt.Sprintf(`INSERT INTO stats VALUES ('%s', %d)`,
+			ind, 100+rng.Intn(100000))); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}

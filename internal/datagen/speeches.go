@@ -1,0 +1,71 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"tatooine/internal/xmlstore"
+)
+
+// GenSpeeches builds the structured-text source of the mixed instance:
+// an XML store of public speeches (the "laws and regulations, public
+// speeches" sources of §1/§2.1). Speeches join with the custom graph
+// by speaker name and with the tweet corpus by topic vocabulary.
+func GenSpeeches(rng *rand.Rand, cfg Config, pols []Politician, n int) (*xmlstore.Store, error) {
+	store := xmlstore.NewStore("speeches")
+	if n <= 0 {
+		return store, nil
+	}
+	venues := []string{"Assemblée nationale", "Sénat", "Élysée", "Hôtel de Ville", "Salon de l'Agriculture"}
+	topics := []string{"etat-durgence", "agriculture", "economie", "education"}
+	currentOf := make(map[string]Current)
+	for _, p := range Parties {
+		currentOf[p.ID] = p.Current
+	}
+	for i := 0; i < n; i++ {
+		// Speeches are given by prominent figures; the head of state
+		// speaks most (and always gets at least one agriculture speech).
+		ai := int(float64(len(pols)) * rng.Float64() * rng.Float64() * rng.Float64())
+		if ai >= len(pols) {
+			ai = len(pols) - 1
+		}
+		speaker := pols[ai]
+		topic := topics[rng.Intn(len(topics))]
+		if i == 0 {
+			speaker = pols[0]
+			topic = "agriculture"
+		}
+		week := rng.Intn(cfg.Weeks)
+		ts := cfg.Start.Add(time.Duration(week)*7*24*time.Hour +
+			time.Duration(rng.Int63n(int64(7*24*time.Hour))))
+
+		wt := emergencyWeeks[week%len(emergencyWeeks)]
+		if topic == "agriculture" {
+			wt = sideTopics[0]
+		}
+		body, _ := composeTweet(rng, currentOf[speaker.PartyID], wt)
+		title := fmt.Sprintf("Discours sur %s", strings.ReplaceAll(topic, "-", " "))
+
+		xml := fmt.Sprintf(`<speeches>
+  <speech speaker="%s" date="%s" venue="%s">
+    <title>%s</title>
+    <topic>%s</topic>
+    <body>%s %s</body>
+  </speech>
+</speeches>`,
+			escapeXML(speaker.Name), ts.Format("2006-01-02"),
+			escapeXML(venues[rng.Intn(len(venues))]),
+			escapeXML(title), topic, escapeXML(body), escapeXML(body))
+		if err := store.Add(fmt.Sprintf("sp%05d", i+1), []byte(xml)); err != nil {
+			return nil, err
+		}
+	}
+	return store, nil
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;", "'", "&apos;")
+	return r.Replace(s)
+}

@@ -1,0 +1,14 @@
+package datagen
+
+import "time"
+
+// parseTime accepts the timestamp formats the generator and Figure 2
+// use.
+func parseTime(s string) (time.Time, bool) {
+	for _, layout := range []string{time.RFC3339, "2006-01-02 15:04:05", "2006-01-02"} {
+		if t, err := time.Parse(layout, s); err == nil {
+			return t, true
+		}
+	}
+	return time.Time{}, false
+}

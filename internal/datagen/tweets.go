@@ -1,0 +1,162 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"tatooine/internal/doc"
+	"tatooine/internal/fulltext"
+)
+
+// TweetSchema is the index schema for generated tweets (Figure 2's
+// shape).
+func TweetSchema() fulltext.Schema {
+	return fulltext.Schema{
+		"text":                 fulltext.TextField,
+		"user.screen_name":     fulltext.KeywordField,
+		"user.name":            fulltext.KeywordField,
+		"entities.hashtags":    fulltext.KeywordField,
+		"retweet_count":        fulltext.NumericField,
+		"favorite_count":       fulltext.NumericField,
+		"created_at":           fulltext.TimeField,
+		"user.followers_count": fulltext.NumericField,
+	}
+}
+
+// FacebookSchema is the index schema for generated Facebook posts.
+func FacebookSchema() fulltext.Schema {
+	return fulltext.Schema{
+		"message":      fulltext.TextField,
+		"from.id":      fulltext.KeywordField,
+		"from.name":    fulltext.KeywordField,
+		"created_time": fulltext.TimeField,
+		"likes":        fulltext.NumericField,
+		"shares":       fulltext.NumericField,
+		"comments":     fulltext.NumericField,
+	}
+}
+
+// GenTweets fills an index with n synthetic tweets over cfg.Weeks
+// weekly periods. Authors are drawn from pols (weighted towards the
+// first entries, public figures tweet more); each tweet follows the
+// weekly storyline or a side topic.
+func GenTweets(rng *rand.Rand, cfg Config, pols []Politician, n int) (*fulltext.Index, error) {
+	ix := fulltext.NewIndex("tweets", TweetSchema())
+	currentOf := make(map[string]Current)
+	for _, p := range Parties {
+		currentOf[p.ID] = p.Current
+	}
+	for i := 0; i < n; i++ {
+		// Zipf-ish author pick: prominent politicians tweet more.
+		ai := int(float64(len(pols)) * rng.Float64() * rng.Float64())
+		if ai >= len(pols) {
+			ai = len(pols) - 1
+		}
+		author := pols[ai]
+		week := rng.Intn(cfg.Weeks)
+		ts := cfg.Start.Add(time.Duration(week)*7*24*time.Hour +
+			time.Duration(rng.Int63n(int64(7*24*time.Hour))))
+
+		topic := emergencyWeeks[week%len(emergencyWeeks)]
+		// 25% of tweets go to side topics (hashtag diversity; the head
+		// of state reliably visits the agriculture fair).
+		if rng.Float64() < 0.25 || (author.Position == "headOfState" && rng.Float64() < 0.3) {
+			topic = sideTopics[rng.Intn(len(sideTopics))]
+		}
+		text, tags := composeTweet(rng, currentOf[author.PartyID], topic)
+
+		d := &doc.Document{ID: fmt.Sprintf("tw%08d", i+1)}
+		d.Set("text", text)
+		d.Set("user.screen_name", author.Twitter)
+		d.Set("user.name", author.Name)
+		d.Set("user.followers_count", 1000+rng.Intn(2_000_000))
+		d.Set("created_at", ts.Format(time.RFC3339))
+		d.Set("retweet_count", int(rng.ExpFloat64()*80))
+		d.Set("favorite_count", int(rng.ExpFloat64()*150))
+		anyTags := make([]any, len(tags))
+		for j, h := range tags {
+			anyTags[j] = h
+		}
+		d.Set("entities.hashtags", anyTags)
+		if err := ix.Add(d); err != nil {
+			return nil, err
+		}
+	}
+	return ix, nil
+}
+
+// composeTweet samples 8–16 words: background, current-signature and
+// topical terms (topical share amplified for the currents driving the
+// week's discourse), and returns the text plus its hashtags.
+func composeTweet(rng *rand.Rand, cur Current, topic weekTopic) (string, []string) {
+	nWords := 8 + rng.Intn(9)
+	amp := 1.0
+	if a, ok := topic.amplify[cur]; ok && a > 0 {
+		amp = a
+	}
+	topicShare := 0.25 * amp
+	if topicShare > 0.7 {
+		topicShare = 0.7
+	}
+	curShare := 0.25
+	var words []string
+	for len(words) < nWords {
+		r := rng.Float64()
+		switch {
+		case r < topicShare && len(topic.terms) > 0:
+			words = append(words, topic.terms[rng.Intn(len(topic.terms))])
+		case r < topicShare+curShare:
+			cv := currentVocab[cur]
+			if len(cv) == 0 {
+				cv = backgroundVocab
+			}
+			words = append(words, cv[rng.Intn(len(cv))])
+		default:
+			words = append(words, backgroundVocab[rng.Intn(len(backgroundVocab))])
+		}
+	}
+	var tags []string
+	if topic.hashtag != "" && rng.Float64() < 0.8 {
+		tags = append(tags, topic.hashtag)
+		words = append(words, "#"+topic.hashtag)
+	}
+	return strings.Join(words, " "), tags
+}
+
+// GenFacebookPosts fills an index with n synthetic Facebook posts
+// shaped like the paper's collection (author, timestamps, stemmed text,
+// likes/shares/comments).
+func GenFacebookPosts(rng *rand.Rand, cfg Config, pols []Politician, n int) (*fulltext.Index, error) {
+	ix := fulltext.NewIndex("fbposts", FacebookSchema())
+	currentOf := make(map[string]Current)
+	for _, p := range Parties {
+		currentOf[p.ID] = p.Current
+	}
+	for i := 0; i < n; i++ {
+		ai := int(float64(len(pols)) * rng.Float64() * rng.Float64())
+		if ai >= len(pols) {
+			ai = len(pols) - 1
+		}
+		author := pols[ai]
+		week := rng.Intn(cfg.Weeks)
+		ts := cfg.Start.Add(time.Duration(week)*7*24*time.Hour +
+			time.Duration(rng.Int63n(int64(7*24*time.Hour))))
+		topic := emergencyWeeks[week%len(emergencyWeeks)]
+		text, _ := composeTweet(rng, currentOf[author.PartyID], topic)
+
+		d := &doc.Document{ID: fmt.Sprintf("fb%07d", i+1)}
+		d.Set("message", text+" "+text) // posts are longer than tweets
+		d.Set("from.id", author.Facebook)
+		d.Set("from.name", author.Name)
+		d.Set("created_time", ts.Format(time.RFC3339))
+		d.Set("likes", int(rng.ExpFloat64()*400))
+		d.Set("shares", int(rng.ExpFloat64()*60))
+		d.Set("comments", int(rng.ExpFloat64()*90))
+		if err := ix.Add(d); err != nil {
+			return nil, err
+		}
+	}
+	return ix, nil
+}

@@ -1,0 +1,82 @@
+package datagen
+
+// Vocabulary models for synthetic tweets. The paper's Figure 3 shows
+// per-party vocabulary evolving weekly on the state of emergency; the
+// generator plants that structure so the PMI analytics recover it:
+// every tweet mixes background terms, the author's current-specific
+// terms, and the running week's topical terms (amplified for the
+// currents the paper describes as driving that week's discourse).
+
+// backgroundVocab is shared French political filler.
+var backgroundVocab = []string{
+	"france", "politique", "gouvernement", "république", "citoyens",
+	"pays", "débat", "mesures", "réforme", "projet", "loi", "assemblée",
+	"conseil", "ministre", "élections", "démocratie", "budget",
+	"territoire", "service", "public", "travail", "emploi", "avenir",
+	"société", "nation", "valeurs", "engagement", "action", "décision",
+}
+
+// currentVocab is each current's signature vocabulary.
+var currentVocab = map[Current][]string{
+	ExtremeLeft:  {"luttes", "grève", "capitalisme", "travailleurs", "austérité", "solidarité", "insoumission"},
+	Left:         {"justice", "sociale", "égalité", "progrès", "laïcité", "solidarité", "vigilance"},
+	Ecologist:    {"climat", "écologie", "transition", "énergie", "biodiversité", "libertés", "nucléaire"},
+	Center:       {"dialogue", "europe", "équilibre", "responsabilité", "modération", "territoires"},
+	Right:        {"sécurité", "autorité", "entreprises", "fiscalité", "famille", "ordre", "fermeté"},
+	ExtremeRight: {"frontières", "immigration", "identité", "nationale", "souveraineté", "islamisme"},
+}
+
+// weekTopic describes one week of the state-of-emergency storyline
+// (§3): factual → institutional → objections → vigilance.
+type weekTopic struct {
+	// terms are the week's topical vocabulary.
+	terms []string
+	// amplify boosts the topic for specific currents (the currents that
+	// "own" the week's discourse in Figure 3).
+	amplify map[Current]float64
+	// hashtag tags a fraction of the week's tweets.
+	hashtag string
+}
+
+var emergencyWeeks = []weekTopic{
+	{ // week 1: factual, everyone reports events
+		terms:   []string{"attentats", "victimes", "deuil", "hommage", "police", "état", "urgence"},
+		amplify: map[Current]float64{},
+		hashtag: "EtatDurgence",
+	},
+	{ // week 2: institutional (parliament votes)
+		terms:   []string{"parlement", "vote", "prolongation", "assemblée", "constitution", "état", "urgence"},
+		amplify: map[Current]float64{Left: 1.5, Right: 1.5},
+		hashtag: "EtatDurgence",
+	},
+	{ // week 3: ecologist objections (abuses, excesses, risk)
+		terms:   []string{"abus", "excès", "risque", "libertés", "perquisitions", "dérives", "état", "urgence"},
+		amplify: map[Current]float64{Ecologist: 4.0, ExtremeLeft: 2.0},
+		hashtag: "EtatDurgence",
+	},
+	{ // week 4: left asks for vigilance and control
+		terms:   []string{"vigilance", "contrôle", "garanties", "juge", "équilibre", "état", "urgence"},
+		amplify: map[Current]float64{Left: 3.0, ExtremeLeft: 1.5},
+		hashtag: "EtatDurgence",
+	},
+}
+
+// sideTopics occasionally replace the weekly storyline, giving the
+// corpus hashtag diversity and the qSIA agriculture scenario.
+var sideTopics = []weekTopic{
+	{
+		terms:   []string{"agriculture", "salon", "agriculteurs", "élevage", "ruralité", "terroir"},
+		amplify: map[Current]float64{},
+		hashtag: "SIA2016",
+	},
+	{
+		terms:   []string{"chômage", "croissance", "économie", "entreprises", "emploi", "relance"},
+		amplify: map[Current]float64{Right: 1.5},
+		hashtag: "economie",
+	},
+	{
+		terms:   []string{"école", "éducation", "enseignants", "collège", "réforme", "programmes"},
+		amplify: map[Current]float64{Left: 1.5},
+		hashtag: "education",
+	},
+}

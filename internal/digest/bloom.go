@@ -1,0 +1,112 @@
+// Package digest implements TATOOINE's source digests (§2.2): for each
+// data source, a digest combines (i) a schema graph — nodes for
+// attributes / properties / document paths, edges for structural and
+// join relationships — and (ii) a value-set representation per node
+// (Bloom filters for membership, histograms for numeric distributions)
+// under a configurable space budget. Digests power the keyword-based
+// query engine: keywords are located in digests, then join paths
+// between matched nodes generate candidate mixed queries.
+package digest
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// Bloom is a fixed-size Bloom filter over strings.
+type Bloom struct {
+	bits   []uint64
+	m      uint64 // number of bits
+	k      int    // number of hash functions
+	nAdded int
+}
+
+// NewBloom sizes a filter for expectedN items at the target false
+// positive rate (standard m/k formulas). Both inputs are clamped to
+// sane minimums.
+func NewBloom(expectedN int, fpr float64) *Bloom {
+	if expectedN < 1 {
+		expectedN = 1
+	}
+	if fpr <= 0 || fpr >= 1 {
+		fpr = 0.01
+	}
+	m := uint64(math.Ceil(-float64(expectedN) * math.Log(fpr) / (math.Ln2 * math.Ln2)))
+	if m < 64 {
+		m = 64
+	}
+	k := int(math.Round(float64(m) / float64(expectedN) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	if k > 16 {
+		k = 16
+	}
+	return &Bloom{bits: make([]uint64, (m+63)/64), m: m, k: k}
+}
+
+// NewBloomWithBits builds a filter with an explicit bit budget (space-
+// budget experiments sweep this).
+func NewBloomWithBits(bits uint64, k int) *Bloom {
+	if bits < 64 {
+		bits = 64
+	}
+	if k < 1 {
+		k = 4
+	}
+	return &Bloom{bits: make([]uint64, (bits+63)/64), m: bits, k: k}
+}
+
+// hash2 derives two independent 64-bit hashes of s.
+func hash2(s string) (uint64, uint64) {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	h1 := h.Sum64()
+	h.Write([]byte{0xff})
+	h2 := h.Sum64()
+	if h2 == 0 {
+		h2 = 0x9e3779b97f4a7c15
+	}
+	return h1, h2
+}
+
+// Add inserts s.
+func (b *Bloom) Add(s string) {
+	h1, h2 := hash2(s)
+	for i := 0; i < b.k; i++ {
+		pos := (h1 + uint64(i)*h2) % b.m
+		b.bits[pos/64] |= 1 << (pos % 64)
+	}
+	b.nAdded++
+}
+
+// MayContain reports whether s may have been added (false positives
+// possible, false negatives impossible).
+func (b *Bloom) MayContain(s string) bool {
+	h1, h2 := hash2(s)
+	for i := 0; i < b.k; i++ {
+		pos := (h1 + uint64(i)*h2) % b.m
+		if b.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Bits returns the filter's bit capacity.
+func (b *Bloom) Bits() uint64 { return b.m }
+
+// Hashes returns the number of hash functions.
+func (b *Bloom) Hashes() int { return b.k }
+
+// Added returns how many values were inserted.
+func (b *Bloom) Added() int { return b.nAdded }
+
+// EstimatedFPR returns the expected false-positive rate at the current
+// fill level: (1 - e^{-kn/m})^k.
+func (b *Bloom) EstimatedFPR() float64 {
+	if b.nAdded == 0 {
+		return 0
+	}
+	return math.Pow(1-math.Exp(-float64(b.k)*float64(b.nAdded)/float64(b.m)), float64(b.k))
+}

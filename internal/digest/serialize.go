@@ -1,0 +1,212 @@
+package digest
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+)
+
+// Wire formats: digests travel between federation endpoints and
+// mediators, so every component (Bloom filter bits included) has a
+// JSON encoding. Decoded digests answer Lookup/MayContain/Original
+// exactly like locally built ones.
+
+type wireBloom struct {
+	M      uint64 `json:"m"`
+	K      int    `json:"k"`
+	Added  int    `json:"added"`
+	Bits64 string `json:"bits"` // base64 of little-endian uint64 words
+}
+
+type wireHistogram struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int     `json:"counts"`
+	Min    float64   `json:"min"`
+	Max    float64   `json:"max"`
+	N      int       `json:"n"`
+}
+
+type wireValueSet struct {
+	Count        int               `json:"count"`
+	NumericCount int               `json:"numericCount"`
+	TimeCount    int               `json:"timeCount"`
+	Exact        []string          `json:"exact,omitempty"`
+	Samples      []string          `json:"samples,omitempty"`
+	Originals    map[string]string `json:"originals,omitempty"`
+	Bloom        *wireBloom        `json:"bloom,omitempty"`
+	Hist         *wireHistogram    `json:"hist,omitempty"`
+}
+
+type wireNode struct {
+	ID       string        `json:"id"`
+	Source   string        `json:"source"`
+	Label    string        `json:"label"`
+	Kind     uint8         `json:"kind"`
+	Analyzed bool          `json:"analyzed,omitempty"`
+	Values   *wireValueSet `json:"values,omitempty"`
+}
+
+type wireDigest struct {
+	Source string     `json:"source"`
+	Nodes  []wireNode `json:"nodes"`
+	Edges  []Edge     `json:"edges"`
+}
+
+// MarshalJSON implements json.Marshaler for Bloom.
+func (b *Bloom) MarshalJSON() ([]byte, error) {
+	raw := make([]byte, 8*len(b.bits))
+	for i, w := range b.bits {
+		binary.LittleEndian.PutUint64(raw[i*8:], w)
+	}
+	return json.Marshal(wireBloom{
+		M:      b.m,
+		K:      b.k,
+		Added:  b.nAdded,
+		Bits64: base64.StdEncoding.EncodeToString(raw),
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler for Bloom.
+func (b *Bloom) UnmarshalJSON(data []byte) error {
+	var w wireBloom
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	raw, err := base64.StdEncoding.DecodeString(w.Bits64)
+	if err != nil {
+		return fmt.Errorf("digest: bloom bits: %w", err)
+	}
+	if len(raw)%8 != 0 || uint64(len(raw))*8 < w.M {
+		return fmt.Errorf("digest: bloom bits length %d inconsistent with m=%d", len(raw), w.M)
+	}
+	b.m = w.M
+	b.k = w.K
+	b.nAdded = w.Added
+	b.bits = make([]uint64, len(raw)/8)
+	for i := range b.bits {
+		b.bits[i] = binary.LittleEndian.Uint64(raw[i*8:])
+	}
+	return nil
+}
+
+func (vs *ValueSet) toWire() *wireValueSet {
+	if vs == nil {
+		return nil
+	}
+	w := &wireValueSet{
+		Count:        vs.count,
+		NumericCount: vs.numericCount,
+		TimeCount:    vs.timeCount,
+		Samples:      vs.samples,
+		Originals:    vs.originals,
+	}
+	if vs.exact != nil {
+		for k := range vs.exact {
+			w.Exact = append(w.Exact, k)
+		}
+	}
+	if vs.bloom != nil {
+		raw := make([]byte, 8*len(vs.bloom.bits))
+		for i, word := range vs.bloom.bits {
+			binary.LittleEndian.PutUint64(raw[i*8:], word)
+		}
+		w.Bloom = &wireBloom{
+			M:      vs.bloom.m,
+			K:      vs.bloom.k,
+			Added:  vs.bloom.nAdded,
+			Bits64: base64.StdEncoding.EncodeToString(raw),
+		}
+	}
+	if vs.hist != nil {
+		w.Hist = &wireHistogram{
+			Bounds: vs.hist.Bounds,
+			Counts: vs.hist.Counts,
+			Min:    vs.hist.Min,
+			Max:    vs.hist.Max,
+			N:      vs.hist.N,
+		}
+	}
+	return w
+}
+
+func valueSetFromWire(w *wireValueSet) (*ValueSet, error) {
+	if w == nil {
+		return nil, nil
+	}
+	vs := &ValueSet{
+		count:        w.Count,
+		numericCount: w.NumericCount,
+		timeCount:    w.TimeCount,
+		samples:      w.Samples,
+		originals:    w.Originals,
+	}
+	if len(w.Exact) > 0 {
+		vs.exact = make(map[string]struct{}, len(w.Exact))
+		for _, k := range w.Exact {
+			vs.exact[k] = struct{}{}
+		}
+	}
+	if w.Bloom != nil {
+		data, err := json.Marshal(w.Bloom)
+		if err != nil {
+			return nil, err
+		}
+		vs.bloom = &Bloom{}
+		if err := vs.bloom.UnmarshalJSON(data); err != nil {
+			return nil, err
+		}
+	}
+	if w.Hist != nil {
+		vs.hist = &Histogram{
+			Bounds: w.Hist.Bounds,
+			Counts: w.Hist.Counts,
+			Min:    w.Hist.Min,
+			Max:    w.Hist.Max,
+			N:      w.Hist.N,
+		}
+	}
+	return vs, nil
+}
+
+// MarshalJSON implements json.Marshaler for Digest.
+func (d *Digest) MarshalJSON() ([]byte, error) {
+	w := wireDigest{Source: d.Source, Edges: d.Edges}
+	for _, n := range d.NodeList() {
+		w.Nodes = append(w.Nodes, wireNode{
+			ID:       n.ID,
+			Source:   n.Source,
+			Label:    n.Label,
+			Kind:     uint8(n.Kind),
+			Analyzed: n.Analyzed,
+			Values:   n.Values.toWire(),
+		})
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON implements json.Unmarshaler for Digest.
+func (d *Digest) UnmarshalJSON(data []byte) error {
+	var w wireDigest
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	d.Source = w.Source
+	d.Edges = w.Edges
+	d.Nodes = make(map[string]*Node, len(w.Nodes))
+	for _, wn := range w.Nodes {
+		vs, err := valueSetFromWire(wn.Values)
+		if err != nil {
+			return fmt.Errorf("digest: node %s: %w", wn.ID, err)
+		}
+		d.Nodes[wn.ID] = &Node{
+			ID:       wn.ID,
+			Source:   wn.Source,
+			Label:    wn.Label,
+			Kind:     NodeKind(wn.Kind),
+			Analyzed: wn.Analyzed,
+			Values:   vs,
+		}
+	}
+	return nil
+}

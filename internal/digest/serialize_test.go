@@ -1,0 +1,120 @@
+package digest
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"tatooine/internal/value"
+)
+
+func TestBloomJSONRoundTrip(t *testing.T) {
+	b := NewBloom(100, 0.01)
+	for i := 0; i < 100; i++ {
+		b.Add(fmt.Sprintf("v-%d", i))
+	}
+	data, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Bloom
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Bits() != b.Bits() || back.Hashes() != b.Hashes() || back.Added() != b.Added() {
+		t.Errorf("params: %d/%d/%d vs %d/%d/%d",
+			back.Bits(), back.Hashes(), back.Added(), b.Bits(), b.Hashes(), b.Added())
+	}
+	for i := 0; i < 100; i++ {
+		if !back.MayContain(fmt.Sprintf("v-%d", i)) {
+			t.Fatalf("round-tripped bloom lost member v-%d", i)
+		}
+	}
+}
+
+func TestBloomUnmarshalErrors(t *testing.T) {
+	var b Bloom
+	if err := json.Unmarshal([]byte(`{"m":128,"k":4,"bits":"!!!"}`), &b); err == nil {
+		t.Error("bad base64 accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"m":99999,"k":4,"bits":"AAAA"}`), &b); err == nil {
+		t.Error("inconsistent bit length accepted")
+	}
+}
+
+func TestDigestJSONRoundTrip(t *testing.T) {
+	d := BuildRelational("sql://insee", relFixture(t), DefaultBudget())
+	data, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Digest
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Source != d.Source || len(back.Nodes) != len(d.Nodes) || len(back.Edges) != len(d.Edges) {
+		t.Fatalf("shape: %s %d/%d", back.Source, len(back.Nodes), len(back.Edges))
+	}
+	// Lookups behave identically after the round trip.
+	orig := d.Lookup("Paris")
+	rt := back.Lookup("Paris")
+	if len(orig) != len(rt) || len(rt) != 1 || rt[0].Label != "departements.name" {
+		t.Errorf("lookup after round trip: %+v", rt)
+	}
+	// Originals survive (needed for query generation from remote digests).
+	n := back.Nodes["sql://insee#departements.name"]
+	if v, ok := n.Values.Original("paris"); !ok || v != "Paris" {
+		t.Errorf("original after round trip: %q %v", v, ok)
+	}
+}
+
+func TestDigestJSONLargeValueSet(t *testing.T) {
+	// Bloom-only nodes (exact dropped) must still answer after a trip.
+	b := DefaultBudget()
+	b.ExactThreshold = 4
+	vs := NewValueSet(b)
+	for i := 0; i < 200; i++ {
+		vs.Add(value.NewString(fmt.Sprintf("tok%d", i)))
+	}
+	vs.Seal()
+	d := NewDigest("x")
+	n := d.addNode("field", DocPath, vs)
+	_ = n
+	data, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Digest
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	got := back.Nodes["x#field"]
+	if got.Values.Exact() {
+		t.Error("exactness should not survive when dropped")
+	}
+	if !got.Values.MayContain("tok42") {
+		t.Error("bloom membership lost")
+	}
+}
+
+func TestDigestJSONHistogram(t *testing.T) {
+	vs := NewValueSet(DefaultBudget())
+	for i := 1; i <= 100; i++ {
+		vs.Add(value.NewInt(int64(i)))
+	}
+	vs.Seal()
+	d := NewDigest("x")
+	d.addNode("nums", RelAttribute, vs)
+	data, _ := json.Marshal(d)
+	var back Digest
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	h := back.Nodes["x#nums"].Values.Histogram()
+	if h == nil || h.N != 100 {
+		t.Fatalf("hist: %+v", h)
+	}
+	if est := h.EstimateRange(1, 50); est < 40 || est > 60 {
+		t.Errorf("estimate after round trip: %f", est)
+	}
+}

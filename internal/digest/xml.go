@@ -1,0 +1,68 @@
+package digest
+
+import (
+	"sort"
+
+	"tatooine/internal/value"
+	"tatooine/internal/xmlstore"
+)
+
+// BuildXML digests an XML store: a collection root plus a path node
+// per element/attribute path (the XML-dataguide-with-values digest of
+// §2.2).
+func BuildXML(uri string, s *xmlstore.Store, budget Budget) *Digest {
+	d := NewDigest(uri)
+	root := d.addNode(s.Name(), XMLRoot, nil)
+
+	// Discover the path set first.
+	pathSet := make(map[string]struct{})
+	s.Each(func(doc *xmlstore.Document) bool {
+		for _, p := range doc.Root.Paths() {
+			pathSet[p] = struct{}{}
+		}
+		return true
+	})
+	paths := make([]string, 0, len(pathSet))
+	for p := range pathSet {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	nodes := make(map[string]*Node, len(paths))
+	for _, p := range paths {
+		n := d.addNode(p, XMLPath, NewValueSet(budget))
+		nodes[p] = n
+		d.addEdge(root, n, Structural, 1)
+		d.addEdge(n, root, Structural, 1)
+	}
+
+	// Fill value sets.
+	s.Each(func(doc *xmlstore.Document) bool {
+		var walk func(cur *xmlstore.Node, prefix string)
+		walk = func(cur *xmlstore.Node, prefix string) {
+			p := cur.Name
+			if prefix != "" {
+				p = prefix + "/" + cur.Name
+			}
+			if cur.Text != "" {
+				if n := nodes[p]; n != nil {
+					n.Values.Add(value.NewString(cur.Text))
+				}
+			}
+			for a, v := range cur.Attrs {
+				if n := nodes[p+"/@"+a]; n != nil {
+					n.Values.Add(value.NewString(v))
+				}
+			}
+			for _, c := range cur.Children {
+				walk(c, p)
+			}
+		}
+		walk(doc.Root, "")
+		return true
+	})
+	for _, n := range nodes {
+		n.Values.Seal()
+	}
+	return d
+}

@@ -1,0 +1,178 @@
+// Package doc implements TATOOINE's semi-structured document model: the
+// JSON shape of tweets and Facebook posts (Figure 2 of the paper), with
+// dotted-path access and path enumeration used by dataguides and source
+// digests.
+package doc
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"tatooine/internal/value"
+)
+
+// Document is one JSON document with an identifier. Fields holds the
+// decoded JSON object: maps, slices, strings, float64, bool, nil.
+type Document struct {
+	ID     string
+	Fields map[string]any
+}
+
+// FromJSON decodes one JSON object into a Document with the given id.
+func FromJSON(id string, data []byte) (*Document, error) {
+	var fields map[string]any
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.UseNumber()
+	if err := dec.Decode(&fields); err != nil {
+		return nil, fmt.Errorf("doc: decode %s: %w", id, err)
+	}
+	return &Document{ID: id, Fields: fields}, nil
+}
+
+// ToJSON encodes the document's fields.
+func (d *Document) ToJSON() ([]byte, error) {
+	return json.Marshal(d.Fields)
+}
+
+// Get returns the raw value at a dotted path ("user.screen_name").
+// Traversal descends through nested objects; it does not index into
+// arrays (use Values for array flattening). ok is false when any path
+// step is missing.
+func (d *Document) Get(path string) (any, bool) {
+	var cur any = d.Fields
+	for _, step := range strings.Split(path, ".") {
+		m, ok := cur.(map[string]any)
+		if !ok {
+			return nil, false
+		}
+		cur, ok = m[step]
+		if !ok {
+			return nil, false
+		}
+	}
+	return cur, true
+}
+
+// Values returns the scalar values at a dotted path, flattening arrays
+// encountered at any step. A path into objects nested inside arrays
+// ("entities.urls.expanded") collects from every array element.
+func (d *Document) Values(path string) []value.Value {
+	steps := strings.Split(path, ".")
+	var out []value.Value
+	collect(d.Fields, steps, &out)
+	return out
+}
+
+func collect(cur any, steps []string, out *[]value.Value) {
+	if len(steps) == 0 {
+		switch v := cur.(type) {
+		case []any:
+			for _, e := range v {
+				collect(e, nil, out)
+			}
+		case map[string]any:
+			// Objects are not scalars; stop.
+		default:
+			*out = append(*out, toValue(v))
+		}
+		return
+	}
+	switch v := cur.(type) {
+	case map[string]any:
+		next, ok := v[steps[0]]
+		if !ok {
+			return
+		}
+		collect(next, steps[1:], out)
+	case []any:
+		for _, e := range v {
+			collect(e, steps, out)
+		}
+	}
+}
+
+func toValue(v any) value.Value {
+	switch x := v.(type) {
+	case nil:
+		return value.NewNull()
+	case string:
+		return value.NewString(x)
+	case bool:
+		return value.NewBool(x)
+	case float64:
+		if x == float64(int64(x)) {
+			return value.NewInt(int64(x))
+		}
+		return value.NewFloat(x)
+	case int:
+		return value.NewInt(int64(x))
+	case int64:
+		return value.NewInt(x)
+	case float32:
+		return value.NewFloat(float64(x))
+	case json.Number:
+		if i, err := x.Int64(); err == nil {
+			return value.NewInt(i)
+		}
+		if f, err := x.Float64(); err == nil {
+			return value.NewFloat(f)
+		}
+		return value.NewString(x.String())
+	default:
+		return value.NewString(fmt.Sprint(x))
+	}
+}
+
+// Paths returns the sorted set of dotted paths to scalar leaves in the
+// document (array elements share their parent path).
+func (d *Document) Paths() []string {
+	seen := make(map[string]struct{})
+	var walk func(prefix string, v any)
+	walk = func(prefix string, v any) {
+		switch x := v.(type) {
+		case map[string]any:
+			for k, child := range x {
+				p := k
+				if prefix != "" {
+					p = prefix + "." + k
+				}
+				walk(p, child)
+			}
+		case []any:
+			for _, e := range x {
+				walk(prefix, e)
+			}
+		default:
+			if prefix != "" {
+				seen[prefix] = struct{}{}
+			}
+		}
+	}
+	walk("", d.Fields)
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Set stores a value at a dotted path, creating intermediate objects.
+func (d *Document) Set(path string, v any) {
+	if d.Fields == nil {
+		d.Fields = make(map[string]any)
+	}
+	steps := strings.Split(path, ".")
+	cur := d.Fields
+	for _, step := range steps[:len(steps)-1] {
+		next, ok := cur[step].(map[string]any)
+		if !ok {
+			next = make(map[string]any)
+			cur[step] = next
+		}
+		cur = next
+	}
+	cur[steps[len(steps)-1]] = v
+}

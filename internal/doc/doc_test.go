@@ -1,0 +1,158 @@
+package doc
+
+import (
+	"testing"
+
+	"tatooine/internal/value"
+)
+
+// figure2JSON is the sample tweet from Figure 2 of the paper.
+const figure2JSON = `{
+  "created_at": "Tue March 01 03:42:31 +0000 2016",
+  "id": 464244242167342513,
+  "text": "Je suis là aujourd'hui pour montrer qu'il y a une solidarité nationale. En défendant ... #SIA2016",
+  "user": {
+    "id": 483794260,
+    "name": "François Hollande",
+    "screen_name": "fhollande",
+    "description": "Président de la République française",
+    "followers_count": 1502835
+  },
+  "retweet_count": 469,
+  "favorite_count": 883,
+  "entities": {"hashtags": ["SIA2016"], "urls": []}
+}`
+
+func fig2(t *testing.T) *Document {
+	t.Helper()
+	d, err := FromJSON("tw1", []byte(figure2JSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestFromJSONFigure2(t *testing.T) {
+	d := fig2(t)
+	if d.ID != "tw1" {
+		t.Errorf("id: %s", d.ID)
+	}
+	v, ok := d.Get("user.screen_name")
+	if !ok || v != "fhollande" {
+		t.Errorf("user.screen_name: %v %v", v, ok)
+	}
+	if _, ok := d.Get("user.missing"); ok {
+		t.Error("missing path should not resolve")
+	}
+	if _, ok := d.Get("text.sub"); ok {
+		t.Error("descending into scalar should fail")
+	}
+}
+
+func TestValuesScalarsAndArrays(t *testing.T) {
+	d := fig2(t)
+	vals := d.Values("entities.hashtags")
+	if len(vals) != 1 || vals[0].Str() != "SIA2016" {
+		t.Errorf("hashtags: %v", vals)
+	}
+	if vals := d.Values("entities.urls"); len(vals) != 0 {
+		t.Errorf("empty array: %v", vals)
+	}
+	rts := d.Values("retweet_count")
+	if len(rts) != 1 || rts[0].Kind() != value.Int || rts[0].Int() != 469 {
+		t.Errorf("retweet_count: %v", rts)
+	}
+	// Large tweet IDs must survive (json.Number, not float64).
+	ids := d.Values("id")
+	if ids[0].Int() != 464244242167342513 {
+		t.Errorf("id precision lost: %v", ids[0])
+	}
+}
+
+func TestValuesThroughArrayOfObjects(t *testing.T) {
+	d, err := FromJSON("x", []byte(`{"posts": [{"tag": "a"}, {"tag": "b"}, {"other": 1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := d.Values("posts.tag")
+	if len(vals) != 2 || vals[0].Str() != "a" || vals[1].Str() != "b" {
+		t.Errorf("array of objects: %v", vals)
+	}
+}
+
+func TestPaths(t *testing.T) {
+	d := fig2(t)
+	paths := d.Paths()
+	want := map[string]bool{
+		"created_at": true, "id": true, "text": true,
+		"user.id": true, "user.name": true, "user.screen_name": true,
+		"user.description": true, "user.followers_count": true,
+		"retweet_count": true, "favorite_count": true,
+		"entities.hashtags": true,
+	}
+	got := make(map[string]bool)
+	for _, p := range paths {
+		got[p] = true
+	}
+	for p := range want {
+		if !got[p] {
+			t.Errorf("missing path %q in %v", p, paths)
+		}
+	}
+	// entities.urls is an empty array: no scalar leaf, so not a path.
+	if got["entities.urls"] {
+		t.Error("empty array should not contribute a path")
+	}
+}
+
+func TestSetAndRoundTrip(t *testing.T) {
+	d := &Document{ID: "n1"}
+	d.Set("user.screen_name", "mlp")
+	d.Set("retweet_count", 12)
+	d.Set("text", "bonjour")
+	if v, ok := d.Get("user.screen_name"); !ok || v != "mlp" {
+		t.Errorf("set/get: %v %v", v, ok)
+	}
+	data, err := d.ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromJSON("n1", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := back.Get("user.screen_name"); v != "mlp" {
+		t.Errorf("round trip: %v", v)
+	}
+}
+
+func TestFromJSONErrors(t *testing.T) {
+	if _, err := FromJSON("x", []byte(`not json`)); err == nil {
+		t.Error("invalid JSON accepted")
+	}
+	if _, err := FromJSON("x", []byte(`[1,2,3]`)); err == nil {
+		t.Error("non-object JSON accepted")
+	}
+}
+
+func TestValueCoercionKinds(t *testing.T) {
+	d, err := FromJSON("x", []byte(`{"f": 1.5, "i": 3, "b": true, "n": null, "s": "txt"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Values("f")[0].Kind() != value.Float {
+		t.Error("float kind")
+	}
+	if d.Values("i")[0].Kind() != value.Int {
+		t.Error("int kind")
+	}
+	if d.Values("b")[0].Kind() != value.Bool {
+		t.Error("bool kind")
+	}
+	if !d.Values("n")[0].IsNull() {
+		t.Error("null kind")
+	}
+	if d.Values("s")[0].Kind() != value.String {
+		t.Error("string kind")
+	}
+}

@@ -1,0 +1,138 @@
+package federation
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"tatooine/internal/digest"
+	"tatooine/internal/doc"
+	"tatooine/internal/fulltext"
+	"tatooine/internal/source"
+	"tatooine/internal/value"
+)
+
+func servedDocSource(t *testing.T) *httptest.Server {
+	t.Helper()
+	ix := fulltext.NewIndex("tweets", fulltext.Schema{
+		"text":              fulltext.TextField,
+		"user.screen_name":  fulltext.KeywordField,
+		"entities.hashtags": fulltext.KeywordField,
+	})
+	d := &doc.Document{ID: "t1"}
+	d.Set("text", "solidarité #SIA2016")
+	d.Set("user.screen_name", "fhollande")
+	d.Set("entities.hashtags", []any{"SIA2016"})
+	if err := ix.Add(d); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(Handler(source.NewDocSource("solr://tweets", ix)))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestDigestEndpoint(t *testing.T) {
+	srv := servedDocSource(t)
+	resp, err := http.Get(srv.URL + "/digest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status: %s", resp.Status)
+	}
+	var d digest.Digest
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Source != "solr://tweets" {
+		t.Errorf("source: %s", d.Source)
+	}
+	hits := d.Lookup("SIA2016")
+	if len(hits) == 0 {
+		t.Error("remote digest lookup failed")
+	}
+}
+
+func TestDigestEndpointCached(t *testing.T) {
+	srv := servedDocSource(t)
+	// Two requests must both succeed (the second from cache).
+	for i := 0; i < 2; i++ {
+		resp, err := http.Get(srv.URL + "/digest")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: %s", i, resp.Status)
+		}
+	}
+}
+
+func TestClientDigest(t *testing.T) {
+	srv := servedDocSource(t)
+	c, err := Dial(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.Digest(digest.DefaultBudget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := d.Nodes["solr://tweets#user.screen_name"]
+	if n == nil {
+		t.Fatal("screen_name node missing in remote digest")
+	}
+	if !n.Values.MayContain("fhollande") {
+		t.Error("remote value set lost membership")
+	}
+	if orig, ok := n.Values.Original("fhollande"); !ok || orig != "fhollande" {
+		t.Errorf("original: %q %v", orig, ok)
+	}
+}
+
+// undigestableSource is a DataSource with no digest support.
+type undigestableSource struct{}
+
+func (undigestableSource) URI() string                  { return "x://y" }
+func (undigestableSource) Model() source.Model          { return source.RDFModel }
+func (undigestableSource) Languages() []source.Language { return nil }
+func (undigestableSource) Execute(source.SubQuery, []value.Value) (*source.Result, error) {
+	return &source.Result{}, nil
+}
+func (undigestableSource) EstimateCost(source.SubQuery, int) int { return -1 }
+
+func TestDigestEndpointUndigestable(t *testing.T) {
+	srv := httptest.NewServer(Handler(undigestableSource{}))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/digest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("undigestable source served a digest")
+	}
+}
+
+func TestHandlerBadRequests(t *testing.T) {
+	srv := servedDocSource(t)
+	resp, err := http.Post(srv.URL+"/query", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty body status: %s", resp.Status)
+	}
+	// Unknown route.
+	resp2, err := http.Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown route status: %s", resp2.Status)
+	}
+}

@@ -1,0 +1,281 @@
+// Package federation implements TATOOINE's HTTP federation layer: any
+// DataSource can be served as an HTTP endpoint, and any such endpoint
+// can be consumed as a DataSource by a remote mediator. This is the
+// code path the paper exercises against SPARQL endpoints and
+// dynamically discovered databases ("the address of a relational
+// database is found in an INSEE table and part of the mixed query is
+// shipped there for evaluation", §1).
+package federation
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"tatooine/internal/digest"
+	"tatooine/internal/source"
+	"tatooine/internal/value"
+)
+
+// QueryRequest is the wire form of a sub-query execution request
+// (POST /query).
+type QueryRequest struct {
+	Language string        `json:"language"`
+	Text     string        `json:"text"`
+	InVars   []string      `json:"inVars,omitempty"`
+	Params   []value.Value `json:"params,omitempty"`
+}
+
+// QueryResponse is the wire form of a result (or error).
+type QueryResponse struct {
+	Cols  []string    `json:"cols,omitempty"`
+	Rows  []value.Row `json:"rows,omitempty"`
+	Error string      `json:"error,omitempty"`
+}
+
+// MetaResponse describes a served source (GET /meta).
+type MetaResponse struct {
+	URI       string   `json:"uri"`
+	Model     string   `json:"model"`
+	Languages []string `json:"languages"`
+}
+
+// EstimateRequest is the wire form of a cost estimation (POST /estimate).
+type EstimateRequest struct {
+	Language  string `json:"language"`
+	Text      string `json:"text"`
+	NumParams int    `json:"numParams"`
+}
+
+// EstimateResponse carries the estimated cardinality.
+type EstimateResponse struct {
+	Cost  int    `json:"cost"`
+	Error string `json:"error,omitempty"`
+}
+
+// Handler serves a DataSource over HTTP. Routes: GET /meta,
+// POST /query, POST /estimate, GET /digest.
+func Handler(src source.DataSource) http.Handler {
+	mux := http.NewServeMux()
+	var (
+		digestOnce sync.Once
+		digestJSON []byte
+		digestErr  error
+	)
+	mux.HandleFunc("GET /digest", func(w http.ResponseWriter, r *http.Request) {
+		digestOnce.Do(func() {
+			d, err := digest.ForSource(src, digest.DefaultBudget())
+			if err != nil {
+				digestErr = err
+				return
+			}
+			if d == nil {
+				digestErr = fmt.Errorf("source %s cannot be digested", src.URI())
+				return
+			}
+			digestJSON, digestErr = json.Marshal(d)
+		})
+		if digestErr != nil {
+			writeJSON(w, http.StatusUnprocessableEntity, map[string]string{"error": digestErr.Error()})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(digestJSON)
+	})
+	mux.HandleFunc("GET /meta", func(w http.ResponseWriter, r *http.Request) {
+		langs := make([]string, 0, len(src.Languages()))
+		for _, l := range src.Languages() {
+			langs = append(langs, string(l))
+		}
+		writeJSON(w, http.StatusOK, MetaResponse{
+			URI:       src.URI(),
+			Model:     src.Model().String(),
+			Languages: langs,
+		})
+	})
+	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
+		var req QueryRequest
+		if err := json.NewDecoder(io.LimitReader(r.Body, 16<<20)).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, QueryResponse{Error: "bad request: " + err.Error()})
+			return
+		}
+		res, err := src.Execute(source.SubQuery{
+			Language: source.Language(req.Language),
+			Text:     req.Text,
+			InVars:   req.InVars,
+		}, req.Params)
+		if err != nil {
+			writeJSON(w, http.StatusUnprocessableEntity, QueryResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, QueryResponse{Cols: res.Cols, Rows: res.Rows})
+	})
+	mux.HandleFunc("POST /estimate", func(w http.ResponseWriter, r *http.Request) {
+		var req EstimateRequest
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, EstimateResponse{Cost: -1, Error: err.Error()})
+			return
+		}
+		cost := src.EstimateCost(source.SubQuery{
+			Language: source.Language(req.Language),
+			Text:     req.Text,
+		}, req.NumParams)
+		writeJSON(w, http.StatusOK, EstimateResponse{Cost: cost})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding errors after the header is written can only be logged by
+	// the server; the stdlib http server handles broken pipes.
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+// Client is a DataSource backed by a remote federation endpoint.
+type Client struct {
+	baseURL string
+	http    *http.Client
+	meta    MetaResponse
+}
+
+// Dial fetches the remote source's metadata and returns a client. The
+// returned source's URI is the remote's advertised URI when available,
+// else the base URL.
+func Dial(baseURL string) (*Client, error) {
+	c := &Client{
+		baseURL: baseURL,
+		http:    &http.Client{Timeout: 30 * time.Second},
+	}
+	resp, err := c.http.Get(baseURL + "/meta")
+	if err != nil {
+		return nil, fmt.Errorf("federation: dial %s: %w", baseURL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("federation: dial %s: status %s", baseURL, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&c.meta); err != nil {
+		return nil, fmt.Errorf("federation: dial %s: bad meta: %w", baseURL, err)
+	}
+	if c.meta.URI == "" {
+		c.meta.URI = baseURL
+	}
+	return c, nil
+}
+
+// URI implements source.DataSource.
+func (c *Client) URI() string { return c.meta.URI }
+
+// BaseURL returns the endpoint the client talks to.
+func (c *Client) BaseURL() string { return c.baseURL }
+
+// Model implements source.DataSource.
+func (c *Client) Model() source.Model {
+	switch c.meta.Model {
+	case "relational":
+		return source.RelationalModel
+	case "document":
+		return source.DocumentModel
+	default:
+		return source.RDFModel
+	}
+}
+
+// Languages implements source.DataSource.
+func (c *Client) Languages() []source.Language {
+	out := make([]source.Language, 0, len(c.meta.Languages))
+	for _, l := range c.meta.Languages {
+		out = append(out, source.Language(l))
+	}
+	return out
+}
+
+// Execute implements source.DataSource by shipping the sub-query to the
+// remote endpoint.
+func (c *Client) Execute(q source.SubQuery, params []value.Value) (*source.Result, error) {
+	req := QueryRequest{
+		Language: string(q.Language),
+		Text:     q.Text,
+		InVars:   q.InVars,
+		Params:   params,
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("federation: marshal: %w", err)
+	}
+	resp, err := c.http.Post(c.baseURL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("federation: query %s: %w", c.baseURL, err)
+	}
+	defer resp.Body.Close()
+	var qr QueryResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&qr); err != nil {
+		return nil, fmt.Errorf("federation: query %s: bad response: %w", c.baseURL, err)
+	}
+	if qr.Error != "" {
+		return nil, fmt.Errorf("federation: remote %s: %s", c.baseURL, qr.Error)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("federation: query %s: status %s", c.baseURL, resp.Status)
+	}
+	return &source.Result{Cols: qr.Cols, Rows: qr.Rows}, nil
+}
+
+// EstimateCost implements source.DataSource by asking the remote
+// endpoint; network failures degrade to unknown (-1).
+func (c *Client) EstimateCost(q source.SubQuery, numParams int) int {
+	body, err := json.Marshal(EstimateRequest{
+		Language:  string(q.Language),
+		Text:      q.Text,
+		NumParams: numParams,
+	})
+	if err != nil {
+		return -1
+	}
+	resp, err := c.http.Post(c.baseURL+"/estimate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return -1
+	}
+	defer resp.Body.Close()
+	var er EstimateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		return -1
+	}
+	return er.Cost
+}
+
+// Digest implements digest.Digester: it fetches the remote endpoint's
+// digest so remote sources participate in keyword search. The remote
+// computes under its own default budget; the budget argument is
+// accepted for interface compatibility.
+func (c *Client) Digest(_ digest.Budget) (*digest.Digest, error) {
+	resp, err := c.http.Get(c.baseURL + "/digest")
+	if err != nil {
+		return nil, fmt.Errorf("federation: digest %s: %w", c.baseURL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("federation: digest %s: status %s", c.baseURL, resp.Status)
+	}
+	var d digest.Digest
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&d); err != nil {
+		return nil, fmt.Errorf("federation: digest %s: %w", c.baseURL, err)
+	}
+	return &d, nil
+}
+
+// Resolver returns a source.Resolver that dials remote endpoints,
+// suitable for Registry.SetFallback: it enables dynamic source
+// discovery of URIs found in query results.
+func Resolver() source.Resolver {
+	return func(uri string) (source.DataSource, error) {
+		return Dial(uri)
+	}
+}

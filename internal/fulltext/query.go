@@ -1,0 +1,391 @@
+package fulltext
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tatooine/internal/doc"
+	"tatooine/internal/value"
+)
+
+// Query is any full-text query node.
+type Query interface{ isQuery() }
+
+// TermQuery matches documents whose analyzed text field contains the
+// term (the term itself is analyzed, so "États" matches "etat").
+type TermQuery struct {
+	Field string
+	Term  string
+}
+
+func (TermQuery) isQuery() {}
+
+// MatchQuery analyzes Text and matches documents containing the
+// resulting terms; all terms are required when RequireAll is set,
+// otherwise any (with ranking favouring more matches).
+type MatchQuery struct {
+	Field      string
+	Text       string
+	RequireAll bool
+}
+
+func (MatchQuery) isQuery() {}
+
+// PhraseQuery matches consecutive terms in order.
+type PhraseQuery struct {
+	Field string
+	Text  string
+}
+
+func (PhraseQuery) isQuery() {}
+
+// KeywordQuery matches a keyword field exactly (case- and accent-
+// insensitively): hashtags, screen names, codes.
+type KeywordQuery struct {
+	Field string
+	Value string
+}
+
+func (KeywordQuery) isQuery() {}
+
+// RangeQuery matches numeric or time fields within [Min, Max]
+// (inclusive); a Null bound is open.
+type RangeQuery struct {
+	Field    string
+	Min, Max value.Value
+}
+
+func (RangeQuery) isQuery() {}
+
+// BoolQuery combines sub-queries: all of Must, at least one of Should
+// (if any present), none of MustNot.
+type BoolQuery struct {
+	Must    []Query
+	Should  []Query
+	MustNot []Query
+}
+
+func (BoolQuery) isQuery() {}
+
+// AllQuery matches every document with score 0.
+type AllQuery struct{}
+
+func (AllQuery) isQuery() {}
+
+// Hit is one search result.
+type Hit struct {
+	ID    string
+	Score float64
+	Doc   *doc.Document
+}
+
+// SearchOptions control result shaping.
+type SearchOptions struct {
+	// Limit bounds the number of hits (0 means unlimited).
+	Limit int
+	// SortField orders hits by a numeric/time field instead of score.
+	SortField string
+	// SortAsc sorts ascending when SortField is set (default descending).
+	SortAsc bool
+}
+
+// BM25 parameters (standard defaults).
+const (
+	bm25K1 = 1.2
+	bm25B  = 0.75
+)
+
+// Search evaluates the query and returns hits ordered by descending
+// BM25 score (or by SortField when given).
+func (ix *Index) Search(q Query, opts SearchOptions) ([]Hit, error) {
+	ix.mu.RLock()
+	scores, err := ix.eval(q)
+	if err != nil {
+		ix.mu.RUnlock()
+		return nil, err
+	}
+	hits := make([]Hit, 0, len(scores))
+	for docID, score := range scores {
+		d := ix.docs[docID]
+		hits = append(hits, Hit{ID: d.ID, Score: score, Doc: d})
+	}
+	ix.mu.RUnlock()
+
+	if opts.SortField != "" {
+		sort.SliceStable(hits, func(i, j int) bool {
+			vi := firstNumeric(hits[i].Doc, opts.SortField)
+			vj := firstNumeric(hits[j].Doc, opts.SortField)
+			if opts.SortAsc {
+				return vi < vj
+			}
+			return vi > vj
+		})
+	} else {
+		sort.SliceStable(hits, func(i, j int) bool {
+			if hits[i].Score != hits[j].Score {
+				return hits[i].Score > hits[j].Score
+			}
+			return hits[i].ID < hits[j].ID
+		})
+	}
+	if opts.Limit > 0 && len(hits) > opts.Limit {
+		hits = hits[:opts.Limit]
+	}
+	return hits, nil
+}
+
+func firstNumeric(d *doc.Document, field string) float64 {
+	for _, v := range d.Values(field) {
+		switch v.Kind() {
+		case value.Int, value.Float:
+			return v.Float()
+		case value.Time:
+			return float64(v.Time().UnixNano())
+		case value.String:
+			if c, ok := value.Coerce(v, value.Time); ok {
+				return float64(c.Time().UnixNano())
+			}
+			if c, ok := value.Coerce(v, value.Float); ok {
+				return c.Float()
+			}
+		}
+	}
+	return math.Inf(-1)
+}
+
+// eval returns docID → score for the query. Caller holds the read lock.
+func (ix *Index) eval(q Query) (map[int32]float64, error) {
+	switch x := q.(type) {
+	case AllQuery:
+		out := make(map[int32]float64, len(ix.docs))
+		for i := range ix.docs {
+			out[int32(i)] = 0
+		}
+		return out, nil
+	case TermQuery:
+		terms := ix.analyzer.Tokens(x.Term)
+		if len(terms) > 1 {
+			terms = terms[:1]
+		}
+		return ix.evalTerms(x.Field, terms, false)
+	case MatchQuery:
+		terms := ix.analyzer.Tokens(x.Text)
+		return ix.evalTerms(x.Field, terms, x.RequireAll)
+	case PhraseQuery:
+		return ix.evalPhrase(x.Field, x.Text)
+	case KeywordQuery:
+		m, ok := ix.keyword[x.Field]
+		out := make(map[int32]float64)
+		if !ok {
+			if _, declared := ix.schema[x.Field]; !declared {
+				return nil, fmt.Errorf("fulltext: unknown keyword field %q", x.Field)
+			}
+			return out, nil
+		}
+		for _, id := range m[Fold(x.Value)] {
+			out[id] = 1
+		}
+		return out, nil
+	case RangeQuery:
+		return ix.evalRange(x)
+	case BoolQuery:
+		return ix.evalBool(x)
+	default:
+		return nil, fmt.Errorf("fulltext: unsupported query %T", q)
+	}
+}
+
+func (ix *Index) evalTerms(field string, terms []string, requireAll bool) (map[int32]float64, error) {
+	if _, declared := ix.schema[field]; !declared {
+		return nil, fmt.Errorf("fulltext: unknown field %q", field)
+	}
+	postingsByTerm := ix.text[field]
+	out := make(map[int32]float64)
+	if len(terms) == 0 || postingsByTerm == nil {
+		return out, nil
+	}
+	n := float64(len(ix.docs))
+	avgLen := 1.0
+	if n > 0 && ix.totalLen[field] > 0 {
+		avgLen = float64(ix.totalLen[field]) / n
+	}
+	matchCount := make(map[int32]int)
+	for _, term := range terms {
+		plist := postingsByTerm[term]
+		if len(plist) == 0 {
+			continue
+		}
+		idf := math.Log(1 + (n-float64(len(plist))+0.5)/(float64(len(plist))+0.5))
+		for _, p := range plist {
+			tf := float64(len(p.positions))
+			dl := 1.0
+			if int(p.docID) < len(ix.docLen[field]) {
+				dl = float64(ix.docLen[field][p.docID])
+			}
+			score := idf * (tf * (bm25K1 + 1)) / (tf + bm25K1*(1-bm25B+bm25B*dl/avgLen))
+			out[p.docID] += score
+			matchCount[p.docID]++
+		}
+	}
+	if requireAll {
+		for id, c := range matchCount {
+			if c < len(terms) {
+				delete(out, id)
+			}
+		}
+	}
+	return out, nil
+}
+
+func (ix *Index) evalPhrase(field, text string) (map[int32]float64, error) {
+	if _, declared := ix.schema[field]; !declared {
+		return nil, fmt.Errorf("fulltext: unknown field %q", field)
+	}
+	terms := ix.analyzer.Tokens(text)
+	out := make(map[int32]float64)
+	if len(terms) == 0 {
+		return out, nil
+	}
+	scored, err := ix.evalTerms(field, terms, true)
+	if err != nil {
+		return nil, err
+	}
+	postingsByTerm := ix.text[field]
+	positionsOf := func(term string, docID int32) []uint32 {
+		for _, p := range postingsByTerm[term] {
+			if p.docID == docID {
+				return p.positions
+			}
+		}
+		return nil
+	}
+	for docID, score := range scored {
+		first := positionsOf(terms[0], docID)
+		ok := false
+		for _, start := range first {
+			match := true
+			for k := 1; k < len(terms); k++ {
+				if !containsPos(positionsOf(terms[k], docID), start+uint32(k)) {
+					match = false
+					break
+				}
+			}
+			if match {
+				ok = true
+				break
+			}
+		}
+		if ok {
+			out[docID] = score
+		}
+	}
+	return out, nil
+}
+
+func containsPos(ps []uint32, want uint32) bool {
+	for _, p := range ps {
+		if p == want {
+			return true
+		}
+	}
+	return false
+}
+
+func (ix *Index) evalRange(q RangeQuery) (map[int32]float64, error) {
+	if _, declared := ix.schema[q.Field]; !declared {
+		return nil, fmt.Errorf("fulltext: unknown field %q", q.Field)
+	}
+	toF := func(v value.Value, def float64) float64 {
+		switch v.Kind() {
+		case value.Null:
+			return def
+		case value.Time:
+			return float64(v.Time().UnixNano())
+		case value.String:
+			if c, ok := value.Coerce(v, value.Time); ok {
+				return float64(c.Time().UnixNano())
+			}
+			if c, ok := value.Coerce(v, value.Float); ok {
+				return c.Float()
+			}
+			return def
+		default:
+			return v.Float()
+		}
+	}
+	lo := toF(q.Min, math.Inf(-1))
+	hi := toF(q.Max, math.Inf(1))
+	out := make(map[int32]float64)
+	entries := ix.sortedNumeric(q.Field)
+	// Binary search the lower bound, scan to the upper.
+	i := sort.Search(len(entries), func(i int) bool { return entries[i].val >= lo })
+	for ; i < len(entries) && entries[i].val <= hi; i++ {
+		out[entries[i].docID] = 1
+	}
+	return out, nil
+}
+
+func (ix *Index) evalBool(q BoolQuery) (map[int32]float64, error) {
+	var acc map[int32]float64
+	for _, sub := range q.Must {
+		scores, err := ix.eval(sub)
+		if err != nil {
+			return nil, err
+		}
+		if acc == nil {
+			acc = scores
+			continue
+		}
+		for id := range acc {
+			s, ok := scores[id]
+			if !ok {
+				delete(acc, id)
+				continue
+			}
+			acc[id] += s
+		}
+	}
+	if len(q.Should) > 0 {
+		shouldScores := make(map[int32]float64)
+		for _, sub := range q.Should {
+			scores, err := ix.eval(sub)
+			if err != nil {
+				return nil, err
+			}
+			for id, s := range scores {
+				shouldScores[id] += s
+			}
+		}
+		if acc == nil {
+			acc = shouldScores
+		} else {
+			for id := range acc {
+				s, ok := shouldScores[id]
+				if !ok {
+					delete(acc, id)
+					continue
+				}
+				acc[id] += s
+			}
+		}
+	}
+	if acc == nil {
+		// Only MustNot given: start from everything.
+		all, err := ix.eval(AllQuery{})
+		if err != nil {
+			return nil, err
+		}
+		acc = all
+	}
+	for _, sub := range q.MustNot {
+		scores, err := ix.eval(sub)
+		if err != nil {
+			return nil, err
+		}
+		for id := range scores {
+			delete(acc, id)
+		}
+	}
+	return acc, nil
+}

@@ -1,0 +1,387 @@
+package fulltext
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"tatooine/internal/value"
+)
+
+// This file implements the textual query syntax used when full-text
+// sub-queries appear inside Conjunctive Mixed Queries, playing the role
+// of Solr's query strings in the paper:
+//
+//	SEARCH tweets
+//	WHERE entities.hashtags = ? AND text CONTAINS 'solidarité'
+//	      AND retweet_count >= 100
+//	RETURN _id, user.screen_name, text
+//	ORDER BY retweet_count DESC LIMIT 50
+//
+// Conditions: '=' (keyword equality), CONTAINS (analyzed match),
+// PHRASE (ordered phrase), <=, >=, BETWEEN..AND (numeric/time ranges),
+// all conjoined with AND. '?' marks a positional parameter bound at
+// execution time (bind joins). RETURN paths may include the pseudo
+// fields _id and _score.
+
+// TextQuery is a parsed SEARCH statement.
+type TextQuery struct {
+	Index   string
+	Conds   []Cond
+	Returns []string
+	OrderBy string
+	Desc    bool
+	Limit   int // 0 = unlimited
+	// NumParams is the number of '?' placeholders, in cond order.
+	NumParams int
+}
+
+// CondOp enumerates condition operators.
+type CondOp uint8
+
+const (
+	CondEq CondOp = iota
+	CondContains
+	CondPhrase
+	CondGe
+	CondLe
+	CondBetween
+)
+
+// Cond is one WHERE conjunct. A Param index >= 0 marks the value as the
+// n-th '?' parameter; Val holds the literal otherwise. Between uses
+// Val/Val2 (or Param/Param2).
+type Cond struct {
+	Field  string
+	Op     CondOp
+	Val    value.Value
+	Val2   value.Value
+	Param  int // -1 when literal
+	Param2 int
+}
+
+// ParseTextQuery parses the SEARCH syntax.
+func ParseTextQuery(input string) (*TextQuery, error) {
+	toks, err := lexQuery(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &qparser{toks: toks}
+	return p.parse()
+}
+
+type qtoken struct {
+	kind string // "word", "string", "number", "op", "param", "eof"
+	text string
+}
+
+func lexQuery(input string) ([]qtoken, error) {
+	var out []qtoken
+	i, n := 0, len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'':
+			j := i + 1
+			var b strings.Builder
+			closed := false
+			for j < n {
+				if input[j] == '\'' {
+					if j+1 < n && input[j+1] == '\'' {
+						b.WriteByte('\'')
+						j += 2
+						continue
+					}
+					closed = true
+					j++
+					break
+				}
+				b.WriteByte(input[j])
+				j++
+			}
+			if !closed {
+				return nil, fmt.Errorf("fulltext: unterminated string in query")
+			}
+			out = append(out, qtoken{"string", b.String()})
+			i = j
+		case c == '?':
+			out = append(out, qtoken{"param", "?"})
+			i++
+		case c == ',':
+			out = append(out, qtoken{"op", ","})
+			i++
+		case c == '=':
+			out = append(out, qtoken{"op", "="})
+			i++
+		case c == '>' && i+1 < n && input[i+1] == '=':
+			out = append(out, qtoken{"op", ">="})
+			i += 2
+		case c == '<' && i+1 < n && input[i+1] == '=':
+			out = append(out, qtoken{"op", "<="})
+			i += 2
+		case c >= '0' && c <= '9' || c == '-':
+			j := i + 1
+			for j < n && (input[j] >= '0' && input[j] <= '9' || input[j] == '.' ||
+				input[j] == ':' || input[j] == 'T' || input[j] == 'Z' || input[j] == '-' || input[j] == '+') {
+				j++
+			}
+			out = append(out, qtoken{"number", input[i:j]})
+			i = j
+		default:
+			j := i
+			for j < n && !strings.ContainsRune(" \t\n\r'?,=<>", rune(input[j])) {
+				j++
+			}
+			if j == i {
+				return nil, fmt.Errorf("fulltext: unexpected character %q in query", c)
+			}
+			out = append(out, qtoken{"word", input[i:j]})
+			i = j
+		}
+	}
+	out = append(out, qtoken{"eof", ""})
+	return out, nil
+}
+
+type qparser struct {
+	toks   []qtoken
+	pos    int
+	params int
+}
+
+func (p *qparser) cur() qtoken { return p.toks[p.pos] }
+
+func (p *qparser) acceptWord(w string) bool {
+	t := p.cur()
+	if t.kind == "word" && strings.EqualFold(t.text, w) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *qparser) expectWordAny() (string, error) {
+	t := p.cur()
+	if t.kind != "word" {
+		return "", fmt.Errorf("fulltext: expected word, got %q", t.text)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+func (p *qparser) parse() (*TextQuery, error) {
+	if !p.acceptWord("SEARCH") {
+		return nil, fmt.Errorf("fulltext: query must start with SEARCH")
+	}
+	idx, err := p.expectWordAny()
+	if err != nil {
+		return nil, err
+	}
+	q := &TextQuery{Index: idx}
+	if p.acceptWord("WHERE") {
+		for {
+			cond, err := p.parseCond(q)
+			if err != nil {
+				return nil, err
+			}
+			q.Conds = append(q.Conds, cond)
+			if !p.acceptWord("AND") {
+				break
+			}
+		}
+	}
+	if !p.acceptWord("RETURN") {
+		return nil, fmt.Errorf("fulltext: missing RETURN clause")
+	}
+	for {
+		f, err := p.expectWordAny()
+		if err != nil {
+			return nil, err
+		}
+		q.Returns = append(q.Returns, f)
+		if p.cur().kind == "op" && p.cur().text == "," {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.acceptWord("ORDER") {
+		if !p.acceptWord("BY") {
+			return nil, fmt.Errorf("fulltext: expected BY after ORDER")
+		}
+		f, err := p.expectWordAny()
+		if err != nil {
+			return nil, err
+		}
+		q.OrderBy = f
+		if p.acceptWord("DESC") {
+			q.Desc = true
+		} else {
+			p.acceptWord("ASC")
+		}
+	}
+	if p.acceptWord("LIMIT") {
+		t := p.cur()
+		if t.kind != "number" {
+			return nil, fmt.Errorf("fulltext: LIMIT expects a number")
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("fulltext: bad LIMIT %q", t.text)
+		}
+		q.Limit = n
+		p.pos++
+	}
+	if p.cur().kind != "eof" {
+		return nil, fmt.Errorf("fulltext: unexpected trailing %q", p.cur().text)
+	}
+	q.NumParams = p.params
+	return q, nil
+}
+
+func (p *qparser) parseValueOrParam() (value.Value, int, error) {
+	t := p.cur()
+	switch t.kind {
+	case "param":
+		p.pos++
+		idx := p.params
+		p.params++
+		return value.Value{}, idx, nil
+	case "string":
+		p.pos++
+		return value.NewString(t.text), -1, nil
+	case "number":
+		p.pos++
+		return value.Parse(t.text, false), -1, nil
+	default:
+		return value.Value{}, -1, fmt.Errorf("fulltext: expected value or '?', got %q", t.text)
+	}
+}
+
+func (p *qparser) parseCond(q *TextQuery) (Cond, error) {
+	field, err := p.expectWordAny()
+	if err != nil {
+		return Cond{}, err
+	}
+	cond := Cond{Field: field, Param: -1, Param2: -1}
+	t := p.cur()
+	switch {
+	case t.kind == "op" && t.text == "=":
+		p.pos++
+		cond.Op = CondEq
+	case t.kind == "op" && t.text == ">=":
+		p.pos++
+		cond.Op = CondGe
+	case t.kind == "op" && t.text == "<=":
+		p.pos++
+		cond.Op = CondLe
+	case t.kind == "word" && strings.EqualFold(t.text, "CONTAINS"):
+		p.pos++
+		cond.Op = CondContains
+	case t.kind == "word" && strings.EqualFold(t.text, "PHRASE"):
+		p.pos++
+		cond.Op = CondPhrase
+	case t.kind == "word" && strings.EqualFold(t.text, "BETWEEN"):
+		p.pos++
+		cond.Op = CondBetween
+	default:
+		return Cond{}, fmt.Errorf("fulltext: expected operator after field %q, got %q", field, t.text)
+	}
+	v, param, err := p.parseValueOrParam()
+	if err != nil {
+		return Cond{}, err
+	}
+	cond.Val, cond.Param = v, param
+	if cond.Op == CondBetween {
+		if !p.acceptWord("AND") {
+			return Cond{}, fmt.Errorf("fulltext: BETWEEN expects AND")
+		}
+		v2, param2, err := p.parseValueOrParam()
+		if err != nil {
+			return Cond{}, err
+		}
+		cond.Val2, cond.Param2 = v2, param2
+	}
+	return cond, nil
+}
+
+// Build converts the parsed query into an executable Query given
+// parameter values, returning the Query and search options.
+func (q *TextQuery) Build(params []value.Value) (Query, SearchOptions, error) {
+	if len(params) < q.NumParams {
+		return nil, SearchOptions{}, fmt.Errorf("fulltext: query needs %d parameters, got %d", q.NumParams, len(params))
+	}
+	resolve := func(v value.Value, idx int) value.Value {
+		if idx >= 0 {
+			return params[idx]
+		}
+		return v
+	}
+	var must []Query
+	for _, c := range q.Conds {
+		v := resolve(c.Val, c.Param)
+		switch c.Op {
+		case CondEq:
+			must = append(must, KeywordQuery{Field: c.Field, Value: v.String()})
+		case CondContains:
+			must = append(must, MatchQuery{Field: c.Field, Text: v.String(), RequireAll: true})
+		case CondPhrase:
+			must = append(must, PhraseQuery{Field: c.Field, Text: v.String()})
+		case CondGe:
+			must = append(must, RangeQuery{Field: c.Field, Min: v, Max: value.NewNull()})
+		case CondLe:
+			must = append(must, RangeQuery{Field: c.Field, Min: value.NewNull(), Max: v})
+		case CondBetween:
+			v2 := resolve(c.Val2, c.Param2)
+			must = append(must, RangeQuery{Field: c.Field, Min: v, Max: v2})
+		}
+	}
+	var query Query
+	switch len(must) {
+	case 0:
+		query = AllQuery{}
+	case 1:
+		query = must[0]
+	default:
+		query = BoolQuery{Must: must}
+	}
+	opts := SearchOptions{Limit: q.Limit, SortField: q.OrderBy, SortAsc: q.OrderBy != "" && !q.Desc}
+	return query, opts, nil
+}
+
+// Execute parses nothing: it runs the prepared query against ix and
+// projects the RETURN paths into rows. The pseudo-paths _id and _score
+// yield the document ID and BM25 score.
+func (q *TextQuery) Execute(ix *Index, params []value.Value) ([]string, [][]value.Value, error) {
+	query, opts, err := q.Build(params)
+	if err != nil {
+		return nil, nil, err
+	}
+	hits, err := ix.Search(query, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows := make([][]value.Value, 0, len(hits))
+	for _, h := range hits {
+		row := make([]value.Value, len(q.Returns))
+		for i, path := range q.Returns {
+			switch path {
+			case "_id":
+				row[i] = value.NewString(h.ID)
+			case "_score":
+				row[i] = value.NewFloat(h.Score)
+			default:
+				vals := h.Doc.Values(path)
+				if len(vals) == 0 {
+					row[i] = value.NewNull()
+				} else {
+					row[i] = vals[0]
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	return q.Returns, rows, nil
+}

@@ -1,0 +1,462 @@
+package keyword
+
+import (
+	"fmt"
+	"strings"
+
+	"tatooine/internal/core"
+	"tatooine/internal/digest"
+	"tatooine/internal/source"
+)
+
+// Candidate is one generated mixed query, with the join path that
+// produced it.
+type Candidate struct {
+	// Query is executable against the instance the catalog was built on.
+	Query *core.CMQ
+	// Path lists the digest node IDs the query follows.
+	Path []string
+	// Weight is the join path's total edge weight (lower is better).
+	Weight float64
+}
+
+// segment is a maximal run of same-source path nodes.
+type segment struct {
+	sourceURI string
+	nodes     []*digest.Node
+	inVar     string            // shared variable entering the segment ("" for the first)
+	outVar    string            // shared variable leaving the segment ("" for the last)
+	keywords  map[string]string // node ID → original constrained value
+}
+
+// generate translates a join path into a CMQ. keywordsAt maps node IDs
+// to the original value each matched keyword selects.
+func (c *Catalog) generate(path pathResult, keywordsAt map[string]string) (*core.CMQ, error) {
+	if len(path.nodes) == 0 {
+		return nil, fmt.Errorf("keyword: empty path")
+	}
+	// Split into per-source segments.
+	var segs []*segment
+	var cur *segment
+	for _, id := range path.nodes {
+		n := c.nodes[id]
+		if n == nil {
+			return nil, fmt.Errorf("keyword: unknown node %q in path", id)
+		}
+		if cur == nil || cur.sourceURI != n.Source {
+			cur = &segment{sourceURI: n.Source, keywords: make(map[string]string)}
+			segs = append(segs, cur)
+		}
+		cur.nodes = append(cur.nodes, n)
+		if orig, ok := keywordsAt[id]; ok {
+			cur.keywords[id] = orig
+		}
+	}
+	// Assign shared variables at segment boundaries.
+	for i := 0; i < len(segs)-1; i++ {
+		v := fmt.Sprintf("j%d", i)
+		segs[i].outVar = v
+		segs[i+1].inVar = v
+	}
+
+	q := &core.CMQ{Name: "kq", Distinct: true}
+	for i, seg := range segs {
+		atom, headVars, err := c.segmentAtom(seg, i)
+		if err != nil {
+			return nil, err
+		}
+		q.Atoms = append(q.Atoms, *atom)
+		q.Head = append(q.Head, headVars...)
+	}
+	// Deduplicate head variables, preserving order.
+	seen := make(map[string]struct{})
+	var head []string
+	for _, v := range q.Head {
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		head = append(head, v)
+	}
+	q.Head = head
+	return q, nil
+}
+
+// segmentAtom renders one segment as a CMQ atom. It returns the atom
+// and the variables the segment contributes to the query head (its
+// evidence variable plus any shared variables).
+func (c *Catalog) segmentAtom(seg *segment, idx int) (*core.Atom, []string, error) {
+	switch seg.nodes[0].Kind {
+	case digest.RDFProperty, digest.RDFClass:
+		return c.rdfAtom(seg, idx)
+	case digest.DocRoot, digest.DocPath:
+		return c.docAtom(seg, idx)
+	case digest.XMLRoot, digest.XMLPath:
+		return c.xmlAtom(seg, idx)
+	case digest.RelTable, digest.RelAttribute:
+		return c.relAtom(seg, idx)
+	default:
+		return nil, nil, fmt.Errorf("keyword: cannot generate atom for node kind %v", seg.nodes[0].Kind)
+	}
+}
+
+// rdfAtom renders an RDF segment: one shared subject variable, one
+// triple pattern per property node, type patterns for class nodes.
+func (c *Catalog) rdfAtom(seg *segment, idx int) (*core.Atom, []string, error) {
+	subj := fmt.Sprintf("s%d", idx)
+	var pats []string
+	head := []string{subj}
+	freshen := 0
+
+	renderConst := func(orig string) string {
+		if strings.HasPrefix(orig, "http://") || strings.HasPrefix(orig, "https://") {
+			return "<" + orig + ">"
+		}
+		return `"` + orig + `"`
+	}
+	for _, n := range seg.nodes {
+		switch n.Kind {
+		case digest.RDFClass:
+			pats = append(pats, fmt.Sprintf("?%s a <%s>", subj, n.Label))
+		case digest.RDFProperty:
+			// Shared variables attach at the boundary nodes' objects. A
+			// boundary node can carry BOTH a keyword constraint and a
+			// shared variable (the keyword's value is what joins to the
+			// neighbouring source); emit one pattern per role.
+			var objs []string
+			if orig := seg.keywords[n.ID]; orig != "" {
+				objs = append(objs, renderConst(orig))
+			}
+			if n == seg.nodes[0] && seg.inVar != "" {
+				objs = append(objs, "?"+seg.inVar)
+			}
+			if n == seg.nodes[len(seg.nodes)-1] && seg.outVar != "" {
+				objs = append(objs, "?"+seg.outVar)
+			}
+			if len(objs) == 0 {
+				objs = append(objs, fmt.Sprintf("?o%d_%d", idx, freshen))
+				freshen++
+			}
+			for _, obj := range objs {
+				pats = append(pats, fmt.Sprintf("?%s <%s> %s", subj, n.Label, obj))
+			}
+		}
+	}
+	if seg.inVar != "" {
+		head = append(head, seg.inVar)
+	}
+	if seg.outVar != "" {
+		head = append(head, seg.outVar)
+	}
+	headList := "?" + strings.Join(head, ", ?")
+	text := fmt.Sprintf("q(%s) :- %s", headList, strings.Join(pats, " . "))
+
+	atom := &core.Atom{Sub: source.SubQuery{Language: source.LangBGP, Text: text}}
+	if c.GraphURI == seg.sourceURI {
+		atom.Kind = core.GraphAtom
+	} else {
+		atom.Kind = core.SourceAtom
+		atom.SourceURI = seg.sourceURI
+	}
+	if seg.inVar != "" {
+		atom.Sub.InVars = []string{seg.inVar}
+	}
+	return atom, head, nil
+}
+
+// docAtom renders a document segment as a SEARCH sub-query.
+func (c *Catalog) docAtom(seg *segment, idx int) (*core.Atom, []string, error) {
+	indexName := ""
+	var conds []string
+	returns := []string{"_id"}
+	docVar := fmt.Sprintf("d%d", idx)
+	outCols := []string{docVar}
+	var inVars []string
+
+	// Parameter conditions must appear in '?' order; the inbound
+	// parameter condition is emitted first.
+	first, last := seg.nodes[0], seg.nodes[len(seg.nodes)-1]
+	for _, n := range seg.nodes {
+		switch n.Kind {
+		case digest.DocRoot:
+			indexName = n.Label
+		case digest.DocPath:
+			op := "="
+			if n.Analyzed {
+				op = "CONTAINS" // text fields are probed by analyzed match
+			}
+			if orig, ok := seg.keywords[n.ID]; ok {
+				conds = append(conds, fmt.Sprintf("%s %s '%s'", n.Label, op, strings.ReplaceAll(orig, "'", "''")))
+			}
+			if n == first && seg.inVar != "" {
+				conds = append([]string{n.Label + " " + op + " ?"}, conds...)
+				inVars = append(inVars, seg.inVar)
+			}
+			if n == last && seg.outVar != "" {
+				returns = append(returns, n.Label)
+				outCols = append(outCols, seg.outVar)
+			}
+		}
+	}
+	if indexName == "" {
+		// Segment may not pass through the root; find it from the digest.
+		for _, d := range c.digests {
+			if d.Source != seg.sourceURI {
+				continue
+			}
+			for _, n := range d.NodeList() {
+				if n.Kind == digest.DocRoot {
+					indexName = n.Label
+				}
+			}
+		}
+	}
+	if indexName == "" {
+		return nil, nil, fmt.Errorf("keyword: no collection root for source %s", seg.sourceURI)
+	}
+	text := "SEARCH " + indexName
+	if len(conds) > 0 {
+		text += " WHERE " + strings.Join(conds, " AND ")
+	}
+	text += " RETURN " + strings.Join(returns, ", ")
+
+	atom := &core.Atom{
+		Kind:      core.SourceAtom,
+		SourceURI: seg.sourceURI,
+		Sub:       source.SubQuery{Language: source.LangSearch, Text: text, InVars: inVars},
+		OutVars:   outCols,
+	}
+	head := []string{docVar}
+	if seg.inVar != "" {
+		head = append(head, seg.inVar)
+	}
+	if seg.outVar != "" {
+		head = append(head, seg.outVar)
+	}
+	return atom, head, nil
+}
+
+// xmlAtom renders an XML segment as an XPATH sub-query. The segment's
+// path labels must share an element prefix (e.g.
+// "speeches/speech/@speaker" and "speeches/speech/title" share
+// "speeches/speech"); keyword matches become predicates, shared
+// variables become '?' predicates or RETURN selectors.
+func (c *Catalog) xmlAtom(seg *segment, idx int) (*core.Atom, []string, error) {
+	type sel struct {
+		node     *digest.Node
+		selector string // "@attr" or child element name
+		prefix   string // element path
+	}
+	var sels []sel
+	for _, n := range seg.nodes {
+		if n.Kind != digest.XMLPath {
+			continue
+		}
+		label := n.Label
+		i := strings.LastIndexByte(label, '/')
+		if i < 0 {
+			return nil, nil, fmt.Errorf("keyword: malformed XML path %q", label)
+		}
+		sels = append(sels, sel{node: n, selector: label[i+1:], prefix: label[:i]})
+	}
+	if len(sels) == 0 {
+		return nil, nil, fmt.Errorf("keyword: XML segment has no paths")
+	}
+	// All selectors must share the (longest) element prefix.
+	prefix := sels[0].prefix
+	for _, s := range sels[1:] {
+		if len(s.prefix) > len(prefix) {
+			prefix = s.prefix
+		}
+	}
+	for _, s := range sels {
+		if !strings.HasPrefix(prefix, s.prefix) {
+			return nil, nil, fmt.Errorf("keyword: XML paths %q and %q do not share a prefix", prefix, s.prefix)
+		}
+	}
+
+	predOf := func(s sel) string {
+		if strings.HasPrefix(s.selector, "@") {
+			return s.selector
+		}
+		return s.selector
+	}
+
+	var preds []string
+	var inVars []string
+	docVar := fmt.Sprintf("x%d", idx)
+	returns := []string{"_id"}
+	outCols := []string{docVar}
+	first, last := seg.nodes[0], seg.nodes[len(seg.nodes)-1]
+	for _, s := range sels {
+		if orig, ok := seg.keywords[s.node.ID]; ok {
+			preds = append(preds, fmt.Sprintf("%s='%s'", predOf(s), strings.ReplaceAll(orig, "'", "")))
+		}
+		if s.node == first && seg.inVar != "" {
+			preds = append([]string{predOf(s) + "=?"}, preds...)
+			inVars = append(inVars, seg.inVar)
+		}
+		if s.node == last && seg.outVar != "" {
+			returns = append(returns, s.selector)
+			outCols = append(outCols, seg.outVar)
+		}
+	}
+	xpath := "/" + prefix
+	for _, p := range preds {
+		xpath += "[" + p + "]"
+	}
+	text := "XPATH " + xpath + " RETURN " + strings.Join(returns, ", ")
+
+	atom := &core.Atom{
+		Kind:      core.SourceAtom,
+		SourceURI: seg.sourceURI,
+		Sub:       source.SubQuery{Language: source.LangXPath, Text: text, InVars: inVars},
+		OutVars:   outCols,
+	}
+	head := []string{docVar}
+	if seg.inVar != "" {
+		head = append(head, seg.inVar)
+	}
+	if seg.outVar != "" {
+		head = append(head, seg.outVar)
+	}
+	return atom, head, nil
+}
+
+// relAtom renders a relational segment as a SQL sub-query, joining
+// tables along FK edges crossed by the path.
+func (c *Catalog) relAtom(seg *segment, idx int) (*core.Atom, []string, error) {
+	// Tables in path order and the FK joins between consecutive attrs.
+	var tables []string
+	tableSeen := make(map[string]bool)
+	var joins []string
+	var conds []string
+	var inVars []string
+	var selectCols []string
+	var outCols []string
+
+	attrTable := func(label string) (string, string) {
+		i := strings.IndexByte(label, '.')
+		if i < 0 {
+			return label, ""
+		}
+		return label[:i], label[i+1:]
+	}
+	addTable := func(t string) {
+		if !tableSeen[t] {
+			tableSeen[t] = true
+			tables = append(tables, t)
+		}
+	}
+
+	var prevAttr *digest.Node
+	first, last := seg.nodes[0], seg.nodes[len(seg.nodes)-1]
+	for _, n := range seg.nodes {
+		switch n.Kind {
+		case digest.RelTable:
+			addTable(n.Label)
+		case digest.RelAttribute:
+			t, _ := attrTable(n.Label)
+			if tableSeen[t] && prevAttr != nil {
+				pt, _ := attrTable(prevAttr.Label)
+				if pt != t {
+					// FK hop between already-known tables: add join cond.
+					joins = append(joins, fmt.Sprintf("%s = %s", prevAttr.Label, n.Label))
+				}
+			} else if !tableSeen[t] && prevAttr != nil {
+				pt, _ := attrTable(prevAttr.Label)
+				if pt != t && c.edgeKind(prevAttr.ID, n.ID) == digest.KeyForeignKey {
+					addTable(t)
+					joins = append(joins, fmt.Sprintf("%s = %s", prevAttr.Label, n.Label))
+				} else {
+					addTable(t)
+				}
+			} else {
+				addTable(t)
+			}
+			if orig, ok := seg.keywords[n.ID]; ok {
+				conds = append(conds, fmt.Sprintf("%s = '%s'", n.Label, strings.ReplaceAll(orig, "'", "''")))
+			}
+			if n == first && seg.inVar != "" {
+				conds = append([]string{n.Label + " = ?"}, conds...)
+				inVars = append(inVars, seg.inVar)
+			}
+			if n == last && seg.outVar != "" {
+				selectCols = append(selectCols, n.Label)
+				outCols = append(outCols, seg.outVar)
+			}
+			prevAttr = n
+		}
+	}
+	if len(tables) == 0 {
+		return nil, nil, fmt.Errorf("keyword: relational segment has no table")
+	}
+	// Evidence column: select the first table's first path attribute or
+	// a constant-ish placeholder — use the match/in column when no out.
+	rowVar := fmt.Sprintf("r%d", idx)
+	evidenceCol := ""
+	for _, n := range seg.nodes {
+		if n.Kind == digest.RelAttribute {
+			evidenceCol = n.Label
+			break
+		}
+	}
+	if evidenceCol == "" {
+		return nil, nil, fmt.Errorf("keyword: relational segment has no attribute")
+	}
+	selectCols = append([]string{evidenceCol}, selectCols...)
+	outCols = append([]string{rowVar}, outCols...)
+
+	where := append(append([]string{}, joins...), conds...)
+	text := "SELECT " + strings.Join(selectCols, ", ") + " FROM " + strings.Join(tables, ", ")
+	if len(where) > 0 {
+		text += " WHERE " + strings.Join(where, " AND ")
+	}
+	// Multi-table FROM lists need explicit join syntax in our SQL
+	// subset; rewrite "FROM a, b WHERE a.x = b.y AND …" as JOIN.
+	if len(tables) > 1 {
+		text = "SELECT " + strings.Join(selectCols, ", ") + " FROM " + tables[0]
+		for i := 1; i < len(tables); i++ {
+			on := ""
+			for _, j := range joins {
+				if strings.Contains(j, tables[i]+".") {
+					on = j
+					break
+				}
+			}
+			if on == "" {
+				return nil, nil, fmt.Errorf("keyword: no join condition for table %s", tables[i])
+			}
+			text += " JOIN " + tables[i] + " ON " + on
+		}
+		if len(conds) > 0 {
+			text += " WHERE " + strings.Join(conds, " AND ")
+		}
+	}
+
+	atom := &core.Atom{
+		Kind:      core.SourceAtom,
+		SourceURI: seg.sourceURI,
+		Sub:       source.SubQuery{Language: source.LangSQL, Text: text, InVars: inVars},
+		OutVars:   outCols,
+	}
+	head := []string{rowVar}
+	if seg.inVar != "" {
+		head = append(head, seg.inVar)
+	}
+	if seg.outVar != "" {
+		head = append(head, seg.outVar)
+	}
+	return atom, head, nil
+}
+
+// edgeKind returns the kind of the edge from a to b (Structural when
+// absent).
+func (c *Catalog) edgeKind(a, b string) digest.EdgeKind {
+	for _, e := range c.adj[a] {
+		if e.To == b {
+			return e.Kind
+		}
+	}
+	return digest.Structural
+}

@@ -1,0 +1,421 @@
+package rdf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PatternTerm is a position in a triple pattern: either a constant Term
+// or a named variable.
+type PatternTerm struct {
+	Var  string // non-empty for a variable (without the '?' sigil)
+	Term Term   // constant when Var == ""
+}
+
+// IsVar reports whether the position holds a variable.
+func (pt PatternTerm) IsVar() bool { return pt.Var != "" }
+
+// Variable returns a PatternTerm holding the named variable.
+func Variable(name string) PatternTerm { return PatternTerm{Var: name} }
+
+// Constant returns a PatternTerm holding a constant term.
+func Constant(t Term) PatternTerm { return PatternTerm{Term: t} }
+
+func (pt PatternTerm) String() string {
+	if pt.IsVar() {
+		return "?" + pt.Var
+	}
+	return pt.Term.String()
+}
+
+// TriplePattern is a triple whose positions may hold variables.
+type TriplePattern struct {
+	S, P, O PatternTerm
+}
+
+func (tp TriplePattern) String() string {
+	return tp.S.String() + " " + tp.P.String() + " " + tp.O.String()
+}
+
+// Vars returns the distinct variable names in the pattern, in S,P,O order.
+func (tp TriplePattern) Vars() []string {
+	var out []string
+	seen := make(map[string]struct{})
+	for _, pt := range []PatternTerm{tp.S, tp.P, tp.O} {
+		if pt.IsVar() {
+			if _, ok := seen[pt.Var]; !ok {
+				seen[pt.Var] = struct{}{}
+				out = append(out, pt.Var)
+			}
+		}
+	}
+	return out
+}
+
+// BGP is a basic graph pattern query: a conjunction of triple patterns
+// with a head of projected variables. It corresponds to the SPARQL
+// subset of conjunctive queries defined in the paper (§2.1).
+type BGP struct {
+	// Head lists the projected variables, in output column order. An
+	// empty head projects all variables (in first-appearance order).
+	Head []string
+	// Patterns is the conjunctive body.
+	Patterns []TriplePattern
+	// Filters constrain solutions (variable-vs-constant comparisons).
+	Filters []Filter
+	// Optionals are OPTIONAL { … } groups: each group extends solutions
+	// when it matches and leaves its variables unbound otherwise
+	// (SPARQL's left-join, applied group by group in order). Unbound
+	// positions surface as zero Terms in Solutions rows.
+	Optionals [][]TriplePattern
+}
+
+// AllVars returns the distinct variables of the body (required patterns
+// then optional groups) in first-appearance order.
+func (q BGP) AllVars() []string {
+	var out []string
+	seen := make(map[string]struct{})
+	add := func(pats []TriplePattern) {
+		for _, p := range pats {
+			for _, v := range p.Vars() {
+				if _, ok := seen[v]; !ok {
+					seen[v] = struct{}{}
+					out = append(out, v)
+				}
+			}
+		}
+	}
+	add(q.Patterns)
+	for _, g := range q.Optionals {
+		add(g)
+	}
+	return out
+}
+
+// Validate checks that every head and filter variable appears in the
+// body.
+func (q BGP) Validate() error {
+	body := make(map[string]struct{})
+	for _, v := range q.AllVars() {
+		body[v] = struct{}{}
+	}
+	for _, v := range q.Head {
+		if _, ok := body[v]; !ok {
+			return fmt.Errorf("rdf: head variable ?%s not in query body", v)
+		}
+	}
+	for _, f := range q.Filters {
+		if _, ok := body[f.Var]; !ok {
+			return fmt.Errorf("rdf: filter variable ?%s not in query body", f.Var)
+		}
+	}
+	return nil
+}
+
+func (q BGP) String() string {
+	var b strings.Builder
+	b.WriteString("q(")
+	for i, v := range q.Head {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString("?" + v)
+	}
+	b.WriteString(") :- ")
+	for i, p := range q.Patterns {
+		if i > 0 {
+			b.WriteString(" . ")
+		}
+		b.WriteString(p.String())
+	}
+	for _, g := range q.Optionals {
+		b.WriteString(" . OPTIONAL { ")
+		for i, p := range g {
+			if i > 0 {
+				b.WriteString(" . ")
+			}
+			b.WriteString(p.String())
+		}
+		b.WriteString(" }")
+	}
+	for _, f := range q.Filters {
+		b.WriteString(" . ")
+		b.WriteString(f.String())
+	}
+	return b.String()
+}
+
+// Bindings is one solution: variable name → bound term.
+type Bindings map[string]Term
+
+// Clone returns a copy of b.
+func (b Bindings) Clone() Bindings {
+	out := make(Bindings, len(b))
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+// Solutions is an ordered result set with named columns.
+type Solutions struct {
+	Vars []string
+	Rows [][]Term
+}
+
+// Answer evaluates q over the saturation of g (the paper's "answer"
+// semantics): the graph is saturated first, then the BGP is evaluated.
+func Answer(g *Graph, q BGP) (*Solutions, error) {
+	sat := Saturate(g)
+	return Evaluate(sat.Graph, q)
+}
+
+// Evaluate computes all embeddings of q into g (no entailment) and
+// projects the head variables. Patterns are greedily reordered so the
+// most selective pattern (fewest matching triples given already-bound
+// variables) runs first.
+func Evaluate(g *Graph, q BGP) (*Solutions, error) {
+	return EvaluateBound(g, q, nil)
+}
+
+// EvaluateBound is Evaluate with initial variable bindings, used by the
+// mediator's bind joins: variables in init are constrained to the given
+// terms before evaluation. Head variables may be satisfied by init even
+// when absent from the body.
+func EvaluateBound(g *Graph, q BGP, init Bindings) (*Solutions, error) {
+	if err := validateWithInit(q, init); err != nil {
+		return nil, err
+	}
+	head := q.Head
+	if len(head) == 0 {
+		head = q.AllVars()
+	}
+	sols := &Solutions{Vars: head}
+	if len(q.Patterns) == 0 {
+		return sols, nil
+	}
+
+	// evalPats enumerates embeddings of a pattern conjunction, applying
+	// the query filters as soon as their variable binds.
+	var evalPats func(bound Bindings, rem []TriplePattern, emit func(Bindings))
+	evalPats = func(bound Bindings, rem []TriplePattern, emit func(Bindings)) {
+		for _, f := range q.Filters {
+			if t, ok := bound[f.Var]; ok && !f.eval(t) {
+				return
+			}
+		}
+		if len(rem) == 0 {
+			emit(bound)
+			return
+		}
+		// Pick the most selective remaining pattern under current bindings.
+		best, bestCount := 0, -1
+		for i, p := range rem {
+			c := g.patternCount(p, bound)
+			if bestCount < 0 || c < bestCount {
+				best, bestCount = i, c
+			}
+			if c == 0 {
+				best, bestCount = i, 0
+				break
+			}
+		}
+		p := rem[best]
+		rest := make([]TriplePattern, 0, len(rem)-1)
+		rest = append(rest, rem[:best]...)
+		rest = append(rest, rem[best+1:]...)
+
+		g.matchPattern(p, bound, func(next Bindings) {
+			evalPats(next, rest, emit)
+		})
+	}
+
+	// applyOptionals extends a solution with each OPTIONAL group in
+	// order: matching groups multiply solutions, non-matching groups
+	// pass the solution through with their variables unbound.
+	var applyOptionals func(bound Bindings, groups [][]TriplePattern)
+	applyOptionals = func(bound Bindings, groups [][]TriplePattern) {
+		if len(groups) == 0 {
+			row := make([]Term, len(head))
+			for i, v := range head {
+				row[i] = bound[v] // zero Term when unbound (OPTIONAL miss)
+			}
+			sols.Rows = append(sols.Rows, row)
+			return
+		}
+		matched := false
+		evalPats(bound, groups[0], func(ext Bindings) {
+			matched = true
+			applyOptionals(ext, groups[1:])
+		})
+		if !matched {
+			applyOptionals(bound, groups[1:])
+		}
+	}
+
+	start := make(Bindings, len(init))
+	for k, v := range init {
+		start[k] = v
+	}
+	evalPats(start, append([]TriplePattern(nil), q.Patterns...), func(bound Bindings) {
+		applyOptionals(bound, q.Optionals)
+	})
+	return sols, nil
+}
+
+func validateWithInit(q BGP, init Bindings) error {
+	body := make(map[string]struct{})
+	for _, v := range q.AllVars() {
+		body[v] = struct{}{}
+	}
+	for _, v := range q.Head {
+		if _, ok := body[v]; ok {
+			continue
+		}
+		if _, ok := init[v]; ok {
+			continue
+		}
+		return fmt.Errorf("rdf: head variable ?%s not in query body", v)
+	}
+	for _, f := range q.Filters {
+		if _, ok := body[f.Var]; ok {
+			continue
+		}
+		if _, ok := init[f.Var]; ok {
+			continue
+		}
+		return fmt.Errorf("rdf: filter variable ?%s not in query body", f.Var)
+	}
+	return nil
+}
+
+// resolve maps a pattern position to a concrete TermID under bindings:
+// NoTerm means wildcard; ok=false means a constant/bound term is absent
+// from the dictionary so nothing can match.
+func (g *Graph) resolve(pt PatternTerm, bound Bindings) (TermID, bool) {
+	if pt.IsVar() {
+		if t, ok := bound[pt.Var]; ok {
+			id := g.dict.Lookup(t)
+			return id, id != NoTerm
+		}
+		return NoTerm, true
+	}
+	id := g.dict.Lookup(pt.Term)
+	return id, id != NoTerm
+}
+
+// patternCount estimates the number of triples matching p under bound.
+func (g *Graph) patternCount(p TriplePattern, bound Bindings) int {
+	s, ok := g.resolve(p.S, bound)
+	if !ok {
+		return 0
+	}
+	pp, ok := g.resolve(p.P, bound)
+	if !ok {
+		return 0
+	}
+	o, ok := g.resolve(p.O, bound)
+	if !ok {
+		return 0
+	}
+	return g.countIDs(s, pp, o)
+}
+
+// matchPattern enumerates extensions of bound that satisfy p.
+func (g *Graph) matchPattern(p TriplePattern, bound Bindings, fn func(Bindings)) {
+	s, ok := g.resolve(p.S, bound)
+	if !ok {
+		return
+	}
+	pp, ok := g.resolve(p.P, bound)
+	if !ok {
+		return
+	}
+	o, ok := g.resolve(p.O, bound)
+	if !ok {
+		return
+	}
+	// Repeated unbound variables within the pattern (e.g. ?x ?p ?x)
+	// require an equality check after matching.
+	type capture struct {
+		name string
+		pos  int // 0=s 1=p 2=o
+	}
+	var caps []capture
+	if p.S.IsVar() && s == NoTerm {
+		caps = append(caps, capture{p.S.Var, 0})
+	}
+	if p.P.IsVar() && pp == NoTerm {
+		caps = append(caps, capture{p.P.Var, 1})
+	}
+	if p.O.IsVar() && o == NoTerm {
+		caps = append(caps, capture{p.O.Var, 2})
+	}
+
+	var rows [][3]TermID
+	g.MatchIDs(s, pp, o, func(ms, mp, mo TermID) bool {
+		rows = append(rows, [3]TermID{ms, mp, mo})
+		return true
+	})
+	for _, r := range rows {
+		next := bound
+		cloned := false
+		ok := true
+		for _, c := range caps {
+			val := g.dict.Term(r[c.pos])
+			if prev, exists := next[c.name]; exists {
+				if prev != val {
+					ok = false
+					break
+				}
+				continue
+			}
+			if !cloned {
+				next = bound.Clone()
+				cloned = true
+			}
+			next[c.name] = val
+		}
+		if !ok {
+			continue
+		}
+		if !cloned && len(caps) > 0 {
+			// All captures matched pre-existing bindings; next == bound.
+			fn(bound)
+			continue
+		}
+		fn(next)
+	}
+}
+
+// Sort orders rows lexically by their term keys; useful for deterministic
+// test comparison.
+func (s *Solutions) Sort() {
+	sort.Slice(s.Rows, func(i, j int) bool {
+		a, b := s.Rows[i], s.Rows[j]
+		for k := range a {
+			ka, kb := a[k].Key(), b[k].Key()
+			if ka != kb {
+				return ka < kb
+			}
+		}
+		return false
+	})
+}
+
+// Len returns the number of solution rows.
+func (s *Solutions) Len() int { return len(s.Rows) }
+
+// Maps converts the solutions to a slice of Bindings maps.
+func (s *Solutions) Maps() []Bindings {
+	out := make([]Bindings, len(s.Rows))
+	for i, row := range s.Rows {
+		m := make(Bindings, len(s.Vars))
+		for j, v := range s.Vars {
+			m[v] = row[j]
+		}
+		out[i] = m
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package rdf
+
+import "sync"
+
+// TermID is a dense dictionary identifier for a Term within one Graph.
+// IDs start at 1; 0 is reserved as "no term" / wildcard in index lookups.
+type TermID uint32
+
+// NoTerm is the reserved wildcard TermID.
+const NoTerm TermID = 0
+
+// Dictionary interns Terms, assigning each distinct term a dense TermID.
+// It is safe for concurrent use.
+type Dictionary struct {
+	mu    sync.RWMutex
+	byKey map[string]TermID
+	terms []Term // terms[id-1] is the Term for id
+}
+
+// NewDictionary returns an empty dictionary.
+func NewDictionary() *Dictionary {
+	return &Dictionary{byKey: make(map[string]TermID)}
+}
+
+// Intern returns the ID for t, assigning a fresh one if t is new.
+func (d *Dictionary) Intern(t Term) TermID {
+	key := t.Key()
+	d.mu.RLock()
+	id, ok := d.byKey[key]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok := d.byKey[key]; ok {
+		return id
+	}
+	d.terms = append(d.terms, t)
+	id = TermID(len(d.terms))
+	d.byKey[key] = id
+	return id
+}
+
+// Lookup returns the ID for t, or NoTerm if t was never interned.
+func (d *Dictionary) Lookup(t Term) TermID {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.byKey[t.Key()]
+}
+
+// Term returns the Term for id. It returns the zero Term for NoTerm or an
+// out-of-range id.
+func (d *Dictionary) Term(id TermID) Term {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if id == NoTerm || int(id) > len(d.terms) {
+		return Term{}
+	}
+	return d.terms[id-1]
+}
+
+// Len returns the number of interned terms.
+func (d *Dictionary) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.terms)
+}
+
+// tripleID is a dictionary-encoded triple.
+type tripleID struct {
+	s, p, o TermID
+}

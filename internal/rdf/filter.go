@@ -1,0 +1,191 @@
+package rdf
+
+import (
+	"strconv"
+	"strings"
+)
+
+// FilterOp enumerates BGP filter operators.
+type FilterOp uint8
+
+const (
+	FilterEq FilterOp = iota
+	FilterNe
+	FilterLt
+	FilterLe
+	FilterGt
+	FilterGe
+	// FilterContains tests substring containment on the lexical form
+	// (case-insensitive), handy for journalists' name matching.
+	FilterContains
+)
+
+func (op FilterOp) String() string {
+	switch op {
+	case FilterEq:
+		return "="
+	case FilterNe:
+		return "!="
+	case FilterLt:
+		return "<"
+	case FilterLe:
+		return "<="
+	case FilterGt:
+		return ">"
+	case FilterGe:
+		return ">="
+	case FilterContains:
+		return "CONTAINS"
+	default:
+		return "?op"
+	}
+}
+
+// Filter constrains one variable of a BGP against a constant term,
+// applied to each solution (SPARQL's FILTER restricted to
+// variable-vs-constant comparisons, which covers the queries the paper
+// shows).
+type Filter struct {
+	Var  string
+	Op   FilterOp
+	Term Term
+}
+
+func (f Filter) String() string {
+	return "FILTER(?" + f.Var + " " + f.Op.String() + " " + f.Term.String() + ")"
+}
+
+// eval applies the filter to a bound term.
+func (f Filter) eval(bound Term) bool {
+	switch f.Op {
+	case FilterEq:
+		return bound == f.Term
+	case FilterNe:
+		return bound != f.Term
+	case FilterContains:
+		return strings.Contains(strings.ToLower(bound.Value), strings.ToLower(f.Term.Value))
+	}
+	// Ordering: numeric when both literals parse as numbers, else
+	// lexicographic on the value.
+	c, ok := compareTerms(bound, f.Term)
+	if !ok {
+		return false
+	}
+	switch f.Op {
+	case FilterLt:
+		return c < 0
+	case FilterLe:
+		return c <= 0
+	case FilterGt:
+		return c > 0
+	case FilterGe:
+		return c >= 0
+	default:
+		return false
+	}
+}
+
+func compareTerms(a, b Term) (int, bool) {
+	af, aerr := strconv.ParseFloat(a.Value, 64)
+	bf, berr := strconv.ParseFloat(b.Value, 64)
+	if aerr == nil && berr == nil {
+		switch {
+		case af < bf:
+			return -1, true
+		case af > bf:
+			return 1, true
+		default:
+			return 0, true
+		}
+	}
+	return strings.Compare(a.Value, b.Value), true
+}
+
+// parseFilter parses "FILTER(?var OP term)" with the parser positioned
+// after the FILTER keyword.
+func (p *parser) parseFilter() (Filter, error) {
+	if err := p.skipWS(); err != nil {
+		return Filter{}, p.errf("unexpected end in FILTER")
+	}
+	r, _ := p.peek()
+	if r != '(' {
+		return Filter{}, p.errf("FILTER expects '('")
+	}
+	p.read()
+	if err := p.skipWS(); err != nil {
+		return Filter{}, p.errf("unexpected end in FILTER")
+	}
+	r, _ = p.peek()
+	if r != '?' {
+		return Filter{}, p.errf("FILTER expects a variable")
+	}
+	p.read()
+	name, err := p.readBareWord()
+	if err != nil || name == "" {
+		return Filter{}, p.errf("malformed FILTER variable")
+	}
+	if err := p.skipWS(); err != nil {
+		return Filter{}, p.errf("unexpected end in FILTER")
+	}
+	op, err := p.readFilterOp()
+	if err != nil {
+		return Filter{}, err
+	}
+	if err := p.skipWS(); err != nil {
+		return Filter{}, p.errf("unexpected end in FILTER")
+	}
+	term, err := p.parseTerm()
+	if err != nil {
+		return Filter{}, err
+	}
+	if err := p.skipWS(); err != nil {
+		return Filter{}, p.errf("FILTER not closed")
+	}
+	r, _ = p.peek()
+	if r != ')' {
+		return Filter{}, p.errf("FILTER expects ')'")
+	}
+	p.read()
+	return Filter{Var: name, Op: op, Term: term}, nil
+}
+
+func (p *parser) readFilterOp() (FilterOp, error) {
+	r, err := p.peek()
+	if err != nil {
+		return 0, p.errf("missing FILTER operator")
+	}
+	switch r {
+	case '=':
+		p.read()
+		return FilterEq, nil
+	case '!':
+		p.read()
+		if r2, _ := p.read(); r2 != '=' {
+			return 0, p.errf("expected '!='")
+		}
+		return FilterNe, nil
+	case '<':
+		p.read()
+		if r2, _ := p.peek(); r2 == '=' {
+			p.read()
+			return FilterLe, nil
+		}
+		return FilterLt, nil
+	case '>':
+		p.read()
+		if r2, _ := p.peek(); r2 == '=' {
+			p.read()
+			return FilterGe, nil
+		}
+		return FilterGt, nil
+	default:
+		word, err := p.readBareWord()
+		if err != nil {
+			return 0, p.errf("missing FILTER operator")
+		}
+		if strings.EqualFold(word, "CONTAINS") {
+			return FilterContains, nil
+		}
+		return 0, p.errf("unknown FILTER operator %q", word)
+	}
+}

@@ -1,0 +1,421 @@
+package rdf
+
+import (
+	"sort"
+	"sync"
+)
+
+type termSet map[TermID]struct{}
+
+// index is a two-level nested map ending in a set, e.g. for the SPO index
+// idx[s][p] is the set of objects.
+type index map[TermID]map[TermID]termSet
+
+func (ix index) add(a, b, c TermID) bool {
+	m, ok := ix[a]
+	if !ok {
+		m = make(map[TermID]termSet)
+		ix[a] = m
+	}
+	s, ok := m[b]
+	if !ok {
+		s = make(termSet)
+		m[b] = s
+	}
+	if _, ok := s[c]; ok {
+		return false
+	}
+	s[c] = struct{}{}
+	return true
+}
+
+func (ix index) remove(a, b, c TermID) bool {
+	m, ok := ix[a]
+	if !ok {
+		return false
+	}
+	s, ok := m[b]
+	if !ok {
+		return false
+	}
+	if _, ok := s[c]; !ok {
+		return false
+	}
+	delete(s, c)
+	if len(s) == 0 {
+		delete(m, b)
+		if len(m) == 0 {
+			delete(ix, a)
+		}
+	}
+	return true
+}
+
+// Graph is a dictionary-encoded RDF triple store with SPO, POS and OSP
+// indexes, supporting pattern matching with any combination of bound
+// positions. It is safe for concurrent readers; writes take an exclusive
+// lock.
+type Graph struct {
+	mu   sync.RWMutex
+	dict *Dictionary
+	spo  index
+	pos  index
+	osp  index
+	size int
+}
+
+// NewGraph returns an empty graph with its own dictionary.
+func NewGraph() *Graph {
+	return &Graph{
+		dict: NewDictionary(),
+		spo:  make(index),
+		pos:  make(index),
+		osp:  make(index),
+	}
+}
+
+// Dict exposes the graph's term dictionary.
+func (g *Graph) Dict() *Dictionary { return g.dict }
+
+// Size returns the number of distinct triples stored.
+func (g *Graph) Size() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.size
+}
+
+// Add inserts the triple and reports whether it was not already present.
+// Zero (invalid) terms are rejected by returning false.
+func (g *Graph) Add(t Triple) bool {
+	if t.S.IsZero() || t.P.IsZero() || t.O.IsZero() {
+		return false
+	}
+	s := g.dict.Intern(t.S)
+	p := g.dict.Intern(t.P)
+	o := g.dict.Intern(t.O)
+	return g.addIDs(s, p, o)
+}
+
+// AddAll inserts every triple in ts and returns how many were new.
+func (g *Graph) AddAll(ts []Triple) int {
+	n := 0
+	for _, t := range ts {
+		if g.Add(t) {
+			n++
+		}
+	}
+	return n
+}
+
+func (g *Graph) addIDs(s, p, o TermID) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.spo.add(s, p, o) {
+		return false
+	}
+	g.pos.add(p, o, s)
+	g.osp.add(o, s, p)
+	g.size++
+	return true
+}
+
+// Remove deletes the triple and reports whether it was present.
+func (g *Graph) Remove(t Triple) bool {
+	s := g.dict.Lookup(t.S)
+	p := g.dict.Lookup(t.P)
+	o := g.dict.Lookup(t.O)
+	if s == NoTerm || p == NoTerm || o == NoTerm {
+		return false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.spo.remove(s, p, o) {
+		return false
+	}
+	g.pos.remove(p, o, s)
+	g.osp.remove(o, s, p)
+	g.size--
+	return true
+}
+
+// Contains reports whether the triple is present.
+func (g *Graph) Contains(t Triple) bool {
+	s := g.dict.Lookup(t.S)
+	p := g.dict.Lookup(t.P)
+	o := g.dict.Lookup(t.O)
+	if s == NoTerm || p == NoTerm || o == NoTerm {
+		return false
+	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if m, ok := g.spo[s]; ok {
+		if set, ok := m[p]; ok {
+			_, ok := set[o]
+			return ok
+		}
+	}
+	return false
+}
+
+// MatchIDs calls fn for every stored triple matching the pattern, where
+// NoTerm in any position is a wildcard. Iteration stops early if fn
+// returns false. The callback runs under the graph's read lock and must
+// not call write methods.
+func (g *Graph) MatchIDs(s, p, o TermID, fn func(s, p, o TermID) bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	g.matchLocked(s, p, o, fn)
+}
+
+func (g *Graph) matchLocked(s, p, o TermID, fn func(s, p, o TermID) bool) {
+	switch {
+	case s != NoTerm:
+		m, ok := g.spo[s]
+		if !ok {
+			return
+		}
+		if p != NoTerm {
+			set, ok := m[p]
+			if !ok {
+				return
+			}
+			if o != NoTerm {
+				if _, ok := set[o]; ok {
+					fn(s, p, o)
+				}
+				return
+			}
+			for oid := range set {
+				if !fn(s, p, oid) {
+					return
+				}
+			}
+			return
+		}
+		for pid, set := range m {
+			if o != NoTerm {
+				if _, ok := set[o]; ok {
+					if !fn(s, pid, o) {
+						return
+					}
+				}
+				continue
+			}
+			for oid := range set {
+				if !fn(s, pid, oid) {
+					return
+				}
+			}
+		}
+	case p != NoTerm:
+		m, ok := g.pos[p]
+		if !ok {
+			return
+		}
+		if o != NoTerm {
+			set, ok := m[o]
+			if !ok {
+				return
+			}
+			for sid := range set {
+				if !fn(sid, p, o) {
+					return
+				}
+			}
+			return
+		}
+		for oid, set := range m {
+			for sid := range set {
+				if !fn(sid, p, oid) {
+					return
+				}
+			}
+		}
+	case o != NoTerm:
+		m, ok := g.osp[o]
+		if !ok {
+			return
+		}
+		for sid, set := range m {
+			for pid := range set {
+				if !fn(sid, pid, o) {
+					return
+				}
+			}
+		}
+	default:
+		for sid, m := range g.spo {
+			for pid, set := range m {
+				for oid := range set {
+					if !fn(sid, pid, oid) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// zeroAsWildcard maps a zero Term to NoTerm, otherwise looks it up. The
+// second return value is false when a non-zero term is absent from the
+// dictionary (so no triple can match).
+func (g *Graph) zeroAsWildcard(t Term) (TermID, bool) {
+	if t.IsZero() {
+		return NoTerm, true
+	}
+	id := g.dict.Lookup(t)
+	return id, id != NoTerm
+}
+
+// Match returns all triples matching the pattern; zero Terms are
+// wildcards. Results are in unspecified order.
+func (g *Graph) Match(s, p, o Term) []Triple {
+	sid, ok := g.zeroAsWildcard(s)
+	if !ok {
+		return nil
+	}
+	pid, ok := g.zeroAsWildcard(p)
+	if !ok {
+		return nil
+	}
+	oid, ok := g.zeroAsWildcard(o)
+	if !ok {
+		return nil
+	}
+	var out []Triple
+	g.MatchIDs(sid, pid, oid, func(s, p, o TermID) bool {
+		out = append(out, Triple{g.dict.Term(s), g.dict.Term(p), g.dict.Term(o)})
+		return true
+	})
+	return out
+}
+
+// CountMatch returns the number of triples matching the pattern without
+// materializing them; zero Terms are wildcards.
+func (g *Graph) CountMatch(s, p, o Term) int {
+	sid, ok := g.zeroAsWildcard(s)
+	if !ok {
+		return 0
+	}
+	pid, ok := g.zeroAsWildcard(p)
+	if !ok {
+		return 0
+	}
+	oid, ok := g.zeroAsWildcard(o)
+	if !ok {
+		return 0
+	}
+	return g.countIDs(sid, pid, oid)
+}
+
+func (g *Graph) countIDs(s, p, o TermID) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	// Fast paths that avoid enumeration.
+	switch {
+	case s == NoTerm && p == NoTerm && o == NoTerm:
+		return g.size
+	case s != NoTerm && p != NoTerm && o == NoTerm:
+		if m, ok := g.spo[s]; ok {
+			return len(m[p])
+		}
+		return 0
+	case s == NoTerm && p != NoTerm && o != NoTerm:
+		if m, ok := g.pos[p]; ok {
+			return len(m[o])
+		}
+		return 0
+	}
+	n := 0
+	g.matchLocked(s, p, o, func(_, _, _ TermID) bool { n++; return true })
+	return n
+}
+
+// Triples returns every stored triple, sorted lexically by their
+// N-Triples rendering (deterministic for tests and serialization).
+func (g *Graph) Triples() []Triple {
+	ts := g.Match(Term{}, Term{}, Term{})
+	sort.Slice(ts, func(i, j int) bool { return ts[i].String() < ts[j].String() })
+	return ts
+}
+
+// Subjects returns the distinct subjects of triples with property p and
+// object o (zero Terms are wildcards).
+func (g *Graph) Subjects(p, o Term) []Term {
+	pid, ok := g.zeroAsWildcard(p)
+	if !ok {
+		return nil
+	}
+	oid, ok := g.zeroAsWildcard(o)
+	if !ok {
+		return nil
+	}
+	seen := make(map[TermID]struct{})
+	g.MatchIDs(NoTerm, pid, oid, func(s, _, _ TermID) bool {
+		seen[s] = struct{}{}
+		return true
+	})
+	out := make([]Term, 0, len(seen))
+	for id := range seen {
+		out = append(out, g.dict.Term(id))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// Objects returns the distinct objects of triples with subject s and
+// property p (zero Terms are wildcards).
+func (g *Graph) Objects(s, p Term) []Term {
+	sid, ok := g.zeroAsWildcard(s)
+	if !ok {
+		return nil
+	}
+	pid, ok := g.zeroAsWildcard(p)
+	if !ok {
+		return nil
+	}
+	seen := make(map[TermID]struct{})
+	g.MatchIDs(sid, pid, NoTerm, func(_, _, o TermID) bool {
+		seen[o] = struct{}{}
+		return true
+	})
+	out := make([]Term, 0, len(seen))
+	for id := range seen {
+		out = append(out, g.dict.Term(id))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// Properties returns the distinct properties used in the graph.
+func (g *Graph) Properties() []Term {
+	g.mu.RLock()
+	ids := make([]TermID, 0, len(g.pos))
+	for p := range g.pos {
+		ids = append(ids, p)
+	}
+	g.mu.RUnlock()
+	out := make([]Term, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, g.dict.Term(id))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// Clone returns a deep copy of the graph sharing no mutable state.
+func (g *Graph) Clone() *Graph {
+	out := NewGraph()
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for s, m := range g.spo {
+		st := g.dict.Term(s)
+		for p, set := range m {
+			pt := g.dict.Term(p)
+			for o := range set {
+				out.Add(Triple{st, pt, g.dict.Term(o)})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,478 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"unicode"
+)
+
+// ParseError reports a syntax error with its position in the input.
+type ParseError struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("rdf: parse error at %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Parse reads a Turtle-subset / N-Triples document and returns its
+// triples. The supported subset covers what TATOOINE's custom graphs use:
+//
+//   - @prefix declarations and prefixed names (ex:name)
+//   - <IRI> references
+//   - "literal", "literal"@lang, "literal"^^<datatype> with escapes
+//   - _:blank nodes
+//   - the keyword 'a' for rdf:type
+//   - predicate lists with ';' and object lists with ','
+//   - '#' comments
+func Parse(r io.Reader) ([]Triple, error) {
+	p := &parser{
+		sc:       bufio.NewReaderSize(r, 64<<10),
+		line:     1,
+		col:      0,
+		prefixes: make(map[string]string),
+	}
+	for k, v := range CommonPrefixes {
+		p.prefixes[k] = v
+	}
+	return p.parse()
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) ([]Triple, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// MustParse parses s and panics on error; intended for tests and
+// hand-written fixture graphs.
+func MustParse(s string) []Triple {
+	ts, err := ParseString(s)
+	if err != nil {
+		panic(err)
+	}
+	return ts
+}
+
+type parser struct {
+	sc       *bufio.Reader
+	line     int
+	col      int
+	pushback []rune // LIFO stack of un-read runes
+	prefixes map[string]string
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{Line: p.line, Col: p.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) read() (rune, error) {
+	if n := len(p.pushback); n > 0 {
+		r := p.pushback[n-1]
+		p.pushback = p.pushback[:n-1]
+		p.advancePos(r)
+		return r, nil
+	}
+	r, _, err := p.sc.ReadRune()
+	if err != nil {
+		return 0, err
+	}
+	p.advancePos(r)
+	return r, nil
+}
+
+func (p *parser) advancePos(r rune) {
+	if r == '\n' {
+		p.line++
+		p.col = 0
+	} else {
+		p.col++
+	}
+}
+
+// unread pushes r back so the next read or peek returns it. Position
+// tracking is approximate after an unread; errors report the nearest
+// line/column.
+func (p *parser) unread(r rune) {
+	p.pushback = append(p.pushback, r)
+	if p.col > 0 {
+		p.col--
+	}
+}
+
+func (p *parser) peek() (rune, error) {
+	if n := len(p.pushback); n > 0 {
+		return p.pushback[n-1], nil
+	}
+	r, _, err := p.sc.ReadRune()
+	if err != nil {
+		return 0, err
+	}
+	p.pushback = append(p.pushback, r)
+	return r, nil
+}
+
+// skipWS consumes whitespace and comments; returns io.EOF at end of input.
+func (p *parser) skipWS() error {
+	for {
+		r, err := p.peek()
+		if err != nil {
+			return err
+		}
+		switch {
+		case unicode.IsSpace(r):
+			p.read()
+		case r == '#':
+			for {
+				r, err := p.read()
+				if err != nil {
+					return err
+				}
+				if r == '\n' {
+					break
+				}
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+func (p *parser) parse() ([]Triple, error) {
+	var out []Triple
+	for {
+		if err := p.skipWS(); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, err
+		}
+		r, _ := p.peek()
+		if r == '@' {
+			if err := p.parsePrefix(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		ts, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ts...)
+	}
+}
+
+func (p *parser) parsePrefix() error {
+	word, err := p.readBareWord()
+	if err != nil {
+		return err
+	}
+	if word != "@prefix" {
+		return p.errf("unknown directive %q", word)
+	}
+	if err := p.skipWS(); err != nil {
+		return p.errf("unexpected end in @prefix")
+	}
+	name, err := p.readBareWord()
+	if err != nil {
+		return err
+	}
+	if !strings.HasSuffix(name, ":") {
+		return p.errf("prefix name %q must end with ':'", name)
+	}
+	if err := p.skipWS(); err != nil {
+		return p.errf("unexpected end in @prefix")
+	}
+	t, err := p.parseTerm()
+	if err != nil {
+		return err
+	}
+	if t.Kind != IRI {
+		return p.errf("@prefix target must be an IRI")
+	}
+	p.prefixes[strings.TrimSuffix(name, ":")] = t.Value
+	if err := p.expectDot(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (p *parser) expectDot() error {
+	if err := p.skipWS(); err != nil {
+		return p.errf("expected '.', got end of input")
+	}
+	r, err := p.read()
+	if err != nil || r != '.' {
+		return p.errf("expected '.', got %q", r)
+	}
+	return nil
+}
+
+// parseStatement parses one subject with its predicate-object list(s).
+func (p *parser) parseStatement() ([]Triple, error) {
+	subj, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	if subj.Kind == Literal {
+		return nil, p.errf("literal cannot be a subject")
+	}
+	var out []Triple
+	for {
+		if err := p.skipWS(); err != nil {
+			return nil, p.errf("unexpected end of input after subject")
+		}
+		pred, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		if pred.Kind != IRI {
+			return nil, p.errf("predicate must be an IRI")
+		}
+		for {
+			if err := p.skipWS(); err != nil {
+				return nil, p.errf("unexpected end of input after predicate")
+			}
+			obj, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Triple{subj, pred, obj})
+			if err := p.skipWS(); err != nil {
+				return nil, p.errf("statement not terminated")
+			}
+			r, _ := p.peek()
+			if r == ',' {
+				p.read()
+				continue
+			}
+			break
+		}
+		r, _ := p.peek()
+		switch r {
+		case ';':
+			p.read()
+			// Allow a trailing ';' before '.'.
+			if err := p.skipWS(); err != nil {
+				return nil, p.errf("statement not terminated")
+			}
+			if r2, _ := p.peek(); r2 == '.' {
+				p.read()
+				return out, nil
+			}
+			continue
+		case '.':
+			p.read()
+			return out, nil
+		default:
+			return nil, p.errf("expected ';', ',' or '.', got %q", r)
+		}
+	}
+}
+
+// parseTerm parses one term: IRI ref, prefixed name, literal, blank, or 'a'.
+func (p *parser) parseTerm() (Term, error) {
+	r, err := p.peek()
+	if err != nil {
+		return Term{}, p.errf("expected term, got end of input")
+	}
+	switch {
+	case r == '<':
+		return p.parseIRIRef()
+	case r == '"':
+		return p.parseLiteral()
+	case r == '_':
+		return p.parseBlank()
+	default:
+		word, err := p.readBareWord()
+		if err != nil {
+			return Term{}, err
+		}
+		if word == "a" {
+			return NewIRI(RDFType), nil
+		}
+		if word == "true" || word == "false" {
+			return NewTypedLiteral(word, XSDBoolean), nil
+		}
+		if isNumeric(word) {
+			if strings.ContainsAny(word, ".eE") {
+				return NewTypedLiteral(word, XSDDecimal), nil
+			}
+			return NewTypedLiteral(word, XSDInteger), nil
+		}
+		colon := strings.IndexByte(word, ':')
+		if colon < 0 {
+			return Term{}, p.errf("expected term, got %q", word)
+		}
+		base, ok := p.prefixes[word[:colon]]
+		if !ok {
+			return Term{}, p.errf("undeclared prefix %q", word[:colon])
+		}
+		return NewIRI(base + word[colon+1:]), nil
+	}
+}
+
+func isNumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	i := 0
+	if s[0] == '+' || s[0] == '-' {
+		i = 1
+		if len(s) == 1 {
+			return false
+		}
+	}
+	digits := false
+	for ; i < len(s); i++ {
+		c := s[i]
+		if c >= '0' && c <= '9' {
+			digits = true
+			continue
+		}
+		if c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-' {
+			continue
+		}
+		return false
+	}
+	return digits
+}
+
+func (p *parser) parseIRIRef() (Term, error) {
+	p.read() // consume '<'
+	var b strings.Builder
+	for {
+		r, err := p.read()
+		if err != nil {
+			return Term{}, p.errf("unterminated IRI")
+		}
+		if r == '>' {
+			return NewIRI(b.String()), nil
+		}
+		if r == '\\' {
+			esc, err := p.read()
+			if err != nil {
+				return Term{}, p.errf("unterminated IRI escape")
+			}
+			b.WriteRune(esc)
+			continue
+		}
+		b.WriteRune(r)
+	}
+}
+
+func (p *parser) parseLiteral() (Term, error) {
+	p.read() // consume '"'
+	var b strings.Builder
+	for {
+		r, err := p.read()
+		if err != nil {
+			return Term{}, p.errf("unterminated literal")
+		}
+		if r == '"' {
+			break
+		}
+		if r == '\\' {
+			esc, err := p.read()
+			if err != nil {
+				return Term{}, p.errf("unterminated escape")
+			}
+			switch esc {
+			case 'n':
+				b.WriteRune('\n')
+			case 't':
+				b.WriteRune('\t')
+			case 'r':
+				b.WriteRune('\r')
+			case '"', '\\':
+				b.WriteRune(esc)
+			default:
+				return Term{}, p.errf("unknown escape \\%c", esc)
+			}
+			continue
+		}
+		b.WriteRune(r)
+	}
+	val := b.String()
+	r, err := p.peek()
+	if err != nil {
+		return NewLiteral(val), nil
+	}
+	switch r {
+	case '@':
+		p.read()
+		lang, err := p.readBareWord()
+		if err != nil || lang == "" {
+			return Term{}, p.errf("missing language tag")
+		}
+		return NewLangLiteral(val, lang), nil
+	case '^':
+		p.read()
+		r2, err := p.read()
+		if err != nil || r2 != '^' {
+			return Term{}, p.errf("expected '^^' before datatype")
+		}
+		dt, err := p.parseTerm()
+		if err != nil {
+			return Term{}, err
+		}
+		if dt.Kind != IRI {
+			return Term{}, p.errf("datatype must be an IRI")
+		}
+		return NewTypedLiteral(val, dt.Value), nil
+	default:
+		return NewLiteral(val), nil
+	}
+}
+
+func (p *parser) parseBlank() (Term, error) {
+	word, err := p.readBareWord()
+	if err != nil {
+		return Term{}, err
+	}
+	if !strings.HasPrefix(word, "_:") || len(word) == 2 {
+		return Term{}, p.errf("malformed blank node %q", word)
+	}
+	return NewBlank(word[2:]), nil
+}
+
+// readBareWord reads a run of characters that can appear in a prefixed
+// name, directive, language tag, or number.
+func (p *parser) readBareWord() (string, error) {
+	var b strings.Builder
+	for {
+		r, err := p.peek()
+		if err != nil {
+			break
+		}
+		if unicode.IsSpace(r) || r == ';' || r == ',' || strings.ContainsRune("<>\"#()", r) {
+			break
+		}
+		// A '.' ends a word unless it is the decimal point of a number
+		// ("1.5" vs the statement-terminating dot of "ex:p 1 .").
+		if r == '.' {
+			if !isNumeric(b.String()) {
+				break
+			}
+			p.read()
+			next, err := p.peek()
+			if err != nil || next < '0' || next > '9' {
+				// Statement dot: push it back for the caller.
+				p.unread('.')
+				break
+			}
+			b.WriteRune('.')
+			continue
+		}
+		p.read()
+		b.WriteRune(r)
+	}
+	if b.Len() == 0 {
+		r, _ := p.peek()
+		return "", p.errf("expected word, got %q", r)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,189 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseNTriples(t *testing.T) {
+	in := `<http://ex.org/s> <http://ex.org/p> <http://ex.org/o> .
+<http://ex.org/s> <http://ex.org/name> "Le Monde" .
+<http://ex.org/s> <http://ex.org/founded> "1944"^^<` + XSDInteger + `> .
+<http://ex.org/s> <http://ex.org/slogan> "bonjour"@fr .
+_:b0 <http://ex.org/p> <http://ex.org/o> .
+`
+	ts, err := ParseString(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 5 {
+		t.Fatalf("parsed %d triples, want 5", len(ts))
+	}
+	if ts[1].O != NewLiteral("Le Monde") {
+		t.Errorf("literal parse: %v", ts[1].O)
+	}
+	if ts[2].O != NewTypedLiteral("1944", XSDInteger) {
+		t.Errorf("typed literal parse: %v", ts[2].O)
+	}
+	if ts[3].O != NewLangLiteral("bonjour", "fr") {
+		t.Errorf("lang literal parse: %v", ts[3].O)
+	}
+	if ts[4].S != NewBlank("b0") {
+		t.Errorf("blank parse: %v", ts[4].S)
+	}
+}
+
+func TestParseTurtleSubset(t *testing.T) {
+	in := `
+@prefix pol: <http://tatooine.example/pol/> .
+@prefix : <http://tatooine.example/> .
+# a comment
+pol:POL01140 a :politician ;
+    :position :headOfState ;
+    foaf:name "François Hollande" ;
+    :twitterAccount "fhollande" .
+pol:POL01140 :knows pol:POL02, pol:POL03 .
+`
+	ts, err := ParseString(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 6 {
+		t.Fatalf("parsed %d triples, want 6: %v", len(ts), ts)
+	}
+	if ts[0].P != NewIRI(RDFType) {
+		t.Errorf("'a' keyword should map to rdf:type, got %v", ts[0].P)
+	}
+	if ts[0].S != NewIRI("http://tatooine.example/pol/POL01140") {
+		t.Errorf("prefixed subject: %v", ts[0].S)
+	}
+	if ts[2].P != NewIRI(FOAFName) {
+		t.Errorf("default foaf prefix: %v", ts[2].P)
+	}
+	// Object list via ','.
+	if ts[4].O != NewIRI("http://tatooine.example/pol/POL02") ||
+		ts[5].O != NewIRI("http://tatooine.example/pol/POL03") {
+		t.Errorf("object list: %v %v", ts[4], ts[5])
+	}
+}
+
+func TestParseNumbersAndBooleans(t *testing.T) {
+	in := `@prefix : <http://e/> .
+:x :count 42 .
+:x :ratio 3.14 .
+:x :neg -7 .
+:x :flag true .
+:x :flag2 false .
+`
+	ts, err := ParseString(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Term{
+		NewTypedLiteral("42", XSDInteger),
+		NewTypedLiteral("3.14", XSDDecimal),
+		NewTypedLiteral("-7", XSDInteger),
+		NewTypedLiteral("true", XSDBoolean),
+		NewTypedLiteral("false", XSDBoolean),
+	}
+	for i, w := range want {
+		if ts[i].O != w {
+			t.Errorf("row %d: got %v, want %v", i, ts[i].O, w)
+		}
+	}
+}
+
+func TestParseEscapes(t *testing.T) {
+	in := `<http://e/s> <http://e/p> "line\nnext \"quoted\" tab\there \\ done" .`
+	ts, err := ParseString(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "line\nnext \"quoted\" tab\there \\ done"
+	if ts[0].O.Value != want {
+		t.Errorf("escape parse: %q, want %q", ts[0].O.Value, want)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`<http://e/s> <http://e/p>`,                   // missing object + dot
+		`"literal" <http://e/p> <http://e/o> .`,       // literal subject
+		`<http://e/s> "p" <http://e/o> .`,             // literal predicate
+		`<http://e/s> <http://e/p> <http://e/o> ;; .`, // bad punctuation
+		`und:x <http://e/p> <http://e/o> .`,           // undeclared prefix
+		`@prefix broken <http://e/> .`,                // prefix name missing ':'
+		`<http://e/s <http://e/p> <http://e/o> .`,     // unterminated IRI then garbage
+	}
+	for _, c := range cases {
+		if _, err := ParseString(c); err == nil {
+			t.Errorf("expected error for %q", c)
+		}
+	}
+}
+
+func TestParseErrorPosition(t *testing.T) {
+	_, err := ParseString("<http://e/s> <http://e/p> <http://e/o> .\n\"bad\" <x> <y> .")
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("expected *ParseError, got %v", err)
+	}
+	if pe.Line != 2 {
+		t.Errorf("error line = %d, want 2", pe.Line)
+	}
+	if !strings.Contains(pe.Error(), "parse error") {
+		t.Errorf("error text: %s", pe.Error())
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	g := NewGraph()
+	g.AddAll(MustParse(`
+@prefix : <http://e/> .
+:s :p :o .
+:s :name "Le \"Monde\"" .
+:s :founded 1944 .
+:s :motto "liberté"@fr .
+`))
+	text := NTriplesString(g)
+	back, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	g2 := NewGraph()
+	g2.AddAll(back)
+	if g2.Size() != g.Size() {
+		t.Fatalf("round trip size %d != %d", g2.Size(), g.Size())
+	}
+	for _, tri := range g.Triples() {
+		if !g2.Contains(tri) {
+			t.Errorf("round trip lost %v", tri)
+		}
+	}
+}
+
+func TestParseTrailingSemicolon(t *testing.T) {
+	ts, err := ParseString(`@prefix : <http://e/> . :s :p :o ; .`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 1 {
+		t.Fatalf("got %d triples, want 1", len(ts))
+	}
+}
+
+func TestParseDecimalBeforeDot(t *testing.T) {
+	ts, err := ParseString(`@prefix : <http://e/> . :s :p 1.5 . :s :q 2 .`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 2 {
+		t.Fatalf("got %d triples, want 2", len(ts))
+	}
+	if ts[0].O != NewTypedLiteral("1.5", XSDDecimal) {
+		t.Errorf("decimal: %v", ts[0].O)
+	}
+	if ts[1].O != NewTypedLiteral("2", XSDInteger) {
+		t.Errorf("integer followed by statement dot: %v", ts[1].O)
+	}
+}

@@ -1,0 +1,171 @@
+package rdf
+
+// This file implements RDFS entailment: deriving the implicit triples
+// that hold in a graph given its schema (RDFS) triples. The paper
+// (§2.1) defines a query's *answer* as its evaluation against the
+// saturation G∞; Saturate computes G∞ with a semi-naive fixpoint over
+// the four standard rule groups:
+//
+//	rdfs5 : (p1 subPropertyOf p2), (p2 subPropertyOf p3) → (p1 subPropertyOf p3)
+//	rdfs7 : (s p1 o), (p1 subPropertyOf p2)              → (s p2 o)
+//	rdfs11: (c1 subClassOf c2), (c2 subClassOf c3)       → (c1 subClassOf c3)
+//	rdfs9 : (x type c1), (c1 subClassOf c2)              → (x type c2)
+//	rdfs2 : (s p o), (p domain c)                        → (s type c)
+//	rdfs3 : (s p o), (p range c)                         → (o type c)
+
+// Saturation holds a graph together with the closure of its schema,
+// ready to answer queries over G∞ without materializing all implicit
+// data triples up front (schema closures are small; data rules are
+// applied during saturation).
+type Saturation struct {
+	// Graph is the saturated graph (input triples plus all implied ones).
+	Graph *Graph
+	// Derived is the number of implicit triples that were added.
+	Derived int
+}
+
+// Saturate returns a new graph extended with all RDFS-entailed triples.
+// The input graph is not modified.
+func Saturate(g *Graph) *Saturation {
+	out := g.Clone()
+	derived := saturateInPlace(out)
+	return &Saturation{Graph: out, Derived: derived}
+}
+
+// SaturateInPlace adds all RDFS-entailed triples to g directly and
+// returns how many were added.
+func SaturateInPlace(g *Graph) int { return saturateInPlace(g) }
+
+func saturateInPlace(g *Graph) int {
+	subClassOf := NewIRI(RDFSSubClassOf)
+	subPropOf := NewIRI(RDFSSubPropertyOf)
+	domain := NewIRI(RDFSDomain)
+	rng := NewIRI(RDFSRange)
+	typ := NewIRI(RDFType)
+
+	derived := 0
+
+	// 1. Close the subClassOf and subPropertyOf hierarchies (rdfs5, rdfs11).
+	derived += transitiveClose(g, subClassOf)
+	derived += transitiveClose(g, subPropOf)
+
+	// Snapshot schema: super-properties, domains, ranges, super-classes.
+	superProps := objectMap(g, subPropOf)
+	superClasses := objectMap(g, subClassOf)
+	domains := objectMap(g, domain)
+	ranges := objectMap(g, rng)
+
+	// 2. Apply data rules to a fixpoint. rdfs7 can create triples whose
+	// property has domains/ranges, and rdfs2/3/9 only produce rdf:type
+	// triples, which in turn only feed rdfs9; iterate until stable.
+	for {
+		added := 0
+
+		// rdfs7: property inheritance.
+		for p, supers := range superProps {
+			pt := g.dict.Term(p)
+			for _, t := range g.Match(Term{}, pt, Term{}) {
+				for super := range supers {
+					if g.Add(Triple{t.S, g.dict.Term(super), t.O}) {
+						added++
+					}
+				}
+			}
+		}
+		// rdfs2: domain typing.
+		for p, classes := range domains {
+			pt := g.dict.Term(p)
+			for _, t := range g.Match(Term{}, pt, Term{}) {
+				for c := range classes {
+					if g.Add(Triple{t.S, typ, g.dict.Term(c)}) {
+						added++
+					}
+				}
+			}
+		}
+		// rdfs3: range typing (objects that are literals are skipped:
+		// a literal cannot be typed by rdf:type in our graphs).
+		for p, classes := range ranges {
+			pt := g.dict.Term(p)
+			for _, t := range g.Match(Term{}, pt, Term{}) {
+				if t.O.Kind == Literal {
+					continue
+				}
+				for c := range classes {
+					if g.Add(Triple{t.O, typ, g.dict.Term(c)}) {
+						added++
+					}
+				}
+			}
+		}
+		// rdfs9: class membership propagation.
+		for c, supers := range superClasses {
+			ct := g.dict.Term(c)
+			for _, t := range g.Match(Term{}, typ, ct) {
+				for super := range supers {
+					if g.Add(Triple{t.S, typ, g.dict.Term(super)}) {
+						added++
+					}
+				}
+			}
+		}
+
+		derived += added
+		if added == 0 {
+			return derived
+		}
+	}
+}
+
+// transitiveClose adds the transitive closure of property p to g and
+// returns the number of added triples.
+func transitiveClose(g *Graph, p Term) int {
+	pid := g.dict.Lookup(p)
+	if pid == NoTerm {
+		return 0
+	}
+	// adjacency: s -> set of direct objects
+	adj := make(map[TermID][]TermID)
+	g.MatchIDs(NoTerm, pid, NoTerm, func(s, _, o TermID) bool {
+		adj[s] = append(adj[s], o)
+		return true
+	})
+	added := 0
+	for s := range adj {
+		// BFS from s.
+		seen := map[TermID]struct{}{s: {}}
+		queue := append([]TermID(nil), adj[s]...)
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			if _, ok := seen[cur]; ok {
+				continue
+			}
+			seen[cur] = struct{}{}
+			if g.addIDs(s, pid, cur) {
+				added++
+			}
+			queue = append(queue, adj[cur]...)
+		}
+	}
+	return added
+}
+
+// objectMap snapshots p-edges as subject -> set of objects.
+func objectMap(g *Graph, p Term) map[TermID]termSet {
+	pid := g.dict.Lookup(p)
+	if pid == NoTerm {
+		return nil
+	}
+	out := make(map[TermID]termSet)
+	g.MatchIDs(NoTerm, pid, NoTerm, func(s, _, o TermID) bool {
+		set, ok := out[s]
+		if !ok {
+			set = make(termSet)
+			out[s] = set
+		}
+		set[o] = struct{}{}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,172 @@
+package rdf
+
+import (
+	"testing"
+)
+
+// graphFromPaper builds the running example of §2.1: journalists are
+// employees, worksFor ⊑ paidBy, foundedIn has domain Organization,
+// worksFor has range Organization.
+func graphFromPaper() *Graph {
+	g := NewGraph()
+	g.AddAll(MustParse(`
+@prefix : <http://tatooine.example/> .
+:LeMonde :foundedIn "1944" .
+:Samuel :worksFor :LeMonde .
+:Samuel a :Journalist .
+:Journalist rdfs:subClassOf :Employee .
+:worksFor rdfs:subPropertyOf :paidBy .
+:foundedIn rdfs:domain :Organization .
+:worksFor rdfs:range :Organization .
+`))
+	return g
+}
+
+func iri(s string) Term { return NewIRI("http://tatooine.example/" + s) }
+
+func TestSaturatePaperExample(t *testing.T) {
+	g := graphFromPaper()
+	sat := Saturate(g)
+	got := sat.Graph
+
+	// The paper lists exactly these implicit triples (§2.1).
+	wantImplicit := []Triple{
+		{iri("Samuel"), iri("paidBy"), iri("LeMonde")},
+		{iri("Samuel"), NewIRI(RDFType), iri("Employee")},
+		{iri("LeMonde"), NewIRI(RDFType), iri("Organization")},
+	}
+	for _, tri := range wantImplicit {
+		if !got.Contains(tri) {
+			t.Errorf("saturation missing implicit triple %v", tri)
+		}
+	}
+	// Original graph must be untouched.
+	for _, tri := range wantImplicit {
+		if g.Contains(tri) {
+			t.Errorf("Saturate mutated its input: found %v", tri)
+		}
+	}
+	if sat.Derived < len(wantImplicit) {
+		t.Errorf("Derived = %d, want at least %d", sat.Derived, len(wantImplicit))
+	}
+}
+
+func TestSaturateSubClassTransitivity(t *testing.T) {
+	g := NewGraph()
+	g.AddAll(MustParse(`
+@prefix : <http://e/> .
+:A rdfs:subClassOf :B .
+:B rdfs:subClassOf :C .
+:C rdfs:subClassOf :D .
+:x a :A .
+`))
+	got := Saturate(g).Graph
+	for _, c := range []string{"B", "C", "D"} {
+		if !got.Contains(Triple{NewIRI("http://e/x"), NewIRI(RDFType), NewIRI("http://e/" + c)}) {
+			t.Errorf("x should be typed %s", c)
+		}
+	}
+	// rdfs11: A subClassOf D must be derived.
+	if !got.Contains(Triple{NewIRI("http://e/A"), NewIRI(RDFSSubClassOf), NewIRI("http://e/D")}) {
+		t.Error("missing transitive subClassOf A->D")
+	}
+}
+
+func TestSaturateSubClassCycle(t *testing.T) {
+	g := NewGraph()
+	g.AddAll(MustParse(`
+@prefix : <http://e/> .
+:A rdfs:subClassOf :B .
+:B rdfs:subClassOf :A .
+:x a :A .
+`))
+	got := Saturate(g).Graph // must terminate
+	if !got.Contains(Triple{NewIRI("http://e/x"), NewIRI(RDFType), NewIRI("http://e/B")}) {
+		t.Error("cycle member typing missing")
+	}
+}
+
+func TestSaturateSubPropertyChainFeedsDomain(t *testing.T) {
+	// rdfs7 output must feed rdfs2: p ⊑ q, q has domain C, s p o ⟹ s type C.
+	g := NewGraph()
+	g.AddAll(MustParse(`
+@prefix : <http://e/> .
+:p rdfs:subPropertyOf :q .
+:q rdfs:domain :C .
+:s :p :o .
+`))
+	got := Saturate(g).Graph
+	if !got.Contains(Triple{NewIRI("http://e/s"), NewIRI(RDFType), NewIRI("http://e/C")}) {
+		t.Error("rdfs7 ∘ rdfs2 composition missing")
+	}
+}
+
+func TestSaturateRangeSkipsLiterals(t *testing.T) {
+	g := NewGraph()
+	g.AddAll(MustParse(`
+@prefix : <http://e/> .
+:name rdfs:range :Label .
+:s :name "plain string" .
+:s :name :uriValue .
+`))
+	got := Saturate(g).Graph
+	if got.Contains(Triple{NewLiteral("plain string"), NewIRI(RDFType), NewIRI("http://e/Label")}) {
+		t.Error("literal must not be typed by rdfs3")
+	}
+	if !got.Contains(Triple{NewIRI("http://e/uriValue"), NewIRI(RDFType), NewIRI("http://e/Label")}) {
+		t.Error("IRI object should be typed by rdfs3")
+	}
+}
+
+func TestSaturateIdempotent(t *testing.T) {
+	g := graphFromPaper()
+	once := Saturate(g)
+	twice := Saturate(once.Graph)
+	if twice.Derived != 0 {
+		t.Errorf("second saturation derived %d new triples, want 0", twice.Derived)
+	}
+	if twice.Graph.Size() != once.Graph.Size() {
+		t.Errorf("sizes differ: %d vs %d", twice.Graph.Size(), once.Graph.Size())
+	}
+}
+
+func TestSaturateInPlace(t *testing.T) {
+	g := graphFromPaper()
+	before := g.Size()
+	n := SaturateInPlace(g)
+	if n <= 0 {
+		t.Fatal("expected derivations")
+	}
+	if g.Size() != before+n {
+		t.Errorf("size %d != before %d + derived %d", g.Size(), before, n)
+	}
+}
+
+func TestSaturateNoSchemaNoop(t *testing.T) {
+	g := NewGraph()
+	g.AddAll(MustParse(`@prefix : <http://e/> . :a :p :b . :b :q :c .`))
+	sat := Saturate(g)
+	if sat.Derived != 0 {
+		t.Errorf("derived %d from schema-free graph", sat.Derived)
+	}
+}
+
+func TestAnswerUsesSaturation(t *testing.T) {
+	g := graphFromPaper()
+	q := MustParseBGP(`q(?who) :- ?who <http://tatooine.example/paidBy> <http://tatooine.example/LeMonde>`, nil)
+	sols, err := Answer(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sols.Len() != 1 || sols.Rows[0][0] != iri("Samuel") {
+		t.Errorf("Answer over G∞: %+v", sols.Rows)
+	}
+	// Plain Evaluate must not see the implicit triple.
+	plain, err := Evaluate(g, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Len() != 0 {
+		t.Errorf("Evaluate without saturation returned %d rows", plain.Len())
+	}
+}

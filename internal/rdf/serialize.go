@@ -1,0 +1,29 @@
+package rdf
+
+import (
+	"bufio"
+	"io"
+	"strings"
+)
+
+// WriteNTriples serializes the graph in canonical (sorted) N-Triples form.
+func WriteNTriples(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range g.Triples() {
+		if _, err := bw.WriteString(t.String()); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(" .\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// NTriplesString returns the canonical N-Triples rendering of g.
+func NTriplesString(g *Graph) string {
+	var b strings.Builder
+	// strings.Builder never returns a write error.
+	_ = WriteNTriples(&b, g)
+	return b.String()
+}

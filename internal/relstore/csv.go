@@ -1,0 +1,96 @@
+package relstore
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+
+	"tatooine/internal/value"
+)
+
+// ImportCSV loads CSV data (first record is the header) into a new table.
+// Column types are inferred from the first non-empty value of each
+// column across up to the first 100 data rows; untyped columns default
+// to TEXT. Empty cells become NULL.
+func (db *Database) ImportCSV(tableName string, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relstore: csv header: %w", err)
+	}
+	if len(header) == 0 {
+		return nil, fmt.Errorf("relstore: csv has no columns")
+	}
+	var records [][]string
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relstore: csv row %d: %w", len(records)+2, err)
+		}
+		records = append(records, rec)
+	}
+
+	// Infer types.
+	kinds := make([]value.Kind, len(header))
+	for i := range kinds {
+		kinds[i] = value.Null
+	}
+	sample := len(records)
+	if sample > 100 {
+		sample = 100
+	}
+	for _, rec := range records[:sample] {
+		for i := range header {
+			if i >= len(rec) || rec[i] == "" {
+				continue
+			}
+			k := value.Parse(rec[i], false).Kind()
+			switch {
+			case kinds[i] == value.Null:
+				kinds[i] = k
+			case kinds[i] == k:
+			case kinds[i] == value.Int && k == value.Float,
+				kinds[i] == value.Float && k == value.Int:
+				kinds[i] = value.Float
+			default:
+				kinds[i] = value.String
+			}
+		}
+	}
+	schema := Schema{Name: tableName}
+	for i, h := range header {
+		k := kinds[i]
+		if k == value.Null {
+			k = value.String
+		}
+		schema.Columns = append(schema.Columns, Column{Name: strings.TrimSpace(h), Type: k})
+	}
+	t, err := db.CreateTable(schema)
+	if err != nil {
+		return nil, err
+	}
+	for ri, rec := range records {
+		row := make(value.Row, len(header))
+		for i := range header {
+			if i >= len(rec) || rec[i] == "" {
+				row[i] = value.NewNull()
+				continue
+			}
+			row[i] = value.Parse(rec[i], true)
+		}
+		if err := t.Insert(row); err != nil {
+			return nil, fmt.Errorf("relstore: csv row %d: %w", ri+2, err)
+		}
+	}
+	return t, nil
+}
+
+// ImportCSVString is ImportCSV over a string.
+func (db *Database) ImportCSVString(tableName, data string) (*Table, error) {
+	return db.ImportCSV(tableName, strings.NewReader(data))
+}

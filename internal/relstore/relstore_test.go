@@ -1,0 +1,536 @@
+package relstore
+
+import (
+	"strings"
+	"testing"
+
+	"tatooine/internal/value"
+)
+
+// electionsDB builds a small INSEE/Ministry-of-Interior style database:
+// departements, election results, and agricultural production (the
+// paper's running relational examples).
+func electionsDB(t *testing.T) *Database {
+	t.Helper()
+	db := NewDatabase("insee")
+	mustExec := func(q string, params ...value.Value) *Result {
+		t.Helper()
+		res, err := db.Exec(q, params...)
+		if err != nil {
+			t.Fatalf("exec %q: %v", q, err)
+		}
+		return res
+	}
+	mustExec(`CREATE TABLE departements (code TEXT PRIMARY KEY, name TEXT, population INT)`)
+	mustExec(`CREATE TABLE resultats (
+		dept TEXT, year INT, party TEXT, votes INT,
+		PRIMARY KEY (dept, year, party),
+		FOREIGN KEY (dept) REFERENCES departements(code))`)
+	mustExec(`INSERT INTO departements VALUES
+		('75', 'Paris', 2187526),
+		('92', 'Hauts-de-Seine', 1609306),
+		('29', 'Finistere', 909028)`)
+	mustExec(`INSERT INTO resultats VALUES
+		('75', 2015, 'PS', 350000), ('75', 2015, 'LR', 420000),
+		('92', 2015, 'PS', 210000), ('92', 2015, 'LR', 380000),
+		('29', 2015, 'PS', 180000), ('29', 2015, 'LR', 120000),
+		('75', 2012, 'PS', 500000), ('75', 2012, 'LR', 390000)`)
+	return db
+}
+
+func TestCreateInsertSelect(t *testing.T) {
+	db := electionsDB(t)
+	res, err := db.Exec("SELECT name, population FROM departements WHERE code = '75'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Str() != "Paris" {
+		t.Errorf("rows: %+v", res.Rows)
+	}
+	if res.Columns[0] != "name" || res.Columns[1] != "population" {
+		t.Errorf("columns: %v", res.Columns)
+	}
+}
+
+func TestInsertTypeChecking(t *testing.T) {
+	db := NewDatabase("d")
+	if _, err := db.Exec("CREATE TABLE t (n INT, s TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	// String that parses as int is coerced.
+	if _, err := db.Exec("INSERT INTO t VALUES ('42', 'ok')"); err != nil {
+		t.Errorf("coercible insert: %v", err)
+	}
+	// Non-numeric string into INT fails.
+	if _, err := db.Exec("INSERT INTO t VALUES ('abc', 'ok')"); err == nil {
+		t.Error("expected type error")
+	}
+	// Wrong arity fails.
+	if _, err := db.Exec("INSERT INTO t VALUES (1)"); err == nil {
+		t.Error("expected arity error")
+	}
+}
+
+func TestPrimaryKeyEnforced(t *testing.T) {
+	db := electionsDB(t)
+	if _, err := db.Exec(`INSERT INTO departements VALUES ('75', 'Dup', 1)`); err == nil {
+		t.Error("duplicate PK accepted")
+	}
+	// Composite PK: same dept+year different party is fine.
+	if _, err := db.Exec(`INSERT INTO resultats VALUES ('75', 2015, 'EELV', 90000)`); err != nil {
+		t.Errorf("composite PK false positive: %v", err)
+	}
+	if _, err := db.Exec(`INSERT INTO resultats VALUES ('75', 2015, 'PS', 1)`); err == nil {
+		t.Error("composite PK duplicate accepted")
+	}
+}
+
+func TestForeignKeyValidation(t *testing.T) {
+	db := NewDatabase("d")
+	if _, err := db.Exec(`CREATE TABLE a (x INT, FOREIGN KEY (x) REFERENCES missing(y))`); err == nil {
+		t.Error("FK to missing table accepted")
+	}
+}
+
+func TestWherePredicates(t *testing.T) {
+	db := electionsDB(t)
+	cases := []struct {
+		q    string
+		want int
+	}{
+		{"SELECT * FROM resultats WHERE year = 2015", 6},
+		{"SELECT * FROM resultats WHERE year = 2015 AND party = 'PS'", 3},
+		{"SELECT * FROM resultats WHERE votes > 300000", 5},
+		{"SELECT * FROM resultats WHERE votes BETWEEN 100000 AND 200000", 2},
+		{"SELECT * FROM resultats WHERE party IN ('PS', 'EELV')", 4},
+		{"SELECT * FROM resultats WHERE party NOT IN ('PS')", 4},
+		{"SELECT * FROM departements WHERE name LIKE 'P%'", 1},
+		{"SELECT * FROM departements WHERE name LIKE '%e%'", 2},
+		{"SELECT * FROM departements WHERE name LIKE '_aris'", 1},
+		{"SELECT * FROM resultats WHERE NOT year = 2015", 2},
+		{"SELECT * FROM resultats WHERE year = 2012 OR party = 'LR'", 5},
+	}
+	for _, c := range cases {
+		res, err := db.Exec(c.q)
+		if err != nil {
+			t.Errorf("%q: %v", c.q, err)
+			continue
+		}
+		if len(res.Rows) != c.want {
+			t.Errorf("%q: %d rows, want %d", c.q, len(res.Rows), c.want)
+		}
+	}
+}
+
+func TestParamSubstitution(t *testing.T) {
+	db := electionsDB(t)
+	res, err := db.Exec("SELECT name FROM departements WHERE code = ?", value.NewString("92"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Str() != "Hauts-de-Seine" {
+		t.Errorf("param query: %+v", res.Rows)
+	}
+	if _, err := db.Exec("SELECT name FROM departements WHERE code = ?"); err == nil {
+		t.Error("missing param accepted")
+	}
+}
+
+func TestJoinHash(t *testing.T) {
+	db := electionsDB(t)
+	res, err := db.Exec(`SELECT d.name, r.party, r.votes
+		FROM resultats r JOIN departements d ON r.dept = d.code
+		WHERE r.year = 2015 ORDER BY r.votes DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("join rows: %d", len(res.Rows))
+	}
+	if res.Rows[0][2].Int() != 420000 || res.Rows[0][0].Str() != "Paris" {
+		t.Errorf("top row: %+v", res.Rows[0])
+	}
+}
+
+func TestLeftJoin(t *testing.T) {
+	db := NewDatabase("d")
+	for _, q := range []string{
+		"CREATE TABLE a (id INT, name TEXT)",
+		"CREATE TABLE b (aid INT, label TEXT)",
+		"INSERT INTO a VALUES (1, 'one'), (2, 'two'), (3, 'three')",
+		"INSERT INTO b VALUES (1, 'x'), (1, 'y')",
+	} {
+		if _, err := db.Exec(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := db.Exec(`SELECT a.name, b.label FROM a LEFT JOIN b ON a.id = b.aid ORDER BY a.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("left join rows: %d: %+v", len(res.Rows), res.Rows)
+	}
+	// Rows for id 2 and 3 must have NULL labels.
+	nulls := 0
+	for _, r := range res.Rows {
+		if r[1].IsNull() {
+			nulls++
+		}
+	}
+	if nulls != 2 {
+		t.Errorf("null-padded rows: %d, want 2", nulls)
+	}
+}
+
+func TestNestedLoopJoinNonEqui(t *testing.T) {
+	db := electionsDB(t)
+	res, err := db.Exec(`SELECT d.name FROM departements d
+		JOIN resultats r ON r.votes > d.population`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Finistere pop 909028: no votes exceed it; others are larger. Actually
+	// votes max 500000 < min population 909028, so empty.
+	if len(res.Rows) != 0 {
+		t.Errorf("non-equi join rows: %d", len(res.Rows))
+	}
+}
+
+func TestGroupByAggregates(t *testing.T) {
+	db := electionsDB(t)
+	res, err := db.Exec(`SELECT party, SUM(votes) AS total, COUNT(*) AS n, AVG(votes) AS mean,
+		MIN(votes) AS lo, MAX(votes) AS hi
+		FROM resultats WHERE year = 2015 GROUP BY party ORDER BY total DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("groups: %d", len(res.Rows))
+	}
+	lr := res.Rows[0]
+	if lr[0].Str() != "LR" || lr[1].Int() != 920000 || lr[2].Int() != 3 {
+		t.Errorf("LR row: %+v", lr)
+	}
+	if lr[4].Int() != 120000 || lr[5].Int() != 420000 {
+		t.Errorf("min/max: %+v", lr)
+	}
+	mean := lr[3].Float()
+	if mean < 306666 || mean > 306667 {
+		t.Errorf("avg: %v", mean)
+	}
+}
+
+func TestHaving(t *testing.T) {
+	db := electionsDB(t)
+	res, err := db.Exec(`SELECT dept, COUNT(*) AS n FROM resultats
+		GROUP BY dept HAVING COUNT(*) > 2 ORDER BY n DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Str() != "75" {
+		t.Errorf("having: %+v", res.Rows)
+	}
+}
+
+func TestGlobalAggregateWithoutGroupBy(t *testing.T) {
+	db := electionsDB(t)
+	res, err := db.Exec(`SELECT COUNT(*), SUM(votes) FROM resultats`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 8 {
+		t.Errorf("global agg: %+v", res.Rows)
+	}
+}
+
+func TestCountDistinct(t *testing.T) {
+	db := electionsDB(t)
+	res, err := db.Exec(`SELECT COUNT(DISTINCT party) FROM resultats`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 2 {
+		t.Errorf("count distinct: %+v", res.Rows[0])
+	}
+}
+
+func TestDistinctRows(t *testing.T) {
+	db := electionsDB(t)
+	res, err := db.Exec(`SELECT DISTINCT party FROM resultats ORDER BY party`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0].Str() != "LR" {
+		t.Errorf("distinct: %+v", res.Rows)
+	}
+}
+
+func TestOrderByMultipleKeysAndOffset(t *testing.T) {
+	db := electionsDB(t)
+	res, err := db.Exec(`SELECT dept, year, votes FROM resultats
+		ORDER BY year DESC, votes ASC LIMIT 3 OFFSET 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows: %d", len(res.Rows))
+	}
+	if res.Rows[0][1].Int() != 2015 || res.Rows[0][2].Int() != 180000 {
+		t.Errorf("offset row: %+v", res.Rows[0])
+	}
+}
+
+func TestOrderByUnprojectedColumn(t *testing.T) {
+	db := electionsDB(t)
+	res, err := db.Exec(`SELECT name FROM departements ORDER BY population DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Str() != "Paris" || res.Rows[2][0].Str() != "Finistere" {
+		t.Errorf("order by unprojected: %+v", res.Rows)
+	}
+}
+
+func TestScalarFunctions(t *testing.T) {
+	db := electionsDB(t)
+	res, err := db.Exec(`SELECT LOWER(name), UPPER(code), LENGTH(name) FROM departements WHERE code = '29'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Rows[0]
+	if r[0].Str() != "finistere" || r[1].Str() != "29" || r[2].Int() != 9 {
+		t.Errorf("functions: %+v", r)
+	}
+}
+
+func TestArithmeticProjection(t *testing.T) {
+	db := electionsDB(t)
+	res, err := db.Exec(`SELECT votes * 2 AS double, votes / 1000 FROM resultats WHERE dept = '29' AND party = 'LR'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 240000 {
+		t.Errorf("arith: %+v", res.Rows[0])
+	}
+	if res.Rows[0][1].Float() != 120 {
+		t.Errorf("div: %+v", res.Rows[0])
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	db := electionsDB(t)
+	if _, err := db.Exec("SELECT votes / 0 FROM resultats"); err == nil {
+		t.Error("division by zero accepted")
+	}
+}
+
+func TestAmbiguousColumn(t *testing.T) {
+	db := NewDatabase("d")
+	db.Exec("CREATE TABLE a (id INT)")
+	db.Exec("CREATE TABLE b (id INT)")
+	db.Exec("INSERT INTO a VALUES (1)")
+	db.Exec("INSERT INTO b VALUES (1)")
+	if _, err := db.Exec("SELECT id FROM a JOIN b ON a.id = b.id"); err == nil ||
+		!strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("ambiguous column: %v", err)
+	}
+}
+
+func TestUnknownTableAndColumn(t *testing.T) {
+	db := electionsDB(t)
+	if _, err := db.Exec("SELECT x FROM nope"); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if _, err := db.Exec("SELECT nope FROM departements"); err == nil {
+		t.Error("unknown column accepted")
+	}
+}
+
+func TestIndexLookup(t *testing.T) {
+	db := electionsDB(t)
+	tbl := db.Table("resultats")
+	if err := tbl.CreateIndex("dept"); err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.HasIndex("dept") {
+		t.Error("index not registered")
+	}
+	rows, ok := tbl.LookupIndex("dept", value.NewString("75"))
+	if !ok || len(rows) != 4 {
+		t.Errorf("index lookup: ok=%v n=%d", ok, len(rows))
+	}
+	// Index stays consistent after further inserts.
+	if _, err := db.Exec(`INSERT INTO resultats VALUES ('75', 2017, 'LREM', 600000)`); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ = tbl.LookupIndex("dept", value.NewString("75"))
+	if len(rows) != 5 {
+		t.Errorf("index after insert: %d", len(rows))
+	}
+}
+
+func TestDistinctValues(t *testing.T) {
+	db := electionsDB(t)
+	vals, err := db.Table("resultats").DistinctValues("party")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 2 || vals[0].Str() != "LR" || vals[1].Str() != "PS" {
+		t.Errorf("distinct values: %v", vals)
+	}
+}
+
+func TestTableScanEarlyStop(t *testing.T) {
+	db := electionsDB(t)
+	n := 0
+	db.Table("resultats").Scan(func(value.Row) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("scan visited %d", n)
+	}
+}
+
+func TestIsNull(t *testing.T) {
+	db := NewDatabase("d")
+	db.Exec("CREATE TABLE t (a INT, b TEXT)")
+	db.Exec("INSERT INTO t (a) VALUES (1)")
+	db.Exec("INSERT INTO t VALUES (2, 'x')")
+	res, err := db.Exec("SELECT a FROM t WHERE b IS NULL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 1 {
+		t.Errorf("is null: %+v", res.Rows)
+	}
+	res, _ = db.Exec("SELECT a FROM t WHERE b IS NOT NULL")
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 2 {
+		t.Errorf("is not null: %+v", res.Rows)
+	}
+}
+
+func TestNullComparisonsAreFalse(t *testing.T) {
+	db := NewDatabase("d")
+	db.Exec("CREATE TABLE t (a INT)")
+	db.Exec("INSERT INTO t (a) VALUES (1)")
+	db.Exec("INSERT INTO t VALUES (NULL)")
+	for _, q := range []string{
+		"SELECT a FROM t WHERE a = NULL",
+		"SELECT a FROM t WHERE a != NULL",
+		"SELECT a FROM t WHERE a > NULL",
+	} {
+		res, err := db.Exec(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 0 {
+			t.Errorf("%q: %d rows, want 0", q, len(res.Rows))
+		}
+	}
+}
+
+func TestImportCSV(t *testing.T) {
+	db := NewDatabase("d")
+	csv := `code,name,population
+75,Paris,2187526
+92,Hauts-de-Seine,1609306
+2A,Corse-du-Sud,158507
+`
+	tbl, err := db.ImportCSVString("departements", csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.RowCount() != 3 {
+		t.Fatalf("rows: %d", tbl.RowCount())
+	}
+	schema := tbl.Schema()
+	// "code" column mixes ints and "2A" → must fall back to TEXT? No:
+	// inference sees 75 first (Int), then 2A (String) → String.
+	if schema.Columns[0].Type != value.String {
+		t.Errorf("code type: %v", schema.Columns[0].Type)
+	}
+	if schema.Columns[2].Type != value.Int {
+		t.Errorf("population type: %v", schema.Columns[2].Type)
+	}
+	res, err := db.Exec("SELECT name FROM departements WHERE code = '2A'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Str() != "Corse-du-Sud" {
+		t.Errorf("csv query: %+v", res.Rows)
+	}
+}
+
+func TestImportCSVEmptyCellsAreNull(t *testing.T) {
+	db := NewDatabase("d")
+	tbl, err := db.ImportCSVString("t", "a,b\n1,\n2,x\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tbl.Rows()
+	if !rows[0][1].IsNull() {
+		t.Error("empty cell should be NULL")
+	}
+}
+
+func TestLikeMatcher(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"hello", "hello", true},
+		{"hello", "h%", true},
+		{"hello", "%o", true},
+		{"hello", "%ell%", true},
+		{"hello", "h_llo", true},
+		{"hello", "h__lo", true}, // _ matches 'e' and 'l'
+		{"hela", "h__lo", false},
+		{"hello", "", false},
+		{"", "%", true},
+		{"abc", "%%", true},
+		{"abc", "a%b%c", true},
+		{"axbyc", "a%b%c", true},
+		{"ac", "a%b%c", false},
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.s, c.p); got != c.want {
+			t.Errorf("likeMatch(%q,%q) = %v, want %v", c.s, c.p, got, c.want)
+		}
+	}
+}
+
+func TestConcurrentInsertAndScan(t *testing.T) {
+	db := NewDatabase("d")
+	if _, err := db.Exec("CREATE TABLE t (n INT)"); err != nil {
+		t.Fatal(err)
+	}
+	tbl := db.Table("t")
+	done := make(chan error, 8)
+	for i := 0; i < 4; i++ {
+		go func(base int) {
+			for j := 0; j < 50; j++ {
+				if err := tbl.Insert(value.Row{value.NewInt(int64(base*50 + j))}); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(i)
+	}
+	for i := 0; i < 4; i++ {
+		go func() {
+			tbl.Scan(func(value.Row) bool { return true })
+			done <- nil
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tbl.RowCount() != 200 {
+		t.Errorf("rows: %d", tbl.RowCount())
+	}
+}

@@ -1,0 +1,288 @@
+// Package relstore implements TATOOINE's relational substrate: an
+// in-memory column-typed table store with hash indexes, primary and
+// foreign keys, a SQL-subset executor, and CSV import. It stands in for
+// the curated relational databases (INSEE, Ministry of Interior) that
+// the paper's mixed instances contain.
+package relstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"tatooine/internal/value"
+)
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Type value.Kind
+}
+
+// ForeignKey links a column to a referenced table/column.
+type ForeignKey struct {
+	Column    string
+	RefTable  string
+	RefColumn string
+}
+
+// Schema describes a table.
+type Schema struct {
+	Name        string
+	Columns     []Column
+	PrimaryKey  []string
+	ForeignKeys []ForeignKey
+}
+
+// ColumnIndex returns the position of the named column, or -1.
+func (s *Schema) ColumnIndex(name string) int {
+	for i, c := range s.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Table is an in-memory relation with optional hash indexes. All methods
+// are safe for concurrent use.
+type Table struct {
+	mu      sync.RWMutex
+	schema  Schema
+	rows    []value.Row
+	indexes map[string]map[string][]int // column -> value key -> row ids
+	pkSet   map[string]struct{}         // composite PK uniqueness
+}
+
+// NewTable creates an empty table with the given schema.
+func NewTable(schema Schema) *Table {
+	return &Table{
+		schema:  schema,
+		indexes: make(map[string]map[string][]int),
+		pkSet:   make(map[string]struct{}),
+	}
+}
+
+// Schema returns a copy of the table's schema.
+func (t *Table) Schema() Schema { return t.schema }
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.schema.Name }
+
+// RowCount returns the number of stored rows.
+func (t *Table) RowCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// Insert appends a row after type-checking it against the schema. String
+// values are coerced to the declared column types when possible. Primary
+// key duplicates are rejected.
+func (t *Table) Insert(row value.Row) error {
+	if len(row) != len(t.schema.Columns) {
+		return fmt.Errorf("relstore: table %s: row has %d values, schema has %d columns",
+			t.schema.Name, len(row), len(t.schema.Columns))
+	}
+	typed := make(value.Row, len(row))
+	for i, v := range row {
+		if v.IsNull() {
+			typed[i] = v
+			continue
+		}
+		want := t.schema.Columns[i].Type
+		if v.Kind() == want {
+			typed[i] = v
+			continue
+		}
+		coerced, ok := value.Coerce(v, want)
+		if !ok {
+			return fmt.Errorf("relstore: table %s column %s: cannot store %s as %s",
+				t.schema.Name, t.schema.Columns[i].Name, v.Kind(), want)
+		}
+		typed[i] = coerced
+	}
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.schema.PrimaryKey) > 0 {
+		key := t.pkKeyLocked(typed)
+		if _, dup := t.pkSet[key]; dup {
+			return fmt.Errorf("relstore: table %s: duplicate primary key %v", t.schema.Name, key)
+		}
+		t.pkSet[key] = struct{}{}
+	}
+	id := len(t.rows)
+	t.rows = append(t.rows, typed)
+	for col, idx := range t.indexes {
+		ci := t.schema.ColumnIndex(col)
+		k := typed[ci].Key()
+		idx[k] = append(idx[k], id)
+	}
+	return nil
+}
+
+func (t *Table) pkKeyLocked(row value.Row) string {
+	parts := make(value.Row, 0, len(t.schema.PrimaryKey))
+	for _, col := range t.schema.PrimaryKey {
+		parts = append(parts, row[t.schema.ColumnIndex(col)])
+	}
+	return parts.Key()
+}
+
+// CreateIndex builds (or rebuilds) a hash index on the named column.
+func (t *Table) CreateIndex(column string) error {
+	ci := t.schema.ColumnIndex(column)
+	if ci < 0 {
+		return fmt.Errorf("relstore: table %s: no column %q", t.schema.Name, column)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	idx := make(map[string][]int)
+	for id, row := range t.rows {
+		k := row[ci].Key()
+		idx[k] = append(idx[k], id)
+	}
+	t.indexes[t.schema.Columns[ci].Name] = idx
+	return nil
+}
+
+// HasIndex reports whether the column has a hash index.
+func (t *Table) HasIndex(column string) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ci := t.schema.ColumnIndex(column)
+	if ci < 0 {
+		return false
+	}
+	_, ok := t.indexes[t.schema.Columns[ci].Name]
+	return ok
+}
+
+// LookupIndex returns copies of the rows whose indexed column equals v.
+// The boolean is false when the column has no index.
+func (t *Table) LookupIndex(column string, v value.Value) ([]value.Row, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ci := t.schema.ColumnIndex(column)
+	if ci < 0 {
+		return nil, false
+	}
+	idx, ok := t.indexes[t.schema.Columns[ci].Name]
+	if !ok {
+		return nil, false
+	}
+	ids := idx[v.Key()]
+	out := make([]value.Row, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, t.rows[id].Clone())
+	}
+	return out, true
+}
+
+// Scan calls fn with each row. The row slice must not be retained or
+// mutated by fn; clone if needed. Iteration stops when fn returns false.
+func (t *Table) Scan(fn func(row value.Row) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, r := range t.rows {
+		if !fn(r) {
+			return
+		}
+	}
+}
+
+// Rows returns a deep copy of all rows.
+func (t *Table) Rows() []value.Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]value.Row, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = r.Clone()
+	}
+	return out
+}
+
+// DistinctValues returns the sorted distinct non-null values of a column.
+func (t *Table) DistinctValues(column string) ([]value.Value, error) {
+	ci := t.schema.ColumnIndex(column)
+	if ci < 0 {
+		return nil, fmt.Errorf("relstore: table %s: no column %q", t.schema.Name, column)
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	seen := make(map[string]value.Value)
+	for _, r := range t.rows {
+		if r[ci].IsNull() {
+			continue
+		}
+		seen[r[ci].Key()] = r[ci]
+	}
+	out := make([]value.Value, 0, len(seen))
+	for _, v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return value.Less(out[i], out[j]) })
+	return out, nil
+}
+
+// Database is a named collection of tables.
+type Database struct {
+	mu     sync.RWMutex
+	name   string
+	tables map[string]*Table
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase(name string) *Database {
+	return &Database{name: name, tables: make(map[string]*Table)}
+}
+
+// Name returns the database name.
+func (db *Database) Name() string { return db.name }
+
+// CreateTable registers a new table; the name must be unused.
+func (db *Database) CreateTable(schema Schema) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(schema.Name)
+	if _, exists := db.tables[key]; exists {
+		return nil, fmt.Errorf("relstore: table %q already exists", schema.Name)
+	}
+	// Validate foreign keys against existing tables.
+	for _, fk := range schema.ForeignKeys {
+		ref, ok := db.tables[strings.ToLower(fk.RefTable)]
+		if !ok {
+			return nil, fmt.Errorf("relstore: foreign key references unknown table %q", fk.RefTable)
+		}
+		if ref.schema.ColumnIndex(fk.RefColumn) < 0 {
+			return nil, fmt.Errorf("relstore: foreign key references unknown column %s.%s", fk.RefTable, fk.RefColumn)
+		}
+		if schema.ColumnIndex(fk.Column) < 0 {
+			return nil, fmt.Errorf("relstore: foreign key on unknown column %q", fk.Column)
+		}
+	}
+	t := NewTable(schema)
+	db.tables[key] = t
+	return t, nil
+}
+
+// Table returns the named table (case-insensitive), or nil.
+func (db *Database) Table(name string) *Table {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tables[strings.ToLower(name)]
+}
+
+// Tables returns all tables sorted by name.
+func (db *Database) Tables() []*Table {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]*Table, 0, len(db.tables))
+	for _, t := range db.tables {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}

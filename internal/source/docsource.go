@@ -1,0 +1,90 @@
+package source
+
+import (
+	"fmt"
+
+	"tatooine/internal/fulltext"
+	"tatooine/internal/value"
+)
+
+// DocSource exposes a fulltext.Index as a DataSource accepting the
+// SEARCH syntax; it plays the role of the Apache Solr tweet / Facebook
+// post collections of the paper's mixed instance.
+type DocSource struct {
+	uri string
+	ix  *fulltext.Index
+}
+
+// NewDocSource wraps ix.
+func NewDocSource(uri string, ix *fulltext.Index) *DocSource {
+	return &DocSource{uri: uri, ix: ix}
+}
+
+// Index returns the underlying full-text index.
+func (s *DocSource) Index() *fulltext.Index { return s.ix }
+
+// URI implements DataSource.
+func (s *DocSource) URI() string { return s.uri }
+
+// Model implements DataSource.
+func (s *DocSource) Model() Model { return DocumentModel }
+
+// Languages implements DataSource.
+func (s *DocSource) Languages() []Language { return []Language{LangSearch} }
+
+// Execute implements DataSource: params substitute '?' placeholders in
+// condition order.
+func (s *DocSource) Execute(q SubQuery, params []value.Value) (*Result, error) {
+	if q.Language != LangSearch {
+		return nil, fmt.Errorf("source %s: unsupported language %q", s.uri, q.Language)
+	}
+	tq, err := fulltext.ParseTextQuery(q.Text)
+	if err != nil {
+		return nil, err
+	}
+	cols, rows, err := tq.Execute(s.ix, params)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Cols: cols}
+	for _, r := range rows {
+		out.Rows = append(out.Rows, value.Row(r))
+	}
+	return out, nil
+}
+
+// EstimateCost implements DataSource: keyword equality conditions with
+// literal values use exact document frequencies; parameterized or
+// analyzed conditions fall back to corpus-size heuristics.
+func (s *DocSource) EstimateCost(q SubQuery, numParams int) int {
+	tq, err := fulltext.ParseTextQuery(q.Text)
+	if err != nil {
+		return -1
+	}
+	est := s.ix.Count()
+	for _, c := range tq.Conds {
+		switch {
+		case c.Op == fulltext.CondEq && c.Param < 0:
+			// Exact: count documents holding this keyword value.
+			hits, err := s.ix.Search(fulltext.KeywordQuery{Field: c.Field, Value: c.Val.String()}, fulltext.SearchOptions{})
+			if err == nil && len(hits) < est {
+				est = len(hits)
+			}
+		case c.Op == fulltext.CondEq:
+			if e := s.ix.Count() / 100; e < est {
+				est = e
+			}
+		default:
+			if e := s.ix.Count() / 10; e < est {
+				est = e
+			}
+		}
+	}
+	if tq.Limit > 0 && tq.Limit < est {
+		est = tq.Limit
+	}
+	if est < 1 {
+		est = 1
+	}
+	return est
+}

@@ -1,0 +1,83 @@
+package source
+
+import (
+	"fmt"
+	"strings"
+
+	"tatooine/internal/rdf"
+	"tatooine/internal/relstore"
+	"tatooine/internal/value"
+)
+
+// ExportTableRDF converts a relational table to RDF triples under a
+// namespace — the paper's observation that journalists' small tabular
+// files "can be easily exported into RDF" (§1). Each row becomes a
+// subject <ns><table>/<n> (or <ns><table>/<pk> when the table has a
+// single-column primary key); each column a property <ns><column>
+// with the cell as a typed literal (strings that look like IRIs stay
+// IRIs). Null cells are skipped. The triples are added to g.
+func ExportTableRDF(g *rdf.Graph, t *relstore.Table, ns string) (int, error) {
+	if !strings.HasSuffix(ns, "/") && !strings.HasSuffix(ns, "#") {
+		ns += "/"
+	}
+	schema := t.Schema()
+	pkCol := -1
+	if len(schema.PrimaryKey) == 1 {
+		pkCol = schema.ColumnIndex(schema.PrimaryKey[0])
+	}
+	typeTerm := rdf.NewIRI(rdf.RDFType)
+	classTerm := rdf.NewIRI(ns + schema.Name)
+
+	added := 0
+	rowNum := 0
+	var exportErr error
+	t.Scan(func(row value.Row) bool {
+		rowNum++
+		var local string
+		if pkCol >= 0 && !row[pkCol].IsNull() {
+			local = sanitizeLocal(row[pkCol].String())
+		} else {
+			local = fmt.Sprintf("%d", rowNum)
+		}
+		subj := rdf.NewIRI(ns + schema.Name + "/" + local)
+		if g.Add(rdf.Triple{S: subj, P: typeTerm, O: classTerm}) {
+			added++
+		}
+		for i, col := range schema.Columns {
+			if row[i].IsNull() {
+				continue
+			}
+			if g.Add(rdf.Triple{S: subj, P: rdf.NewIRI(ns + col.Name), O: ValueToTerm(row[i])}) {
+				added++
+			}
+		}
+		return true
+	})
+	return added, exportErr
+}
+
+// sanitizeLocal makes a primary-key value safe as an IRI local name.
+func sanitizeLocal(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			b.WriteRune(r)
+		default:
+			b.WriteRune('_')
+		}
+	}
+	return b.String()
+}
+
+// ExportDatabaseRDF exports every table of a database into one graph.
+func ExportDatabaseRDF(db *relstore.Database, ns string) (*rdf.Graph, error) {
+	g := rdf.NewGraph()
+	for _, t := range db.Tables() {
+		if _, err := ExportTableRDF(g, t, ns); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,109 @@
+package source
+
+import (
+	"fmt"
+
+	"tatooine/internal/relstore"
+	"tatooine/internal/sqlparse"
+	"tatooine/internal/value"
+)
+
+// RelSource exposes a relstore.Database as a DataSource accepting the
+// SQL subset. It stands in for curated relational sources such as the
+// INSEE statistics tables of the paper.
+type RelSource struct {
+	uri string
+	db  *relstore.Database
+}
+
+// NewRelSource wraps db.
+func NewRelSource(uri string, db *relstore.Database) *RelSource {
+	return &RelSource{uri: uri, db: db}
+}
+
+// DB returns the underlying database.
+func (s *RelSource) DB() *relstore.Database { return s.db }
+
+// URI implements DataSource.
+func (s *RelSource) URI() string { return s.uri }
+
+// Model implements DataSource.
+func (s *RelSource) Model() Model { return RelationalModel }
+
+// Languages implements DataSource.
+func (s *RelSource) Languages() []Language { return []Language{LangSQL} }
+
+// Execute implements DataSource: params substitute '?' placeholders in
+// statement order.
+func (s *RelSource) Execute(q SubQuery, params []value.Value) (*Result, error) {
+	if q.Language != LangSQL {
+		return nil, fmt.Errorf("source %s: unsupported language %q", s.uri, q.Language)
+	}
+	res, err := s.db.Exec(q.Text, params...)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Cols: res.Columns, Rows: res.Rows}
+	return out, nil
+}
+
+// EstimateCost implements DataSource: the base table's row count (a
+// join multiplies by joined table sizes; predicates with parameters
+// divide by a default selectivity factor of 10).
+func (s *RelSource) EstimateCost(q SubQuery, numParams int) int {
+	stmt, err := sqlparse.ParseSelect(q.Text)
+	if err != nil {
+		return -1
+	}
+	t := s.db.Table(stmt.From.Name)
+	if t == nil {
+		return -1
+	}
+	est := t.RowCount()
+	for _, j := range stmt.Joins {
+		if jt := s.db.Table(j.Table.Name); jt != nil && jt.RowCount() > 0 {
+			// Equi-joins keep cardinality near the larger side.
+			if jt.RowCount() > est {
+				est = jt.RowCount()
+			}
+		}
+	}
+	if stmt.Where != nil {
+		sel := selectivityFactor(stmt.Where)
+		est /= sel
+		if est < 1 {
+			est = 1
+		}
+	}
+	if stmt.Limit >= 0 && stmt.Limit < est {
+		est = stmt.Limit
+	}
+	return est
+}
+
+// selectivityFactor estimates how much a predicate divides cardinality:
+// 10 per equality conjunct, 3 per range conjunct.
+func selectivityFactor(e sqlparse.Expr) int {
+	switch x := e.(type) {
+	case *sqlparse.BinaryExpr:
+		switch x.Op {
+		case sqlparse.OpAnd:
+			f := selectivityFactor(x.Left) * selectivityFactor(x.Right)
+			if f > 1000 {
+				f = 1000
+			}
+			return f
+		case sqlparse.OpEq:
+			return 10
+		case sqlparse.OpLt, sqlparse.OpLe, sqlparse.OpGt, sqlparse.OpGe, sqlparse.OpLike:
+			return 3
+		case sqlparse.OpOr:
+			return 2
+		}
+	case *sqlparse.InExpr:
+		return 5
+	case *sqlparse.BetweenExpr:
+		return 3
+	}
+	return 1
+}

@@ -1,0 +1,179 @@
+// Package source defines the data-source abstraction of TATOOINE's
+// mixed instances: every heterogeneous store (RDF graph, relational
+// database, full-text document index, remote endpoint) is exposed to
+// the mediator as a DataSource that evaluates native sub-queries and
+// returns uniform tuple results. The registry resolves source URIs,
+// including URIs discovered at query run time (dynamic source
+// discovery, §2.2 of the paper).
+package source
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"tatooine/internal/value"
+)
+
+// Model identifies a source's data model.
+type Model uint8
+
+const (
+	RDFModel Model = iota
+	RelationalModel
+	DocumentModel
+)
+
+func (m Model) String() string {
+	switch m {
+	case RDFModel:
+		return "rdf"
+	case RelationalModel:
+		return "relational"
+	case DocumentModel:
+		return "document"
+	default:
+		return fmt.Sprintf("Model(%d)", uint8(m))
+	}
+}
+
+// Language identifies a sub-query language a source accepts.
+type Language string
+
+const (
+	// LangBGP is the basic-graph-pattern syntax of internal/rdf.
+	LangBGP Language = "bgp"
+	// LangSQL is the SQL subset of internal/sqlparse.
+	LangSQL Language = "sql"
+	// LangSearch is the SEARCH syntax of internal/fulltext.
+	LangSearch Language = "search"
+)
+
+// SubQuery is one native sub-query of a mixed query, destined for a
+// single source.
+type SubQuery struct {
+	// Language the Text is written in.
+	Language Language
+	// Text is the native query.
+	Text string
+	// InVars names the parameters the query expects, in order. For SQL
+	// and SEARCH texts they correspond positionally to '?' placeholders;
+	// for BGP texts they name pattern variables to pre-bind. The
+	// mediator supplies the bound values via Execute's params.
+	InVars []string
+}
+
+// Result is a uniform tuple result: column names and rows of values.
+type Result struct {
+	Cols []string
+	Rows []value.Row
+}
+
+// Len returns the number of rows.
+func (r *Result) Len() int { return len(r.Rows) }
+
+// DataSource is a queryable member of a mixed instance.
+type DataSource interface {
+	// URI is the source's identifier inside the mixed instance.
+	URI() string
+	// Model reports the source's data model.
+	Model() Model
+	// Languages lists the sub-query languages the source accepts.
+	Languages() []Language
+	// Execute evaluates a native sub-query. params bind the query's
+	// placeholders in order (bind joins push outer bindings here).
+	Execute(q SubQuery, params []value.Value) (*Result, error)
+	// EstimateCost returns an estimated result cardinality used to
+	// order sub-queries by selectivity; negative means unknown.
+	EstimateCost(q SubQuery, numParams int) int
+}
+
+// Accepts reports whether the source accepts the given language.
+func Accepts(s DataSource, lang Language) bool {
+	for _, l := range s.Languages() {
+		if l == lang {
+			return true
+		}
+	}
+	return false
+}
+
+// Resolver resolves a URI outside the local registry (e.g. an HTTP
+// federation client). Registered with Registry.SetFallback.
+type Resolver func(uri string) (DataSource, error)
+
+// Registry maps source URIs to DataSources; it is the catalog of a
+// mixed instance's D component.
+type Registry struct {
+	mu       sync.RWMutex
+	sources  map[string]DataSource
+	fallback Resolver
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{sources: make(map[string]DataSource)}
+}
+
+// Register adds a source; a URI can only be registered once.
+func (r *Registry) Register(s DataSource) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	uri := s.URI()
+	if uri == "" {
+		return fmt.Errorf("source: cannot register a source with empty URI")
+	}
+	if _, dup := r.sources[uri]; dup {
+		return fmt.Errorf("source: URI %q already registered", uri)
+	}
+	r.sources[uri] = s
+	return nil
+}
+
+// SetFallback installs a resolver consulted when a URI is not
+// registered locally (remote endpoints / dynamic discovery).
+func (r *Registry) SetFallback(f Resolver) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fallback = f
+}
+
+// Resolve returns the source for a URI, consulting the fallback
+// resolver for unknown URIs that look remote.
+func (r *Registry) Resolve(uri string) (DataSource, error) {
+	r.mu.RLock()
+	s, ok := r.sources[uri]
+	fb := r.fallback
+	r.mu.RUnlock()
+	if ok {
+		return s, nil
+	}
+	if fb != nil && (strings.HasPrefix(uri, "http://") || strings.HasPrefix(uri, "https://")) {
+		return fb(uri)
+	}
+	return nil, fmt.Errorf("source: unknown source URI %q", uri)
+}
+
+// All returns the registered sources sorted by URI.
+func (r *Registry) All() []DataSource {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]DataSource, 0, len(r.sources))
+	for _, s := range r.sources {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URI() < out[j].URI() })
+	return out
+}
+
+// ByLanguage returns registered sources accepting lang, sorted by URI.
+func (r *Registry) ByLanguage(lang Language) []DataSource {
+	var out []DataSource
+	for _, s := range r.All() {
+		if Accepts(s, lang) {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,389 @@
+package sqlparse
+
+import (
+	"strings"
+
+	"tatooine/internal/value"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// SelectStmt is a SELECT query.
+type SelectStmt struct {
+	Distinct bool
+	Columns  []SelectItem // empty means '*'
+	Star     bool
+	From     TableRef
+	Joins    []JoinClause
+	Where    Expr // nil when absent
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    int // -1 when absent
+	Offset   int // 0 when absent
+}
+
+func (*SelectStmt) stmt() {}
+
+// SelectItem is one projected expression with an optional alias.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+}
+
+// TableRef names a table with an optional alias.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// Binding name: alias if present, else table name.
+func (t TableRef) Binding() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// JoinClause is an INNER or LEFT OUTER join with an ON condition.
+type JoinClause struct {
+	Left  bool // LEFT [OUTER] JOIN when true, INNER otherwise
+	Table TableRef
+	On    Expr
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// InsertStmt is INSERT INTO t (cols...) VALUES (...), (...).
+type InsertStmt struct {
+	Table   string
+	Columns []string
+	Rows    [][]Expr
+}
+
+func (*InsertStmt) stmt() {}
+
+// CreateTableStmt is CREATE TABLE with column and constraint defs.
+type CreateTableStmt struct {
+	Table       string
+	Columns     []ColumnDef
+	PrimaryKey  []string
+	ForeignKeys []ForeignKeyDef
+}
+
+func (*CreateTableStmt) stmt() {}
+
+// ColumnDef declares one column.
+type ColumnDef struct {
+	Name string
+	Type value.Kind
+	PK   bool
+}
+
+// ForeignKeyDef declares FOREIGN KEY (Column) REFERENCES RefTable(RefColumn).
+type ForeignKeyDef struct {
+	Column    string
+	RefTable  string
+	RefColumn string
+}
+
+// Expr is any expression node.
+type Expr interface{ expr() }
+
+// ColumnRef references a column, optionally qualified ("t.c").
+type ColumnRef struct {
+	Table  string // "" when unqualified
+	Column string
+}
+
+func (*ColumnRef) expr() {}
+
+func (c *ColumnRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Column
+	}
+	return c.Column
+}
+
+// Literal is a constant value.
+type Literal struct {
+	Val value.Value
+}
+
+func (*Literal) expr() {}
+
+// Param is a positional '?' parameter, numbered from 0 in statement order.
+type Param struct {
+	Index int
+}
+
+func (*Param) expr() {}
+
+// BinaryOp codes for BinaryExpr.
+type BinaryOp uint8
+
+const (
+	OpEq BinaryOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpLike
+)
+
+func (op BinaryOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpAnd:
+		return "AND"
+	case OpOr:
+		return "OR"
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpLike:
+		return "LIKE"
+	default:
+		return "?op"
+	}
+}
+
+// BinaryExpr applies op to two operands.
+type BinaryExpr struct {
+	Op          BinaryOp
+	Left, Right Expr
+}
+
+func (*BinaryExpr) expr() {}
+
+// NotExpr negates a boolean expression.
+type NotExpr struct {
+	Inner Expr
+}
+
+func (*NotExpr) expr() {}
+
+// IsNullExpr tests (NOT) NULL.
+type IsNullExpr struct {
+	Inner  Expr
+	Negate bool
+}
+
+func (*IsNullExpr) expr() {}
+
+// InExpr tests membership in a literal list.
+type InExpr struct {
+	Needle Expr
+	List   []Expr
+	Negate bool
+}
+
+func (*InExpr) expr() {}
+
+// BetweenExpr tests Lo <= X <= Hi.
+type BetweenExpr struct {
+	X, Lo, Hi Expr
+	Negate    bool
+}
+
+func (*BetweenExpr) expr() {}
+
+// AggFunc enumerates aggregate functions.
+type AggFunc uint8
+
+const (
+	AggCount AggFunc = iota
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+func (f AggFunc) String() string {
+	switch f {
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	default:
+		return "?agg"
+	}
+}
+
+// AggExpr is an aggregate call; Arg is nil for COUNT(*).
+type AggExpr struct {
+	Func     AggFunc
+	Arg      Expr
+	Distinct bool
+}
+
+func (*AggExpr) expr() {}
+
+// FuncExpr is a scalar function call (LOWER, UPPER, LENGTH, ABS).
+type FuncExpr struct {
+	Name string // upper-cased
+	Args []Expr
+}
+
+func (*FuncExpr) expr() {}
+
+// HasAggregate reports whether the expression tree contains an AggExpr.
+func HasAggregate(e Expr) bool {
+	switch x := e.(type) {
+	case nil:
+		return false
+	case *AggExpr:
+		return true
+	case *BinaryExpr:
+		return HasAggregate(x.Left) || HasAggregate(x.Right)
+	case *NotExpr:
+		return HasAggregate(x.Inner)
+	case *IsNullExpr:
+		return HasAggregate(x.Inner)
+	case *InExpr:
+		if HasAggregate(x.Needle) {
+			return true
+		}
+		for _, e := range x.List {
+			if HasAggregate(e) {
+				return true
+			}
+		}
+		return false
+	case *BetweenExpr:
+		return HasAggregate(x.X) || HasAggregate(x.Lo) || HasAggregate(x.Hi)
+	case *FuncExpr:
+		for _, a := range x.Args {
+			if HasAggregate(a) {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// ColumnRefs collects every column reference in the expression tree.
+func ColumnRefs(e Expr, out *[]*ColumnRef) {
+	switch x := e.(type) {
+	case nil:
+	case *ColumnRef:
+		*out = append(*out, x)
+	case *BinaryExpr:
+		ColumnRefs(x.Left, out)
+		ColumnRefs(x.Right, out)
+	case *NotExpr:
+		ColumnRefs(x.Inner, out)
+	case *IsNullExpr:
+		ColumnRefs(x.Inner, out)
+	case *InExpr:
+		ColumnRefs(x.Needle, out)
+		for _, e := range x.List {
+			ColumnRefs(e, out)
+		}
+	case *BetweenExpr:
+		ColumnRefs(x.X, out)
+		ColumnRefs(x.Lo, out)
+		ColumnRefs(x.Hi, out)
+	case *AggExpr:
+		ColumnRefs(x.Arg, out)
+	case *FuncExpr:
+		for _, a := range x.Args {
+			ColumnRefs(a, out)
+		}
+	}
+}
+
+// ExprString renders an expression for debugging and plan display.
+func ExprString(e Expr) string {
+	switch x := e.(type) {
+	case nil:
+		return ""
+	case *ColumnRef:
+		return x.String()
+	case *Literal:
+		if x.Val.Kind() == value.String {
+			return "'" + strings.ReplaceAll(x.Val.Str(), "'", "''") + "'"
+		}
+		return x.Val.String()
+	case *Param:
+		return "?"
+	case *BinaryExpr:
+		return "(" + ExprString(x.Left) + " " + x.Op.String() + " " + ExprString(x.Right) + ")"
+	case *NotExpr:
+		return "NOT " + ExprString(x.Inner)
+	case *IsNullExpr:
+		if x.Negate {
+			return ExprString(x.Inner) + " IS NOT NULL"
+		}
+		return ExprString(x.Inner) + " IS NULL"
+	case *InExpr:
+		var parts []string
+		for _, e := range x.List {
+			parts = append(parts, ExprString(e))
+		}
+		neg := ""
+		if x.Negate {
+			neg = " NOT"
+		}
+		return ExprString(x.Needle) + neg + " IN (" + strings.Join(parts, ", ") + ")"
+	case *BetweenExpr:
+		neg := ""
+		if x.Negate {
+			neg = " NOT"
+		}
+		return ExprString(x.X) + neg + " BETWEEN " + ExprString(x.Lo) + " AND " + ExprString(x.Hi)
+	case *AggExpr:
+		arg := "*"
+		if x.Arg != nil {
+			arg = ExprString(x.Arg)
+		}
+		if x.Distinct {
+			arg = "DISTINCT " + arg
+		}
+		return x.Func.String() + "(" + arg + ")"
+	case *FuncExpr:
+		var parts []string
+		for _, a := range x.Args {
+			parts = append(parts, ExprString(a))
+		}
+		return x.Name + "(" + strings.Join(parts, ", ") + ")"
+	default:
+		return "?expr"
+	}
+}

@@ -1,0 +1,139 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"tatooine/internal/value"
+)
+
+func TestExprStringAllNodes(t *testing.T) {
+	s := mustSelect(t, `SELECT COUNT(*), COUNT(DISTINCT a), SUM(b), AVG(b), MIN(b), MAX(b),
+		LOWER(c), t.d, -e, ?
+	FROM t
+	WHERE a IS NULL AND b IS NOT NULL AND NOT (c LIKE 'x%')
+		AND d NOT IN (1, 2) AND e NOT BETWEEN 1 AND 2 AND f = 'it''s'`)
+	var parts []string
+	for _, it := range s.Columns {
+		parts = append(parts, ExprString(it.Expr))
+	}
+	joined := strings.Join(parts, " | ")
+	for _, want := range []string{
+		"COUNT(*)", "COUNT(DISTINCT a)", "SUM(b)", "AVG(b)", "MIN(b)", "MAX(b)",
+		"LOWER(c)", "t.d", "?",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("projection rendering missing %q: %s", want, joined)
+		}
+	}
+	where := ExprString(s.Where)
+	for _, want := range []string{
+		"a IS NULL", "b IS NOT NULL", "NOT ", "d NOT IN (1, 2)",
+		"e NOT BETWEEN 1 AND 2", "'it''s'",
+	} {
+		if !strings.Contains(where, want) {
+			t.Errorf("where rendering missing %q: %s", want, where)
+		}
+	}
+}
+
+func TestHasAggregateAllBranches(t *testing.T) {
+	s := mustSelect(t, `SELECT a FROM t WHERE
+		NOT (SUM(x) > 1) OR COUNT(*) IS NULL OR
+		SUM(y) IN (1) OR 1 IN (SUM(z)) OR
+		SUM(w) BETWEEN 1 AND 2 OR LOWER(MIN(v)) = 'x'`)
+	if !HasAggregate(s.Where) {
+		t.Error("aggregates not detected through nested nodes")
+	}
+	if HasAggregate(nil) {
+		t.Error("nil expression has no aggregate")
+	}
+	plain := mustSelect(t, `SELECT a FROM t WHERE NOT a IS NULL AND b IN (1) AND c BETWEEN 1 AND 2 AND LOWER(d) = 'x'`)
+	if HasAggregate(plain.Where) {
+		t.Error("false positive")
+	}
+}
+
+func TestColumnRefsAllBranches(t *testing.T) {
+	s := mustSelect(t, `SELECT SUM(a + b) FROM t WHERE
+		NOT c IS NULL AND d IN (e, 1) AND f BETWEEN g AND h AND LOWER(i) = 'x'`)
+	var refs []*ColumnRef
+	ColumnRefs(s.Columns[0].Expr, &refs)
+	ColumnRefs(s.Where, &refs)
+	names := map[string]bool{}
+	for _, r := range refs {
+		names[r.Column] = true
+	}
+	for _, want := range []string{"a", "b", "c", "d", "e", "f", "g", "h", "i"} {
+		if !names[want] {
+			t.Errorf("missing column ref %q in %v", want, names)
+		}
+	}
+}
+
+func TestBinaryOpStrings(t *testing.T) {
+	ops := map[BinaryOp]string{
+		OpEq: "=", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+		OpAnd: "AND", OpOr: "OR", OpAdd: "+", OpSub: "-", OpMul: "*",
+		OpDiv: "/", OpLike: "LIKE",
+	}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Errorf("op %d: %q want %q", op, op.String(), want)
+		}
+	}
+}
+
+func TestAggFuncStrings(t *testing.T) {
+	fns := map[AggFunc]string{
+		AggCount: "COUNT", AggSum: "SUM", AggAvg: "AVG", AggMin: "MIN", AggMax: "MAX",
+	}
+	for fn, want := range fns {
+		if fn.String() != want {
+			t.Errorf("fn %d: %q", fn, fn.String())
+		}
+	}
+}
+
+func TestTableRefBinding(t *testing.T) {
+	if (TableRef{Name: "t"}).Binding() != "t" {
+		t.Error("binding defaults to name")
+	}
+	if (TableRef{Name: "t", Alias: "x"}).Binding() != "x" {
+		t.Error("alias wins")
+	}
+}
+
+func TestLiteralRendering(t *testing.T) {
+	if got := ExprString(&Literal{value.NewNull()}); got != "NULL" {
+		t.Errorf("null literal: %q", got)
+	}
+	if got := ExprString(&Literal{value.NewFloat(2.5)}); got != "2.5" {
+		t.Errorf("float literal: %q", got)
+	}
+	if got := ExprString(&Literal{value.NewBool(true)}); got != "true" {
+		t.Errorf("bool literal: %q", got)
+	}
+}
+
+func TestLexScientificNotationAndComments(t *testing.T) {
+	toks, err := Lex("SELECT 1.5e3, 2E-2 FROM t -- trailing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nums []string
+	for _, tok := range toks {
+		if tok.Kind == TokNumber {
+			nums = append(nums, tok.Text)
+		}
+	}
+	if len(nums) != 2 || nums[0] != "1.5e3" || nums[1] != "2E-2" {
+		t.Errorf("scientific: %v", nums)
+	}
+}
+
+func TestParseSelectRejectsNonSelect(t *testing.T) {
+	if _, err := ParseSelect("INSERT INTO t VALUES (1)"); err == nil {
+		t.Error("ParseSelect accepted INSERT")
+	}
+}

@@ -1,0 +1,313 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"tatooine/internal/value"
+)
+
+func mustSelect(t *testing.T, q string) *SelectStmt {
+	t.Helper()
+	s, err := ParseSelect(q)
+	if err != nil {
+		t.Fatalf("parse %q: %v", q, err)
+	}
+	return s
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex(`SELECT a, "b col" FROM t WHERE x >= 10.5 AND name LIKE 'O''Brien' -- comment`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokenKind
+	var texts []string
+	for _, tok := range toks {
+		kinds = append(kinds, tok.Kind)
+		texts = append(texts, tok.Text)
+	}
+	if texts[0] != "SELECT" || kinds[0] != TokKeyword {
+		t.Errorf("tok0: %v %q", kinds[0], texts[0])
+	}
+	found := false
+	for i, tx := range texts {
+		if tx == "O'Brien" && kinds[i] == TokString {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("escaped string literal not lexed")
+	}
+	if texts[len(texts)-1] != "" || kinds[len(kinds)-1] != TokEOF {
+		t.Error("missing EOF token")
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := Lex("SELECT 'unterminated"); err == nil {
+		t.Error("unterminated string should fail")
+	}
+	if _, err := Lex(`SELECT "unterminated`); err == nil {
+		t.Error("unterminated quoted ident should fail")
+	}
+	if _, err := Lex("SELECT @x"); err == nil {
+		t.Error("bad character should fail")
+	}
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	s := mustSelect(t, "SELECT name, age FROM people")
+	if len(s.Columns) != 2 || s.From.Name != "people" {
+		t.Errorf("parsed: %+v", s)
+	}
+	if s.Limit != -1 {
+		t.Errorf("default limit: %d", s.Limit)
+	}
+}
+
+func TestParseStar(t *testing.T) {
+	s := mustSelect(t, "SELECT * FROM t WHERE x = 1")
+	if !s.Star {
+		t.Error("star not set")
+	}
+	be, ok := s.Where.(*BinaryExpr)
+	if !ok || be.Op != OpEq {
+		t.Errorf("where: %T", s.Where)
+	}
+}
+
+func TestParseJoinsAndAliases(t *testing.T) {
+	s := mustSelect(t, `SELECT p.name, d.label AS dept
+		FROM people p
+		JOIN dept d ON p.dept_id = d.id
+		LEFT JOIN region r ON d.region_id = r.id
+		WHERE r.name != 'north'`)
+	if s.From.Alias != "p" {
+		t.Errorf("from alias: %q", s.From.Alias)
+	}
+	if len(s.Joins) != 2 {
+		t.Fatalf("joins: %d", len(s.Joins))
+	}
+	if s.Joins[0].Left || !s.Joins[1].Left {
+		t.Error("join kinds wrong")
+	}
+	if s.Columns[1].Alias != "dept" {
+		t.Errorf("alias: %q", s.Columns[1].Alias)
+	}
+}
+
+func TestParseGroupByHavingOrderLimit(t *testing.T) {
+	s := mustSelect(t, `SELECT party, COUNT(*) AS n FROM tweets
+		GROUP BY party HAVING COUNT(*) > 5
+		ORDER BY n DESC, party ASC LIMIT 10 OFFSET 20`)
+	if len(s.GroupBy) != 1 || s.Having == nil {
+		t.Error("group/having missing")
+	}
+	if len(s.OrderBy) != 2 || !s.OrderBy[0].Desc || s.OrderBy[1].Desc {
+		t.Errorf("order: %+v", s.OrderBy)
+	}
+	if s.Limit != 10 || s.Offset != 20 {
+		t.Errorf("limit/offset: %d/%d", s.Limit, s.Offset)
+	}
+	agg, ok := s.Columns[1].Expr.(*AggExpr)
+	if !ok || agg.Func != AggCount || agg.Arg != nil {
+		t.Errorf("agg: %+v", s.Columns[1].Expr)
+	}
+}
+
+func TestParseExpressions(t *testing.T) {
+	s := mustSelect(t, `SELECT a FROM t WHERE
+		(x + 2) * 3 > y / 4 AND name LIKE 'fr%'
+		AND code IN ('75', '92', '93') AND status IS NOT NULL
+		AND year BETWEEN 2014 AND 2016
+		AND NOT deleted = TRUE`)
+	if s.Where == nil {
+		t.Fatal("no where")
+	}
+	str := ExprString(s.Where)
+	for _, want := range []string{"LIKE", "IN ('75', '92', '93')", "IS NOT NULL", "BETWEEN 2014 AND 2016"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("ExprString missing %q: %s", want, str)
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	s := mustSelect(t, "SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3")
+	or, ok := s.Where.(*BinaryExpr)
+	if !ok || or.Op != OpOr {
+		t.Fatalf("top must be OR: %v", ExprString(s.Where))
+	}
+	and, ok := or.Right.(*BinaryExpr)
+	if !ok || and.Op != OpAnd {
+		t.Errorf("right of OR must be AND: %v", ExprString(or.Right))
+	}
+}
+
+func TestParseArithmeticPrecedence(t *testing.T) {
+	s := mustSelect(t, "SELECT a + b * c FROM t")
+	add, ok := s.Columns[0].Expr.(*BinaryExpr)
+	if !ok || add.Op != OpAdd {
+		t.Fatalf("top must be +: %v", ExprString(s.Columns[0].Expr))
+	}
+	if mul, ok := add.Right.(*BinaryExpr); !ok || mul.Op != OpMul {
+		t.Error("b*c must bind tighter")
+	}
+}
+
+func TestParseNegativeNumbers(t *testing.T) {
+	s := mustSelect(t, "SELECT a FROM t WHERE x = -5 AND y = -2.5")
+	str := ExprString(s.Where)
+	if !strings.Contains(str, "-5") || !strings.Contains(str, "-2.5") {
+		t.Errorf("negatives: %s", str)
+	}
+}
+
+func TestParseParams(t *testing.T) {
+	s := mustSelect(t, "SELECT a FROM t WHERE x = ? AND y > ?")
+	var count int
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case *BinaryExpr:
+			walk(x.Left)
+			walk(x.Right)
+		case *Param:
+			if x.Index != count {
+				t.Errorf("param index %d, want %d", x.Index, count)
+			}
+			count++
+		}
+	}
+	walk(s.Where)
+	if count != 2 {
+		t.Errorf("params found: %d", count)
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	stmt, err := Parse(`INSERT INTO parties (id, name, current) VALUES
+		(1, 'PS', 'left'), (2, 'LR', 'right')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := stmt.(*InsertStmt)
+	if ins.Table != "parties" || len(ins.Columns) != 3 || len(ins.Rows) != 2 {
+		t.Errorf("insert: %+v", ins)
+	}
+}
+
+func TestParseCreateTable(t *testing.T) {
+	stmt, err := Parse(`CREATE TABLE deputes (
+		id INT PRIMARY KEY,
+		name TEXT,
+		party_id INT,
+		elected TIMESTAMP,
+		score FLOAT,
+		active BOOL,
+		FOREIGN KEY (party_id) REFERENCES parties(id)
+	)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := stmt.(*CreateTableStmt)
+	if ct.Table != "deputes" || len(ct.Columns) != 6 {
+		t.Fatalf("create: %+v", ct)
+	}
+	wantKinds := []value.Kind{value.Int, value.String, value.Int, value.Time, value.Float, value.Bool}
+	for i, k := range wantKinds {
+		if ct.Columns[i].Type != k {
+			t.Errorf("col %d type %v, want %v", i, ct.Columns[i].Type, k)
+		}
+	}
+	if len(ct.PrimaryKey) != 1 || ct.PrimaryKey[0] != "id" {
+		t.Errorf("pk: %v", ct.PrimaryKey)
+	}
+	if len(ct.ForeignKeys) != 1 || ct.ForeignKeys[0].RefTable != "parties" {
+		t.Errorf("fk: %v", ct.ForeignKeys)
+	}
+}
+
+func TestParseCompositePrimaryKey(t *testing.T) {
+	stmt, err := Parse(`CREATE TABLE votes (dept TEXT, year INT, total INT, PRIMARY KEY (dept, year))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := stmt.(*CreateTableStmt)
+	if len(ct.PrimaryKey) != 2 {
+		t.Errorf("composite pk: %v", ct.PrimaryKey)
+	}
+}
+
+func TestParseVarcharLength(t *testing.T) {
+	if _, err := Parse(`CREATE TABLE t (name VARCHAR(255))`); err != nil {
+		t.Errorf("VARCHAR(n): %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t GROUP",
+		"SELECT a FROM t LIMIT x",
+		"INSERT INTO t",
+		"CREATE TABLE t",
+		"CREATE TABLE t (x NOTATYPE)",
+		"SELECT a FROM t JOIN u",
+		"SELECT SUM(*) FROM t",
+		"SELECT a FROM t; SELECT b FROM u",
+		"DELETE FROM t",
+	}
+	for _, q := range cases {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("expected error for %q", q)
+		}
+	}
+}
+
+func TestParseDistinct(t *testing.T) {
+	s := mustSelect(t, "SELECT DISTINCT party FROM tweets")
+	if !s.Distinct {
+		t.Error("distinct not set")
+	}
+	s2 := mustSelect(t, "SELECT COUNT(DISTINCT author) FROM tweets")
+	agg := s2.Columns[0].Expr.(*AggExpr)
+	if !agg.Distinct {
+		t.Error("aggregate distinct not set")
+	}
+}
+
+func TestParseScalarFunctions(t *testing.T) {
+	s := mustSelect(t, "SELECT LOWER(name), LENGTH(name) FROM t")
+	f0, ok := s.Columns[0].Expr.(*FuncExpr)
+	if !ok || f0.Name != "LOWER" {
+		t.Errorf("func: %+v", s.Columns[0].Expr)
+	}
+}
+
+func TestHasAggregateAndColumnRefs(t *testing.T) {
+	s := mustSelect(t, "SELECT SUM(x + y) * 2 FROM t WHERE a = 1")
+	if !HasAggregate(s.Columns[0].Expr) {
+		t.Error("HasAggregate false negative")
+	}
+	if HasAggregate(s.Where) {
+		t.Error("HasAggregate false positive")
+	}
+	var refs []*ColumnRef
+	ColumnRefs(s.Columns[0].Expr, &refs)
+	if len(refs) != 2 {
+		t.Errorf("refs: %d", len(refs))
+	}
+}
+
+func TestExprStringStable(t *testing.T) {
+	s := mustSelect(t, "SELECT a FROM t WHERE x = 'it''s'")
+	if got := ExprString(s.Where); got != "(x = 'it''s')" {
+		t.Errorf("ExprString: %s", got)
+	}
+}

@@ -1,0 +1,232 @@
+// Package summary derives structural summaries from schema-less data,
+// as the paper's digests require ("its schema (if it has one; otherwise
+// we use data-derived structural summaries, i.e., XML or JSON
+// Dataguides, RDF summaries, etc.)", §2.2): JSON dataguides over
+// document collections, characteristic-set summaries over RDF graphs,
+// and schema graphs over relational databases.
+package summary
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tatooine/internal/doc"
+	"tatooine/internal/rdf"
+	"tatooine/internal/relstore"
+	"tatooine/internal/value"
+)
+
+// ---------- JSON dataguide ----------
+
+// PathInfo describes one dotted path of a dataguide.
+type PathInfo struct {
+	Path string
+	// Kinds counts the value kinds observed at the path.
+	Kinds map[value.Kind]int
+	// Count is the number of scalar occurrences.
+	Count int
+	// DocCount is the number of documents containing the path.
+	DocCount int
+}
+
+// Dataguide is a data-derived structural summary of a document
+// collection: the set of all dotted paths with type statistics.
+type Dataguide struct {
+	Paths map[string]*PathInfo
+	Docs  int
+}
+
+// BuildDataguide scans documents and accumulates their paths.
+func BuildDataguide(docs []*doc.Document) *Dataguide {
+	dg := &Dataguide{Paths: make(map[string]*PathInfo)}
+	for _, d := range docs {
+		dg.AddDoc(d)
+	}
+	return dg
+}
+
+// AddDoc extends the dataguide with one document.
+func (dg *Dataguide) AddDoc(d *doc.Document) {
+	dg.Docs++
+	for _, p := range d.Paths() {
+		info, ok := dg.Paths[p]
+		if !ok {
+			info = &PathInfo{Path: p, Kinds: make(map[value.Kind]int)}
+			dg.Paths[p] = info
+		}
+		info.DocCount++
+		for _, v := range d.Values(p) {
+			info.Count++
+			info.Kinds[v.Kind()]++
+		}
+	}
+}
+
+// PathList returns paths sorted alphabetically.
+func (dg *Dataguide) PathList() []*PathInfo {
+	out := make([]*PathInfo, 0, len(dg.Paths))
+	for _, p := range dg.Paths {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// DominantKind returns the most frequent kind at a path.
+func (p *PathInfo) DominantKind() value.Kind {
+	best, bestN := value.String, -1
+	for k, n := range p.Kinds {
+		if n > bestN {
+			best, bestN = k, n
+		}
+	}
+	return best
+}
+
+// String renders the dataguide as an indented path tree.
+func (dg *Dataguide) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "dataguide (%d docs)\n", dg.Docs)
+	for _, p := range dg.PathList() {
+		fmt.Fprintf(&b, "  %-32s %-8v n=%d docs=%d\n", p.Path, p.DominantKind(), p.Count, p.DocCount)
+	}
+	return b.String()
+}
+
+// ---------- RDF summary ----------
+
+// CharacteristicSet is one equivalence class of an RDF summary: the
+// subjects sharing exactly the same property set (a quotient summary in
+// the spirit of the paper's reference [3]).
+type CharacteristicSet struct {
+	// Properties is the sorted property IRI set.
+	Properties []string
+	// Subjects is the number of subjects in the class.
+	Subjects int
+	// Classes lists the rdf:type objects observed for these subjects.
+	Classes []string
+}
+
+// RDFSummary is the set of characteristic sets of a graph.
+type RDFSummary struct {
+	Sets []*CharacteristicSet
+}
+
+// BuildRDFSummary groups the graph's subjects by property set.
+func BuildRDFSummary(g *rdf.Graph) *RDFSummary {
+	typ := rdf.NewIRI(rdf.RDFType)
+	// subject key → property set, classes
+	props := make(map[string]map[string]struct{})
+	classes := make(map[string]map[string]struct{})
+	subjTerm := make(map[string]rdf.Term)
+	for _, tri := range g.Match(rdf.Term{}, rdf.Term{}, rdf.Term{}) {
+		sk := tri.S.Key()
+		subjTerm[sk] = tri.S
+		if tri.P == typ {
+			if classes[sk] == nil {
+				classes[sk] = make(map[string]struct{})
+			}
+			classes[sk][tri.O.Value] = struct{}{}
+			continue
+		}
+		if props[sk] == nil {
+			props[sk] = make(map[string]struct{})
+		}
+		props[sk][tri.P.Value] = struct{}{}
+	}
+	group := make(map[string]*CharacteristicSet)
+	for sk := range subjTerm {
+		var ps []string
+		for p := range props[sk] {
+			ps = append(ps, p)
+		}
+		sort.Strings(ps)
+		key := strings.Join(ps, "\x00")
+		cs, ok := group[key]
+		if !ok {
+			cs = &CharacteristicSet{Properties: ps}
+			group[key] = cs
+		}
+		cs.Subjects++
+		for c := range classes[sk] {
+			if !contains(cs.Classes, c) {
+				cs.Classes = append(cs.Classes, c)
+			}
+		}
+	}
+	out := &RDFSummary{}
+	for _, cs := range group {
+		sort.Strings(cs.Classes)
+		out.Sets = append(out.Sets, cs)
+	}
+	sort.Slice(out.Sets, func(i, j int) bool {
+		if out.Sets[i].Subjects != out.Sets[j].Subjects {
+			return out.Sets[i].Subjects > out.Sets[j].Subjects
+		}
+		return strings.Join(out.Sets[i].Properties, ",") < strings.Join(out.Sets[j].Properties, ",")
+	})
+	return out
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------- relational schema graph ----------
+
+// SchemaGraph summarizes a relational database's structure.
+type SchemaGraph struct {
+	Tables []TableSummary
+}
+
+// TableSummary is one table with its columns and keys.
+type TableSummary struct {
+	Name        string
+	Columns     []relstore.Column
+	PrimaryKey  []string
+	ForeignKeys []relstore.ForeignKey
+	Rows        int
+}
+
+// BuildSchemaGraph summarizes db.
+func BuildSchemaGraph(db *relstore.Database) *SchemaGraph {
+	sg := &SchemaGraph{}
+	for _, t := range db.Tables() {
+		s := t.Schema()
+		sg.Tables = append(sg.Tables, TableSummary{
+			Name:        s.Name,
+			Columns:     s.Columns,
+			PrimaryKey:  s.PrimaryKey,
+			ForeignKeys: s.ForeignKeys,
+			Rows:        t.RowCount(),
+		})
+	}
+	return sg
+}
+
+// String renders the schema graph.
+func (sg *SchemaGraph) String() string {
+	var b strings.Builder
+	for _, t := range sg.Tables {
+		fmt.Fprintf(&b, "%s (%d rows)\n", t.Name, t.Rows)
+		for _, c := range t.Columns {
+			pk := ""
+			for _, k := range t.PrimaryKey {
+				if strings.EqualFold(k, c.Name) {
+					pk = " PK"
+				}
+			}
+			fmt.Fprintf(&b, "  %-24s %v%s\n", c.Name, c.Type, pk)
+		}
+		for _, fk := range t.ForeignKeys {
+			fmt.Fprintf(&b, "  %s -> %s.%s\n", fk.Column, fk.RefTable, fk.RefColumn)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,106 @@
+package summary
+
+import (
+	"strings"
+	"testing"
+
+	"tatooine/internal/doc"
+	"tatooine/internal/rdf"
+	"tatooine/internal/relstore"
+	"tatooine/internal/value"
+)
+
+func TestDataguide(t *testing.T) {
+	docs := []*doc.Document{}
+	mk := func(id string, fields map[string]any) *doc.Document {
+		d := &doc.Document{ID: id}
+		for k, v := range fields {
+			d.Set(k, v)
+		}
+		return d
+	}
+	docs = append(docs,
+		mk("t1", map[string]any{"text": "a", "user.screen_name": "x", "retweet_count": 1}),
+		mk("t2", map[string]any{"text": "b", "user.screen_name": "y"}),
+		mk("t3", map[string]any{"text": "c", "user.verified": true}),
+	)
+	dg := BuildDataguide(docs)
+	if dg.Docs != 3 {
+		t.Fatalf("docs: %d", dg.Docs)
+	}
+	if len(dg.Paths) != 4 {
+		t.Fatalf("paths: %v", dg.PathList())
+	}
+	text := dg.Paths["text"]
+	if text.DocCount != 3 || text.Count != 3 {
+		t.Errorf("text info: %+v", text)
+	}
+	if dg.Paths["retweet_count"].DominantKind() != value.Int {
+		t.Error("retweet_count kind")
+	}
+	if !strings.Contains(dg.String(), "user.screen_name") {
+		t.Error("String output")
+	}
+}
+
+func TestRDFSummaryCharacteristicSets(t *testing.T) {
+	g := rdf.NewGraph()
+	g.AddAll(rdf.MustParse(`
+@prefix : <http://t.example/> .
+:P1 a :politician ; :name "A" ; :twitter "a" .
+:P2 a :politician ; :name "B" ; :twitter "b" .
+:P3 a :politician ; :name "C" .
+:Party1 a :party ; :name "PS" .
+`))
+	s := BuildRDFSummary(g)
+	// P1/P2 share {name, twitter}; P3 and Party1 share {name} (character-
+	// istic sets group by property set, regardless of rdf:type).
+	if len(s.Sets) != 2 {
+		t.Fatalf("sets: %+v", s.Sets)
+	}
+	var nameTwitter, nameOnly *CharacteristicSet
+	for _, cs := range s.Sets {
+		switch len(cs.Properties) {
+		case 2:
+			nameTwitter = cs
+		case 1:
+			nameOnly = cs
+		}
+	}
+	if nameTwitter == nil || nameTwitter.Subjects != 2 {
+		t.Errorf("{name,twitter} set: %+v", nameTwitter)
+	}
+	if nameTwitter != nil && (len(nameTwitter.Classes) != 1 || nameTwitter.Classes[0] != "http://t.example/politician") {
+		t.Errorf("{name,twitter} classes: %v", nameTwitter.Classes)
+	}
+	if nameOnly == nil || nameOnly.Subjects != 2 || len(nameOnly.Classes) != 2 {
+		t.Errorf("{name} set: %+v", nameOnly)
+	}
+}
+
+func TestRDFSummaryEmptyGraph(t *testing.T) {
+	s := BuildRDFSummary(rdf.NewGraph())
+	if len(s.Sets) != 0 {
+		t.Errorf("empty graph sets: %+v", s.Sets)
+	}
+}
+
+func TestSchemaGraph(t *testing.T) {
+	db := relstore.NewDatabase("d")
+	db.Exec("CREATE TABLE a (id INT PRIMARY KEY, name TEXT)")
+	db.Exec("CREATE TABLE b (aid INT, v FLOAT, FOREIGN KEY (aid) REFERENCES a(id))")
+	db.Exec("INSERT INTO a VALUES (1, 'x')")
+	sg := BuildSchemaGraph(db)
+	if len(sg.Tables) != 2 {
+		t.Fatalf("tables: %d", len(sg.Tables))
+	}
+	if sg.Tables[0].Name != "a" || sg.Tables[0].Rows != 1 {
+		t.Errorf("table a: %+v", sg.Tables[0])
+	}
+	out := sg.String()
+	for _, want := range []string{"a (1 rows)", "id", "PK", "aid -> a.id"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("schema graph output missing %q:\n%s", want, out)
+		}
+	}
+}

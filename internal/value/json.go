@@ -1,0 +1,69 @@
+package value
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// wireValue is the JSON shape of a Value on the federation protocol:
+// an explicit kind tag plus a string payload keeps round trips exact
+// (no float/int confusion, no timezone loss).
+type wireValue struct {
+	K string `json:"k"`
+	V string `json:"v,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (v Value) MarshalJSON() ([]byte, error) {
+	w := wireValue{K: v.Kind().String()}
+	if v.kind != Null {
+		if v.kind == Time {
+			w.V = v.t.Format(time.RFC3339Nano)
+		} else {
+			w.V = v.String()
+		}
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (v *Value) UnmarshalJSON(data []byte) error {
+	var w wireValue
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	switch w.K {
+	case "null":
+		*v = NewNull()
+	case "string":
+		*v = NewString(w.V)
+	case "int":
+		parsed, ok := Coerce(NewString(w.V), Int)
+		if !ok {
+			return fmt.Errorf("value: bad int payload %q", w.V)
+		}
+		*v = parsed
+	case "float":
+		parsed, ok := Coerce(NewString(w.V), Float)
+		if !ok {
+			return fmt.Errorf("value: bad float payload %q", w.V)
+		}
+		*v = parsed
+	case "bool":
+		parsed, ok := Coerce(NewString(w.V), Bool)
+		if !ok {
+			return fmt.Errorf("value: bad bool payload %q", w.V)
+		}
+		*v = parsed
+	case "time":
+		t, err := time.Parse(time.RFC3339Nano, w.V)
+		if err != nil {
+			return fmt.Errorf("value: bad time payload %q: %v", w.V, err)
+		}
+		*v = NewTime(t)
+	default:
+		return fmt.Errorf("value: unknown kind %q", w.K)
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package value
+
+import (
+	"encoding/json"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestJSONRoundTripAllKinds(t *testing.T) {
+	vals := []Value{
+		NewNull(),
+		NewString("héllo\nworld"),
+		NewString(""),
+		NewInt(-9007199254740993), // beyond float53 precision
+		NewFloat(3.141592653589793),
+		NewBool(true),
+		NewBool(false),
+		NewTime(time.Date(2016, 3, 1, 3, 42, 31, 123456789, time.UTC)),
+	}
+	for _, v := range vals {
+		data, err := json.Marshal(v)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", v, err)
+		}
+		var back Value
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if back.Kind() != v.Kind() {
+			t.Errorf("kind: %v → %v", v.Kind(), back.Kind())
+		}
+		if v.Kind() != Null && !Equal(v, back) {
+			t.Errorf("value: %v → %v", v, back)
+		}
+		if v.Kind() == Time && !v.Time().Equal(back.Time()) {
+			t.Errorf("time precision lost: %v vs %v", v.Time(), back.Time())
+		}
+	}
+}
+
+func TestJSONRowRoundTrip(t *testing.T) {
+	row := Row{NewString("x"), NewInt(7), NewNull()}
+	data, err := json.Marshal(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Row
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 || !Equal(back[1], NewInt(7)) || !back[2].IsNull() {
+		t.Errorf("row: %+v", back)
+	}
+}
+
+func TestJSONUnmarshalErrors(t *testing.T) {
+	cases := []string{
+		`{"k":"unknown","v":"x"}`,
+		`{"k":"int","v":"abc"}`,
+		`{"k":"float","v":"xx"}`,
+		`{"k":"bool","v":"maybe"}`,
+		`{"k":"time","v":"not-a-time"}`,
+		`[1,2]`,
+	}
+	for _, c := range cases {
+		var v Value
+		if err := json.Unmarshal([]byte(c), &v); err == nil {
+			t.Errorf("expected error for %s", c)
+		}
+	}
+}
+
+// Property: int round trips exactly for all int64 values.
+func TestJSONIntProperty(t *testing.T) {
+	f := func(i int64) bool {
+		data, err := json.Marshal(NewInt(i))
+		if err != nil {
+			return false
+		}
+		var back Value
+		if err := json.Unmarshal(data, &back); err != nil {
+			return false
+		}
+		return back.Kind() == Int && back.Int() == i
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: strings round trip byte-exactly.
+func TestJSONStringProperty(t *testing.T) {
+	f := func(s string) bool {
+		data, err := json.Marshal(NewString(s))
+		if err != nil {
+			return false
+		}
+		var back Value
+		if err := json.Unmarshal(data, &back); err != nil {
+			return false
+		}
+		return back.Kind() == String && back.Str() == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLessAndAccessors(t *testing.T) {
+	if !Less(NewInt(1), NewInt(2)) || Less(NewInt(2), NewInt(1)) {
+		t.Error("Less")
+	}
+	ts := time.Date(2016, 1, 1, 0, 0, 0, 0, time.UTC)
+	if NewTime(ts).Time() != ts {
+		t.Error("Time accessor")
+	}
+	if NewBool(true).Bool() != true || NewString("x").Bool() != false {
+		t.Error("Bool accessor")
+	}
+	if NewString("s").Str() != "s" {
+		t.Error("Str accessor")
+	}
+	if Null.String() != "null" || Time.String() != "time" {
+		t.Error("Kind.String")
+	}
+}

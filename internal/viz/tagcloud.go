@@ -1,0 +1,154 @@
+// Package viz renders TATOOINE analytics as visualizations: the
+// Figure 3 tag cloud grid (weeks × parties, term size by PMI score,
+// colour by political current) as HTML/SVG-free self-contained HTML,
+// plus a terminal rendering for CLI use.
+package viz
+
+import (
+	"fmt"
+	"html"
+	"math"
+	"sort"
+	"strings"
+
+	"tatooine/internal/analytics"
+)
+
+// CurrentColors maps political currents to the colours of Figure 3:
+// extreme-left red, left pink, right blue, extreme-right dark blue,
+// ecologists green.
+var CurrentColors = map[string]string{
+	"extreme-left":  "#d62728",
+	"left":          "#e377c2",
+	"right":         "#1f77b4",
+	"extreme-right": "#1a3a6b",
+	"ecologist":     "#2ca02c",
+	"center":        "#ff7f0e",
+}
+
+// colorFor returns the colour for a party current, defaulting to gray.
+func colorFor(current string) string {
+	if c, ok := CurrentColors[strings.ToLower(current)]; ok {
+		return c
+	}
+	return "#555555"
+}
+
+// HTMLOptions configure the HTML tag cloud grid.
+type HTMLOptions struct {
+	// Title heads the page.
+	Title string
+	// CurrentOf maps a party name to its political current (colour).
+	CurrentOf map[string]string
+	// MinFont/MaxFont bound term font sizes in px.
+	MinFont, MaxFont int
+	// WeekLabel renders a week index as a label (default "week N").
+	WeekLabel func(week int) string
+}
+
+// RenderHTML renders the tag clouds as a self-contained HTML page:
+// one row per week, one cell per party, terms sized by log-scaled PMI.
+func RenderHTML(tc *analytics.TagClouds, opts HTMLOptions) string {
+	if opts.MinFont <= 0 {
+		opts.MinFont = 11
+	}
+	if opts.MaxFont <= opts.MinFont {
+		opts.MaxFont = 34
+	}
+	if opts.WeekLabel == nil {
+		opts.WeekLabel = func(w int) string { return fmt.Sprintf("week %d", w) }
+	}
+	parties := tc.PartyNames()
+
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n", html.EscapeString(opts.Title))
+	b.WriteString(`<style>
+body { font-family: sans-serif; margin: 1em; }
+table { border-collapse: collapse; width: 100%; }
+td, th { border: 1px solid #ddd; vertical-align: top; padding: 8px; }
+th { background: #f5f5f5; }
+.cloud span { margin: 0 4px; line-height: 1.6; display: inline-block; }
+caption { font-size: 1.3em; margin-bottom: .5em; text-align: left; }
+</style></head><body>
+`)
+	fmt.Fprintf(&b, "<table><caption>%s</caption>\n<tr><th></th>", html.EscapeString(opts.Title))
+	for _, p := range parties {
+		cur := opts.CurrentOf[p]
+		fmt.Fprintf(&b, `<th style="color:%s">%s</th>`, colorFor(cur), html.EscapeString(p))
+	}
+	b.WriteString("</tr>\n")
+	for _, wk := range tc.Weeks {
+		fmt.Fprintf(&b, "<tr><th>%s</th>", html.EscapeString(opts.WeekLabel(wk.Week)))
+		for _, p := range parties {
+			terms := wk.Parties[p]
+			b.WriteString(`<td class="cloud">`)
+			b.WriteString(cloudCell(terms, colorFor(opts.CurrentOf[p]), opts.MinFont, opts.MaxFont))
+			b.WriteString("</td>")
+		}
+		b.WriteString("</tr>\n")
+	}
+	b.WriteString("</table></body></html>\n")
+	return b.String()
+}
+
+func cloudCell(terms []analytics.TermScore, color string, minFont, maxFont int) string {
+	if len(terms) == 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, t := range terms {
+		s := math.Log1p(t.Score)
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	scale := func(score float64) int {
+		if hi == lo {
+			return (minFont + maxFont) / 2
+		}
+		f := (math.Log1p(score) - lo) / (hi - lo)
+		return minFont + int(f*float64(maxFont-minFont))
+	}
+	// Alphabetical order inside a cloud reads better than rank order.
+	sorted := append([]analytics.TermScore(nil), terms...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Term < sorted[j].Term })
+	var b strings.Builder
+	for _, t := range sorted {
+		fmt.Fprintf(&b, `<span style="font-size:%dpx;color:%s" title="pmi=%.2f n=%d">%s</span> `,
+			scale(t.Score), color, t.Score, t.Count, html.EscapeString(t.Term))
+	}
+	return b.String()
+}
+
+// RenderText renders the clouds for terminals: one block per week, one
+// line per party with its top terms and scores.
+func RenderText(tc *analytics.TagClouds, currentOf map[string]string, topK int) string {
+	var b strings.Builder
+	parties := tc.PartyNames()
+	for _, wk := range tc.Weeks {
+		fmt.Fprintf(&b, "== week %d ==\n", wk.Week)
+		for _, p := range parties {
+			terms := wk.Parties[p]
+			if len(terms) == 0 {
+				continue
+			}
+			if topK > 0 && len(terms) > topK {
+				terms = terms[:topK]
+			}
+			var parts []string
+			for _, t := range terms {
+				parts = append(parts, fmt.Sprintf("%s(%.1f)", t.Term, t.Score))
+			}
+			cur := currentOf[p]
+			if cur != "" {
+				cur = " [" + cur + "]"
+			}
+			fmt.Fprintf(&b, "  %-16s%s %s\n", p, cur, strings.Join(parts, " "))
+		}
+	}
+	return b.String()
+}

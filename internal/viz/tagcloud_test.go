@@ -1,0 +1,86 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"tatooine/internal/analytics"
+)
+
+func sampleClouds() *analytics.TagClouds {
+	return &analytics.TagClouds{
+		Weeks: []analytics.WeekClouds{
+			{Week: 1, Parties: map[string][]analytics.TermScore{
+				"PS":   {{Term: "deuil", Score: 3.0, Count: 5}, {Term: "national", Score: 1.5, Count: 3}},
+				"EELV": {{Term: "solidarite", Score: 2.0, Count: 4}},
+			}},
+			{Week: 2, Parties: map[string][]analytics.TermScore{
+				"PS":   {{Term: "vote", Score: 2.5, Count: 6}},
+				"EELV": {{Term: "abus", Score: 4.0, Count: 7}, {Term: "exces", Score: 3.5, Count: 5}},
+			}},
+		},
+	}
+}
+
+func TestRenderHTML(t *testing.T) {
+	currents := map[string]string{"PS": "left", "EELV": "ecologist"}
+	out := RenderHTML(sampleClouds(), HTMLOptions{
+		Title:     "State of emergency",
+		CurrentOf: currents,
+	})
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"State of emergency",
+		"abus",
+		CurrentColors["left"],
+		CurrentColors["ecologist"],
+		"week 1", "week 2",
+		"pmi=4.00",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("HTML missing %q", want)
+		}
+	}
+	// Higher-PMI terms get larger fonts within a cell.
+	abusIdx := strings.Index(out, ">abus<")
+	if abusIdx < 0 {
+		t.Fatal("abus span missing")
+	}
+}
+
+func TestRenderHTMLEscapes(t *testing.T) {
+	tc := &analytics.TagClouds{Weeks: []analytics.WeekClouds{
+		{Week: 1, Parties: map[string][]analytics.TermScore{
+			"<script>": {{Term: "<b>", Score: 1, Count: 1}},
+		}},
+	}}
+	out := RenderHTML(tc, HTMLOptions{Title: "x & y"})
+	if strings.Contains(out, "<script>") || strings.Contains(out, "<b>") {
+		t.Error("unescaped HTML in output")
+	}
+	if !strings.Contains(out, "&lt;script&gt;") {
+		t.Error("party name not escaped")
+	}
+}
+
+func TestRenderText(t *testing.T) {
+	out := RenderText(sampleClouds(), map[string]string{"PS": "left"}, 1)
+	for _, want := range []string{"== week 1 ==", "== week 2 ==", "abus(4.0)", "[left]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text missing %q:\n%s", want, out)
+		}
+	}
+	// topK=1 must cut EELV week 2 to one term.
+	if strings.Contains(out, "exces") {
+		t.Error("topK cut not applied")
+	}
+}
+
+func TestColorDefault(t *testing.T) {
+	if colorFor("unknown-current") != "#555555" {
+		t.Error("default colour")
+	}
+	if colorFor("LEFT") != CurrentColors["left"] {
+		t.Error("case-insensitive colour lookup")
+	}
+}
