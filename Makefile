@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: verify build test vet race bench
+
+# Tier-1 gate: a missing-module (or any build/test) regression fails here.
+verify: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/server/... ./internal/source/... ./internal/core/...
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem ./

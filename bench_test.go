@@ -6,7 +6,11 @@
 package tatooine_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 
@@ -18,6 +22,7 @@ import (
 	"tatooine/internal/fulltext"
 	"tatooine/internal/keyword"
 	"tatooine/internal/rdf"
+	"tatooine/internal/server"
 	"tatooine/internal/source"
 	"tatooine/internal/viz"
 )
@@ -529,5 +534,59 @@ func BenchmarkSourceEstimate(b *testing.B) {
 		if docSrc.EstimateCost(sub, 0) < 0 {
 			b.Fatal("estimate failed")
 		}
+	}
+}
+
+// ---------- mediator service: end-to-end HTTP throughput ----------
+
+// BenchmarkServeThroughput drives the long-running mediator service
+// over HTTP with concurrent identical qSIA requests. After the first
+// execution the result cache (plus the per-source probe cache beneath
+// it) answers from memory, so this measures the serving hot path the
+// ROADMAP's heavy-traffic north star cares about. cold=true disables
+// the result cache (which also turns off single-flight coalescing) and
+// the probe cache, so every request fully re-executes.
+func BenchmarkServeThroughput(b *testing.B) {
+	ds := fix(b, 5000).ds
+	for _, cold := range []bool{false, true} {
+		name := "cached"
+		if cold {
+			name = "cold"
+		}
+		b.Run(name, func(b *testing.B) {
+			in, err := ds.Instance()
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts := server.Options{Exec: core.ExecOptions{Parallel: true}}
+			if cold {
+				opts.ResultCacheSize = -1
+				opts.ProbeCacheSize = -1
+			}
+			srv := server.New(in, opts)
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+			body, err := json.Marshal(server.QueryRequest{Query: qSIAText})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					resp, err := http.Post(ts.URL+"/cmq", "application/json", bytes.NewReader(body))
+					if err != nil {
+						b.Fatal(err)
+					}
+					var qr server.QueryResponse
+					if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+						b.Fatal(err)
+					}
+					resp.Body.Close()
+					if qr.Error != "" || resp.StatusCode != http.StatusOK {
+						b.Fatalf("status %d: %s", resp.StatusCode, qr.Error)
+					}
+				}
+			})
+		})
 	}
 }

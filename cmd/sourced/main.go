@@ -14,11 +14,11 @@ package main
 import (
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
 
 	"tatooine/internal/datagen"
 	"tatooine/internal/federation"
+	"tatooine/internal/server"
 	"tatooine/internal/source"
 )
 
@@ -65,5 +65,5 @@ func run() error {
 	}
 
 	fmt.Fprintf(os.Stderr, "serving %s (%s model) on %s\n", src.URI(), src.Model(), *addr)
-	return http.ListenAndServe(*addr, federation.Handler(src))
+	return server.NewHTTPServer(*addr, federation.Handler(src)).ListenAndServe()
 }

@@ -7,6 +7,7 @@
 //
 //	tatooine demo                        run the demonstration scenarios
 //	tatooine query  -q 'QUERY …'         run a CMQ (or -f query.cmq)
+//	tatooine serve  -addr :8080          long-running HTTP mediator service
 //	tatooine keyword head of state SIA2016
 //	tatooine tagcloud -o tagcloud.html   Figure 3 tag clouds
 //	tatooine digest                      print per-source digests
@@ -28,6 +29,7 @@ import (
 	"tatooine/internal/datagen"
 	"tatooine/internal/digest"
 	"tatooine/internal/keyword"
+	"tatooine/internal/server"
 	"tatooine/internal/viz"
 )
 
@@ -49,7 +51,7 @@ func run(args []string) error {
 	}
 	rest := global.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("missing subcommand (demo, query, keyword, tagcloud, digest, explain)")
+		return fmt.Errorf("missing subcommand (demo, query, serve, keyword, tagcloud, digest, explain)")
 	}
 
 	cfg := datagen.DefaultConfig()
@@ -76,6 +78,8 @@ func run(args []string) error {
 		return cmdDemo(ds, in)
 	case "query":
 		return cmdQuery(in, rest[1:], false)
+	case "serve":
+		return cmdServe(in, rest[1:])
 	case "explain":
 		return cmdQuery(in, rest[1:], true)
 	case "keyword":
@@ -135,6 +139,28 @@ func cmdQuery(in *core.Instance, args []string, explainOnly bool) error {
 	}
 	printResult(res)
 	return nil
+}
+
+// cmdServe runs the long-running HTTP mediator service around the
+// generated mixed instance.
+func cmdServe(in *core.Instance, args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	resultCache := fs.Int("result-cache", server.DefaultResultCacheSize,
+		"result-cache entries (negative disables)")
+	probeCache := fs.Int("probe-cache", 0,
+		"per-source sub-query cache entries (0 = default, negative disables)")
+	fanout := fs.Int("fanout", 8, "bind-join fan-out per atom")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srv := server.New(in, server.Options{
+		ResultCacheSize: *resultCache,
+		ProbeCacheSize:  *probeCache,
+		Exec:            core.ExecOptions{Parallel: true, MaxFanout: *fanout},
+	})
+	fmt.Fprintf(os.Stderr, "mediator service listening on %s (POST /cmq, GET /stats, GET /healthz)\n", *addr)
+	return server.NewHTTPServer(*addr, srv.Handler()).ListenAndServe()
 }
 
 func cmdKeyword(in *core.Instance, keywords []string) error {

@@ -11,4 +11,27 @@
 // demonstrations under examples/, the CLI under cmd/, and the
 // experiment reproduction benchmarks in bench_test.go (indexed in
 // EXPERIMENTS.md).
+//
+// # Serving queries
+//
+// Beyond the one-shot CLI, "tatooine serve" runs the mediator as a
+// long-running HTTP service (internal/server): one shared
+// core.Instance answers POST /cmq concurrently, with GET /stats and
+// GET /healthz alongside. Two cache layers keep the serving hot path
+// off the network:
+//
+//   - a whole-query LRU result cache keyed on the parsed query's
+//     canonical form (core.CMQ.CanonicalKey — surface-syntax variants
+//     share an entry, semantically distinct queries never do), fronted
+//     by a single-flight guard so identical concurrent queries execute
+//     once (-result-cache entries; negative disables caching and
+//     coalescing);
+//   - a per-source sub-query cache (source.Cached) memoizing
+//     Execute(sub, params) by (URI, language, text, params), so
+//     repeated bind-join probes — notably through federation.Client —
+//     hit memory (-probe-cache entries; 0 = default 1024, negative
+//     disables).
+//
+// BenchmarkServeThroughput measures the end-to-end HTTP path in both
+// cached and cold configurations.
 package tatooine

@@ -1,0 +1,3 @@
+module tatooine
+
+go 1.24

@@ -16,10 +16,12 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"tatooine/internal/rdf"
 	"tatooine/internal/source"
+	"tatooine/internal/value"
 )
 
 // AtomKind discriminates CMQ body atoms.
@@ -91,6 +93,57 @@ type CMQ struct {
 	// Prefixes holds PREFIX declarations local to this query, merged
 	// with the instance's prefixes when evaluating graph atoms.
 	Prefixes map[string]string
+}
+
+// CanonicalKey serializes every semantically significant field of the
+// parsed query into an unambiguous string, usable as a cache key:
+// queries differing only in insignificant surface syntax (whitespace
+// between clauses, comments) parse to the same structure and share a
+// key, while any difference that survives parsing — sub-query text
+// byte-for-byte, prefixes, modifiers, aggregates — yields a distinct
+// key. Every component is length-framed (value.Frame) so no two field
+// splits collide.
+func (q *CMQ) CanonicalKey() string {
+	var b strings.Builder
+	frame := func(s string) { value.Frame(&b, s) }
+	frame(q.Name)
+	for _, v := range q.Head {
+		frame("h" + v)
+	}
+	for _, h := range q.HeadItems {
+		frame(fmt.Sprintf("H%d", h.Agg))
+		frame(h.Var)
+		frame(h.Alias)
+	}
+	for _, g := range q.GroupBy {
+		frame("g" + g)
+	}
+	for _, a := range q.Atoms {
+		frame(fmt.Sprintf("a%d", a.Kind))
+		frame(string(a.Sub.Language))
+		frame(a.Sub.Text)
+		for _, iv := range a.Sub.InVars {
+			frame("i" + iv)
+		}
+		frame("u" + a.SourceURI)
+		frame("v" + a.SourceVar)
+		for _, ov := range a.OutVars {
+			frame("o" + ov)
+		}
+	}
+	// Prefixes in sorted order for determinism.
+	names := make([]string, 0, len(q.Prefixes))
+	for n := range q.Prefixes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		frame("p" + n)
+		frame(q.Prefixes[n])
+	}
+	frame(fmt.Sprintf("m%v:%d:%v", q.Distinct, q.Limit, q.OrderDesc))
+	frame(q.OrderBy)
+	return b.String()
 }
 
 // outVars returns the atom's effective output variables, deriving them

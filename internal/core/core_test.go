@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"tatooine/internal/doc"
@@ -527,5 +528,50 @@ FROM <solr://tweets> IN(?id) OUT(?t, ?id)
 	}
 	if res.Rows[0][0].Str() != "Anne Martin" || !res.Rows[0][1].IsNull() {
 		t.Errorf("optional facebook: %+v", res.Rows[0])
+	}
+}
+
+// TestSaturationConcurrentQueries: a saturated instance shared across
+// concurrent queries (the server's usage pattern) must initialize its
+// saturation exactly once, race-free.
+func TestSaturationConcurrentQueries(t *testing.T) {
+	g := rdf.NewGraph()
+	g.AddAll(rdf.MustParse(`
+@prefix : <http://t.example/> .
+:p1 a :politician .
+:politician rdfs:subClassOf :person .
+`))
+	in := NewInstance(g, WithPrefixes(map[string]string{"": "http://t.example/"}), WithSaturation())
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := in.Query("QUERY q(?x)\nGRAPH { ?x a :person }")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if len(res.Rows) != 1 {
+				t.Errorf("saturated rows: %+v", res.Rows)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestCanonicalKeyFieldFraming: free-form fields (which the parser does
+// not charset-restrict, so they may contain ':') must be framed
+// individually — no two distinct field splits may share a key.
+func TestCanonicalKeyFieldFraming(t *testing.T) {
+	a := &CMQ{HeadItems: []HeadItem{{Agg: AggCount, Var: "x", Alias: "y:z"}}}
+	b := &CMQ{HeadItems: []HeadItem{{Agg: AggCount, Var: "x:y", Alias: "z"}}}
+	if a.CanonicalKey() == b.CanonicalKey() {
+		t.Error("distinct (Var, Alias) splits collided on one canonical key")
+	}
+	c := &CMQ{OrderBy: "v:true", OrderDesc: false}
+	d := &CMQ{OrderBy: "v", OrderDesc: true}
+	if c.CanonicalKey() == d.CanonicalKey() {
+		t.Error("OrderBy containing ':' collided with OrderDesc rendering")
 	}
 }

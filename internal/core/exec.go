@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"tatooine/internal/source"
 	"tatooine/internal/value"
@@ -121,16 +122,29 @@ func (ex *executor) run() (*Relation, error) {
 			}
 		}
 		// Join the wave's results into the intermediate relation,
-		// smallest first to keep intermediates tight.
+		// smallest first so intermediates grow from the tightest seed.
+		// The joins are composed into one left-deep iterator pipeline so
+		// the wave materializes exactly once: the seed streams through
+		// the whole chain while each remaining relation is hashed as a
+		// join's build side.
 		sort.SliceStable(results, func(i, j int) bool {
 			return len(results[i].Rows) < len(results[j].Rows)
 		})
+		var it Iterator
+		joins := 0
 		for _, r := range results {
 			if rel == nil {
 				rel = r
 				continue
 			}
-			joined, err := Materialize(NewHashJoin(NewScan(rel), NewScan(r)))
+			if it == nil {
+				it = NewScan(rel)
+			}
+			it = NewHashJoin(it, NewScan(r))
+			joins++
+		}
+		if joins > 0 {
+			joined, err := Materialize(it)
 			if err != nil {
 				return nil, err
 			}
@@ -356,14 +370,24 @@ func (ex *executor) bindJoin(src source.DataSource, a Atom, outs []string, rel *
 		var wg sync.WaitGroup
 		errOnce := sync.Once{}
 		var firstErr error
+		var failed atomic.Bool
 		for _, t := range tuples {
+			// Once a probe fails, stop launching: queued probes would
+			// only fire doomed network sub-queries.
+			if failed.Load() {
+				break
+			}
 			wg.Add(1)
 			sem <- struct{}{}
 			go func(t paramTuple) {
 				defer wg.Done()
 				defer func() { <-sem }()
+				if failed.Load() {
+					return
+				}
 				if err := probe(t); err != nil {
 					errOnce.Do(func() { firstErr = err })
+					failed.Store(true)
 				}
 			}(t)
 		}

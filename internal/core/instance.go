@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"tatooine/internal/rdf"
 	"tatooine/internal/source"
@@ -15,6 +16,7 @@ type Instance struct {
 	sources  *source.Registry
 	prefixes map[string]string
 	saturate bool
+	satOnce  sync.Once  // guards satGraph (queries may run concurrently)
 	satGraph *rdf.Graph // cached saturation of graph
 }
 
@@ -76,9 +78,9 @@ func (in *Instance) queryGraph() *rdf.Graph {
 	if !in.saturate {
 		return in.graph
 	}
-	if in.satGraph == nil {
+	in.satOnce.Do(func() {
 		in.satGraph = rdf.Saturate(in.graph).Graph
-	}
+	})
 	return in.satGraph
 }
 

@@ -174,14 +174,22 @@ func (h *HashJoinIterator) Open() error {
 }
 
 func joinKey(row value.Row, positions []int) (string, bool) {
+	// Single-column joins (the common case) need no length framing: the
+	// value key is already self-delimiting for a lone component.
+	if len(positions) == 1 {
+		v := row[positions[0]]
+		if v.IsNull() {
+			return "", true
+		}
+		return v.Key(), false
+	}
 	var b strings.Builder
 	for _, p := range positions {
 		v := row[p]
 		if v.IsNull() {
 			return "", true
 		}
-		k := v.Key()
-		fmt.Fprintf(&b, "%d:%s", len(k), k)
+		value.Frame(&b, v.Key())
 	}
 	return b.String(), false
 }

@@ -17,6 +17,9 @@ func ForSource(s source.DataSource, budget Budget) (*Digest, error) {
 	switch src := s.(type) {
 	case Digester:
 		return src.Digest(budget)
+	case interface{ Unwrap() source.DataSource }:
+		// Decorators (e.g. source.Cached) digest as their inner source.
+		return ForSource(src.Unwrap(), budget)
 	case *source.RDFSource:
 		return BuildRDF(s.URI(), src.Graph(), budget), nil
 	case *source.RelSource:

@@ -215,15 +215,24 @@ func (c *Client) Execute(q source.SubQuery, params []value.Value) (*source.Resul
 		return nil, fmt.Errorf("federation: query %s: %w", c.baseURL, err)
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// Check the status before decoding: a non-JSON error body (a
+		// proxy 502, a wrong route) must surface as the HTTP status, not
+		// as a confusing decode failure. When the endpoint did send a
+		// JSON error, include its message alongside the status.
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 8<<10))
+		var qr QueryResponse
+		if json.Unmarshal(body, &qr) == nil && qr.Error != "" {
+			return nil, fmt.Errorf("federation: query %s: status %s: %s", c.baseURL, resp.Status, qr.Error)
+		}
+		return nil, fmt.Errorf("federation: query %s: status %s", c.baseURL, resp.Status)
+	}
 	var qr QueryResponse
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&qr); err != nil {
 		return nil, fmt.Errorf("federation: query %s: bad response: %w", c.baseURL, err)
 	}
 	if qr.Error != "" {
 		return nil, fmt.Errorf("federation: remote %s: %s", c.baseURL, qr.Error)
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("federation: query %s: status %s", c.baseURL, resp.Status)
 	}
 	return &source.Result{Cols: qr.Cols, Rows: qr.Rows}, nil
 }

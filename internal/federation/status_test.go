@@ -1,0 +1,67 @@
+package federation
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"tatooine/internal/source"
+)
+
+// brokenProxy serves valid /meta (so Dial succeeds) but answers /query
+// like a misconfigured reverse proxy: a non-JSON error page.
+func brokenProxy(t *testing.T, status int, body string) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /meta", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"uri":"sql://insee","model":"relational","languages":["sql"]}`))
+	})
+	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		w.WriteHeader(status)
+		_, _ = w.Write([]byte(body))
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestExecuteNonJSONErrorReportsStatus is the regression test for the
+// decode-before-status bug: a proxy 502 with an HTML body must surface
+// as the HTTP status, not as a JSON decode failure.
+func TestExecuteNonJSONErrorReportsStatus(t *testing.T) {
+	srv := brokenProxy(t, http.StatusBadGateway, "<html><body>502 Bad Gateway</body></html>")
+	c, err := Dial(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Execute(source.SubQuery{Language: source.LangSQL, Text: "SELECT 1"}, nil)
+	if err == nil {
+		t.Fatal("expected error from 502 endpoint")
+	}
+	if !strings.Contains(err.Error(), "502") {
+		t.Errorf("error does not report the HTTP status: %v", err)
+	}
+	if strings.Contains(err.Error(), "bad response") {
+		t.Errorf("error still surfaces as a decode failure: %v", err)
+	}
+}
+
+// TestExecuteJSONErrorKeepsMessage: when the endpoint does send a JSON
+// error with a non-200 status, both the status and the message survive.
+func TestExecuteJSONErrorKeepsMessage(t *testing.T) {
+	srv := brokenProxy(t, http.StatusUnprocessableEntity, `{"error":"no such table"}`)
+	c, err := Dial(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Execute(source.SubQuery{Language: source.LangSQL, Text: "SELECT 1"}, nil)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "422") || !strings.Contains(err.Error(), "no such table") {
+		t.Errorf("error lost status or message: %v", err)
+	}
+}

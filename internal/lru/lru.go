@@ -1,0 +1,59 @@
+// Package lru provides the small bounded least-recently-used map
+// shared by the mediator's result cache and the per-source sub-query
+// cache (source.Cached).
+package lru
+
+import "container/list"
+
+type entry[V any] struct {
+	key string
+	val V
+}
+
+// Cache is a bounded LRU map from string keys to values. It is not
+// safe for concurrent use; callers hold their own lock.
+type Cache[V any] struct {
+	max   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+// New returns a cache holding at most max entries (max must be > 0).
+func New[V any](max int) *Cache[V] {
+	return &Cache[V]{
+		max:   max,
+		order: list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// Len returns the current number of entries.
+func (c *Cache[V]) Len() int { return c.order.Len() }
+
+// Get returns the value for key and marks it most recently used.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*entry[V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Put stores (or refreshes) key and reports whether the insertion
+// evicted the least recently used entry.
+func (c *Cache[V]) Put(key string, val V) (evicted bool) {
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*entry[V]).val = val
+		return false
+	}
+	c.items[key] = c.order.PushFront(&entry[V]{key: key, val: val})
+	if c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*entry[V]).key)
+		return true
+	}
+	return false
+}

@@ -1,0 +1,311 @@
+// Package server turns a mixed instance into a long-running HTTP
+// mediator service: one shared core.Instance answers concurrent mixed
+// queries, with an LRU result cache keyed on the parsed query's
+// canonical form (core.CMQ.CanonicalKey), a single-flight guard so
+// identical concurrent queries execute once, and a per-source
+// sub-query cache (source.Cached) underneath so repeated bind-join
+// probes hit memory instead of the network.
+//
+// Routes:
+//
+//	POST /cmq      execute a CMQ (JSON {"query": "..."} or raw text body)
+//	GET  /stats    server counters + cache occupancy
+//	GET  /healthz  liveness probe
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tatooine/internal/core"
+	"tatooine/internal/lru"
+	"tatooine/internal/source"
+	"tatooine/internal/value"
+)
+
+// Options tune the mediator service.
+type Options struct {
+	// ResultCacheSize bounds the whole-query result cache (entries).
+	// 0 uses DefaultResultCacheSize; negative disables result caching
+	// AND the single-flight coalescing of identical concurrent queries
+	// (coalescing is result sharing across requests too).
+	ResultCacheSize int
+	// ProbeCacheSize bounds each source's sub-query cache (entries).
+	// 0 uses source.DefaultCacheSize; negative disables probe caching.
+	ProbeCacheSize int
+	// Exec carries the execution options every query runs with.
+	Exec core.ExecOptions
+}
+
+// DefaultResultCacheSize bounds the result cache when Options leaves
+// ResultCacheSize at zero.
+const DefaultResultCacheSize = 256
+
+// Stats are the server-level counters surfaced on GET /stats.
+type Stats struct {
+	Requests     int64 `json:"requests"`     // POST /cmq requests handled
+	CacheHits    int64 `json:"cacheHits"`    // answered from the result cache
+	CacheMisses  int64 `json:"cacheMisses"`  // executed (or joined an in-flight execution)
+	Coalesced    int64 `json:"coalesced"`    // waited on an identical in-flight query
+	Errors       int64 `json:"errors"`       // parse or execution failures
+	SubQueries   int64 `json:"subQueries"`   // native sub-queries across all executions
+	CacheEntries int   `json:"cacheEntries"` // current result-cache occupancy
+}
+
+// QueryRequest is the JSON body of POST /cmq.
+type QueryRequest struct {
+	Query string `json:"query"`
+}
+
+// QueryResponse is the JSON reply of POST /cmq.
+type QueryResponse struct {
+	Cols   []string       `json:"cols"`
+	Rows   []value.Row    `json:"rows"`
+	Stats  core.ExecStats `json:"stats"`
+	Cached bool           `json:"cached"`
+	Error  string         `json:"error,omitempty"`
+}
+
+// Server is the mediator query service around one shared Instance.
+type Server struct {
+	in   *core.Instance
+	opts Options
+
+	mu       sync.Mutex
+	cache    *lru.Cache[*core.QueryResult] // nil when result caching is disabled
+	inflight map[string]*flightCall
+
+	requests, hits, misses, coalesced, errors, subQueries atomic.Int64
+}
+
+// flightCall is one in-progress execution identical queries wait on.
+type flightCall struct {
+	done chan struct{}
+	res  *core.QueryResult
+	err  error
+}
+
+// New builds a Server over the instance. Unless probe caching is
+// disabled, every source in the instance's registry (and every source
+// its fallback resolver discovers later) is interposed with a
+// source.Cached decorator sized by opts.ProbeCacheSize. The
+// interposition is skipped when the registry is already decorated
+// (e.g. a second Server over the same instance), so wrappers never
+// stack.
+func New(in *core.Instance, opts Options) *Server {
+	if opts.ResultCacheSize == 0 {
+		opts.ResultCacheSize = DefaultResultCacheSize
+	}
+	if opts.ProbeCacheSize >= 0 && !in.Sources().Interposed() {
+		n := opts.ProbeCacheSize
+		in.Sources().Interpose(func(s source.DataSource) source.DataSource {
+			return source.NewCached(s, n)
+		})
+	}
+	s := &Server{
+		in:       in,
+		opts:     opts,
+		inflight: make(map[string]*flightCall),
+	}
+	if opts.ResultCacheSize > 0 {
+		s.cache = lru.New[*core.QueryResult](opts.ResultCacheSize)
+	}
+	return s
+}
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	entries := 0
+	if s.cache != nil {
+		entries = s.cache.Len()
+	}
+	s.mu.Unlock()
+	return Stats{
+		Requests:     s.requests.Load(),
+		CacheHits:    s.hits.Load(),
+		CacheMisses:  s.misses.Load(),
+		Coalesced:    s.coalesced.Load(),
+		Errors:       s.errors.Load(),
+		SubQueries:   s.subQueries.Load(),
+		CacheEntries: entries,
+	}
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /cmq", s.handleCMQ)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleCMQ(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	text, err := readQuery(r)
+	if err != nil {
+		s.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, QueryResponse{Error: err.Error()})
+		return
+	}
+	// Parse first: malformed queries are always a 400, and the cache is
+	// keyed on the parsed query's canonical form, so surface-syntax
+	// variants (whitespace, comments) share an entry while any
+	// semantically distinct query gets its own.
+	q, _, err := core.ParseCMQ(text)
+	if err != nil {
+		s.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, QueryResponse{Error: err.Error()})
+		return
+	}
+
+	key := q.CanonicalKey()
+	if res, ok := s.cacheGet(key); ok {
+		s.hits.Add(1)
+		// A cache hit executed nothing: report zeroed stats so clients
+		// (and benchmarks) can observe that no sub-query was shipped.
+		writeJSON(w, http.StatusOK, QueryResponse{Cols: res.Cols, Rows: res.Rows, Cached: true})
+		return
+	}
+	s.misses.Add(1)
+
+	res, cached, err := s.execute(key, q)
+	if err != nil {
+		s.errors.Add(1)
+		writeJSON(w, http.StatusUnprocessableEntity, QueryResponse{Error: err.Error()})
+		return
+	}
+	if cached {
+		writeJSON(w, http.StatusOK, QueryResponse{Cols: res.Cols, Rows: res.Rows, Cached: true})
+		return
+	}
+	writeJSON(w, http.StatusOK, QueryResponse{Cols: res.Cols, Rows: res.Rows, Stats: res.Stats})
+}
+
+// execute runs the query under the single-flight guard: the first
+// caller for a key executes; identical concurrent callers wait and
+// share the leader's result (cached=true for them — they shipped no
+// sub-queries of their own). With result caching disabled the guard is
+// off too: every request executes for itself.
+func (s *Server) execute(key string, q *core.CMQ) (res *core.QueryResult, cached bool, err error) {
+	if s.cache == nil {
+		res, err = s.in.ExecuteOpts(q, s.opts.Exec)
+		if err == nil {
+			s.subQueries.Add(int64(res.Stats.SubQueries))
+		}
+		return res, false, err
+	}
+	s.mu.Lock()
+	// Re-check the cache under the lock: a leader may have finished
+	// (inflight entry gone, result cached) between the handler's
+	// cacheGet and here; without this a request in that window would
+	// become a new leader and re-execute an already-cached query.
+	if res, ok := s.cache.Get(key); ok {
+		s.mu.Unlock()
+		return res, true, nil
+	}
+	if call, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		s.coalesced.Add(1)
+		<-call.done
+		return call.res, true, call.err
+	}
+	call := &flightCall{done: make(chan struct{})}
+	s.inflight[key] = call
+	s.mu.Unlock()
+
+	call.res, call.err = s.in.ExecuteOpts(q, s.opts.Exec)
+	if call.err == nil {
+		s.subQueries.Add(int64(call.res.Stats.SubQueries))
+	}
+
+	s.mu.Lock()
+	delete(s.inflight, key)
+	if call.err == nil {
+		s.cache.Put(key, call.res)
+	}
+	s.mu.Unlock()
+	close(call.done)
+	return call.res, false, call.err
+}
+
+func (s *Server) cacheGet(key string) (*core.QueryResult, bool) {
+	if s.cache == nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cache.Get(key)
+}
+
+// maxQueryBytes bounds a POST /cmq body; larger requests are rejected
+// outright rather than silently truncated to a still-parseable prefix.
+const maxQueryBytes = 1 << 20
+
+// readQuery extracts the CMQ text from the request body: a JSON
+// {"query": "..."} envelope when Content-Type is application/json,
+// otherwise the raw body.
+func readQuery(r *http.Request) (string, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxQueryBytes+1))
+	if err != nil {
+		return "", fmt.Errorf("server: read body: %w", err)
+	}
+	if len(body) > maxQueryBytes {
+		return "", fmt.Errorf("server: query exceeds %d bytes", maxQueryBytes)
+	}
+	ct := r.Header.Get("Content-Type")
+	if mt, _, err := mime.ParseMediaType(ct); err == nil && mt == "application/json" {
+		var req QueryRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return "", fmt.Errorf("server: bad JSON body: %w", err)
+		}
+		if strings.TrimSpace(req.Query) == "" {
+			return "", fmt.Errorf("server: empty query")
+		}
+		return req.Query, nil
+	}
+	text := string(body)
+	if strings.TrimSpace(text) == "" {
+		return "", fmt.Errorf("server: empty query")
+	}
+	return text, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+// NewHTTPServer wraps a handler in an http.Server with sane timeouts —
+// a bare ListenAndServe has none and is slowloris-vulnerable. Shared by
+// the mediator service and cmd/sourced. The write timeout is generous
+// because it bounds the whole handler, and a cold federated query can
+// legitimately ship many slow remote sub-queries; the slowloris defense
+// is the header/read timeouts, not the write bound.
+func NewHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      15 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+}

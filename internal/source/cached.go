@@ -1,0 +1,140 @@
+package source
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+
+	"tatooine/internal/lru"
+	"tatooine/internal/value"
+)
+
+// CacheStats reports what a Cached decorator has done so far.
+type CacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Entries   int
+}
+
+// Cached decorates a DataSource with a bounded LRU memoization of
+// Execute results, keyed by (URI, language, text, InVars, params). It
+// turns repeated bind-join probes — the mediator's shipped-sub-query
+// hot path, especially through a federation.Client — into memory
+// lookups. Results are shared between the cache and callers and must
+// be treated as read-only, which the executor already guarantees.
+type Cached struct {
+	inner DataSource
+
+	mu        sync.Mutex
+	cache     *lru.Cache[*Result]
+	estimates *lru.Cache[int]
+	stats     CacheStats
+}
+
+// DefaultCacheSize bounds a Cached decorator when the caller passes a
+// non-positive size.
+const DefaultCacheSize = 1024
+
+// NewCached wraps inner with a sub-query result cache holding at most
+// maxEntries results (DefaultCacheSize when maxEntries <= 0).
+func NewCached(inner DataSource, maxEntries int) *Cached {
+	if maxEntries <= 0 {
+		maxEntries = DefaultCacheSize
+	}
+	return &Cached{
+		inner:     inner,
+		cache:     lru.New[*Result](maxEntries),
+		estimates: lru.New[int](maxEntries),
+	}
+}
+
+// Unwrap returns the decorated source (digest construction dispatches
+// on concrete adapter types and unwraps decorators first).
+func (c *Cached) Unwrap() DataSource { return c.inner }
+
+// URI implements DataSource.
+func (c *Cached) URI() string { return c.inner.URI() }
+
+// Model implements DataSource.
+func (c *Cached) Model() Model { return c.inner.Model() }
+
+// Languages implements DataSource.
+func (c *Cached) Languages() []Language { return c.inner.Languages() }
+
+// EstimateCost implements DataSource, memoizing the inner estimate:
+// planning calls it per atom on every query, and for a remote source
+// each call is an HTTP round trip. Unknown estimates (negative) are
+// not cached so a recovering remote can start answering.
+func (c *Cached) EstimateCost(q SubQuery, numParams int) int {
+	key := cacheKey(c.inner.URI(), q, nil) + "|" + strconv.Itoa(numParams)
+	c.mu.Lock()
+	if cost, ok := c.estimates.Get(key); ok {
+		c.mu.Unlock()
+		return cost
+	}
+	c.mu.Unlock()
+	cost := c.inner.EstimateCost(q, numParams)
+	if cost >= 0 {
+		c.mu.Lock()
+		c.estimates.Put(key, cost)
+		c.mu.Unlock()
+	}
+	return cost
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cached) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.cache.Len()
+	return s
+}
+
+// Execute implements DataSource: a cache hit returns the memoized
+// result without touching the inner source; a miss executes and, on
+// success, stores the result (evicting the least recently used entry
+// when full). Errors are never cached.
+func (c *Cached) Execute(q SubQuery, params []value.Value) (*Result, error) {
+	key := cacheKey(c.inner.URI(), q, params)
+
+	c.mu.Lock()
+	if res, ok := c.cache.Get(key); ok {
+		c.stats.Hits++
+		c.mu.Unlock()
+		return res, nil
+	}
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	// Execute outside the lock; concurrent misses on the same key may
+	// race to fill, which is harmless (last writer wins).
+	res, err := c.inner.Execute(q, params)
+	if err != nil {
+		return nil, err
+	}
+
+	c.mu.Lock()
+	if c.cache.Put(key, res) {
+		c.stats.Evictions++
+	}
+	c.mu.Unlock()
+	return res, nil
+}
+
+// cacheKey builds an unambiguous key from the source identity, the
+// sub-query, and the bound parameters (length-framed via value.Frame
+// so no two distinct inputs collide).
+func cacheKey(uri string, q SubQuery, params []value.Value) string {
+	var b strings.Builder
+	value.Frame(&b, uri)
+	value.Frame(&b, string(q.Language))
+	value.Frame(&b, q.Text)
+	for _, iv := range q.InVars {
+		value.Frame(&b, iv)
+	}
+	b.WriteByte('|')
+	b.WriteString(value.Row(params).Key())
+	return b.String()
+}

@@ -13,6 +13,7 @@ import (
 	"strings"
 	"sync"
 
+	"tatooine/internal/lru"
 	"tatooine/internal/value"
 )
 
@@ -109,6 +110,10 @@ type Registry struct {
 	mu       sync.RWMutex
 	sources  map[string]DataSource
 	fallback Resolver
+	// wrapper, once installed by Interpose, decorates every source that
+	// enters the registry afterwards (Register and SetFallback included),
+	// so wiring order cannot silently lose the decoration.
+	wrapper func(DataSource) DataSource
 }
 
 // NewRegistry returns an empty registry.
@@ -127,16 +132,84 @@ func (r *Registry) Register(s DataSource) error {
 	if _, dup := r.sources[uri]; dup {
 		return fmt.Errorf("source: URI %q already registered", uri)
 	}
+	if r.wrapper != nil {
+		s = r.wrapper(s)
+	}
 	r.sources[uri] = s
 	return nil
 }
 
 // SetFallback installs a resolver consulted when a URI is not
-// registered locally (remote endpoints / dynamic discovery).
+// registered locally (remote endpoints / dynamic discovery). An
+// interposed wrapper applies to the new resolver's sources too.
 func (r *Registry) SetFallback(f Resolver) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.wrapper != nil && f != nil {
+		f = wrapResolver(f, r.wrapper)
+	}
 	r.fallback = f
+}
+
+// FallbackMemoSize bounds the number of dynamically discovered sources
+// an interposed fallback keeps wrappers (and their caches) for; the
+// least recently resolved are dropped and simply re-resolved on next
+// use, so a long-running mediator cannot grow without limit.
+const FallbackMemoSize = 256
+
+// Interposed reports whether a wrapper is installed, letting callers
+// avoid stacking decorators on an already-interposed registry.
+func (r *Registry) Interposed() bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.wrapper != nil
+}
+
+// Interpose wraps every source in the registry — those currently
+// registered, those registered later, and every source the fallback
+// resolver produces — with wrap(s). Fallback resolutions are memoized
+// per URI (bounded by FallbackMemoSize) so a dynamically discovered
+// source keeps one stable wrapper (and one stable cache, when wrap is
+// NewCached) across queries instead of being re-dialed and re-wrapped
+// on every resolution.
+func (r *Registry) Interpose(wrap func(DataSource) DataSource) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.wrapper = wrap
+	for uri, s := range r.sources {
+		r.sources[uri] = wrap(s)
+	}
+	if r.fallback != nil {
+		r.fallback = wrapResolver(r.fallback, wrap)
+	}
+}
+
+// wrapResolver decorates a fallback resolver's sources with wrap,
+// memoizing resolutions per URI (bounded by FallbackMemoSize).
+func wrapResolver(fb Resolver, wrap func(DataSource) DataSource) Resolver {
+	var memoMu sync.Mutex
+	memo := lru.New[DataSource](FallbackMemoSize)
+	return func(uri string) (DataSource, error) {
+		memoMu.Lock()
+		s, ok := memo.Get(uri)
+		memoMu.Unlock()
+		if ok {
+			return s, nil
+		}
+		inner, err := fb(uri)
+		if err != nil {
+			return nil, err
+		}
+		wrapped := wrap(inner)
+		memoMu.Lock()
+		if prev, dup := memo.Get(uri); dup {
+			wrapped = prev // concurrent resolvers share one wrapper
+		} else {
+			memo.Put(uri, wrapped)
+		}
+		memoMu.Unlock()
+		return wrapped, nil
+	}
 }
 
 // Resolve returns the source for a URI, consulting the fallback

@@ -335,14 +335,22 @@ func (r Row) Clone() Row {
 	return out
 }
 
+// Frame appends a length-framed component ("len:content") to b. It is
+// the one encoding every collision-critical key builder in the system
+// uses (Row.Key, join keys, sub-query cache keys, CMQ canonical keys):
+// framing each component makes the concatenation uniquely decodable,
+// so no two distinct component sequences produce the same key.
+func Frame(b *strings.Builder, s string) {
+	b.WriteString(strconv.Itoa(len(s)))
+	b.WriteByte(':')
+	b.WriteString(s)
+}
+
 // Key concatenates the value keys; equal rows produce equal keys.
 func (r Row) Key() string {
 	var b strings.Builder
 	for _, v := range r {
-		k := v.Key()
-		b.WriteString(strconv.Itoa(len(k)))
-		b.WriteByte(':')
-		b.WriteString(k)
+		Frame(&b, v.Key())
 	}
 	return b.String()
 }
