@@ -15,7 +15,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/server/... ./internal/source/... ./internal/core/...
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./

@@ -12,16 +12,20 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"tatooine/internal/analytics"
 	"tatooine/internal/core"
 	"tatooine/internal/datagen"
 	"tatooine/internal/digest"
 	"tatooine/internal/doc"
+	"tatooine/internal/federation"
 	"tatooine/internal/fulltext"
 	"tatooine/internal/keyword"
 	"tatooine/internal/rdf"
+	"tatooine/internal/relstore"
 	"tatooine/internal/server"
 	"tatooine/internal/source"
 	"tatooine/internal/viz"
@@ -587,6 +591,91 @@ func BenchmarkServeThroughput(b *testing.B) {
 					}
 				}
 			})
+		})
+	}
+}
+
+// BenchmarkBatchedBindJoin measures the tentpole of the batched
+// bind-join pushdown: a bind join whose probes travel to a remote
+// federation endpoint behind an injected per-request latency. perProbe
+// ships one HTTP round trip per distinct binding; batched chunks the
+// bindings into ProbeBatch-sized IN-list pushdowns, collapsing the
+// round trips by the batch factor. The rtts/op metric counts actual
+// HTTP requests per executed query.
+func BenchmarkBatchedBindJoin(b *testing.B) {
+	const keys = 256
+	const rtt = 500 * time.Microsecond
+
+	db := relstore.NewDatabase("remote")
+	if _, err := db.Exec("CREATE TABLE targets (k TEXT, v INT)"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < keys; i++ {
+		if _, err := db.Exec(fmt.Sprintf("INSERT INTO targets VALUES ('k%d', %d)", i, i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	seed := relstore.NewDatabase("seed")
+	if _, err := seed.Exec("CREATE TABLE seed (k TEXT)"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < keys; i++ {
+		if _, err := seed.Exec(fmt.Sprintf("INSERT INTO seed VALUES ('k%d')", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	var requests atomic.Int64
+	inner := federation.Handler(source.NewRelSource("sql://remote", db))
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests.Add(1)
+		time.Sleep(rtt) // injected network latency
+		inner.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+	client, err := federation.Dial(ts.URL)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	text := `
+QUERY q(?k, ?v)
+FROM <sql://seed> OUT(?k) { SELECT k FROM seed }
+FROM <sql://remote> IN(?k) OUT(?k, ?v) { SELECT k, v FROM targets WHERE k = ? }
+`
+	q, _, err := core.ParseCMQ(text)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	for _, bench := range []struct {
+		name       string
+		probeBatch int
+	}{
+		{"perProbe", 1},
+		{"batched64", 64},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			in := core.NewInstance(nil)
+			if err := in.AddSource(source.NewRelSource("sql://seed", seed)); err != nil {
+				b.Fatal(err)
+			}
+			if err := in.AddSource(client); err != nil {
+				b.Fatal(err)
+			}
+			requests.Store(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := in.ExecuteOpts(q, core.ExecOptions{Parallel: true, ProbeBatch: bench.probeBatch})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Rows) != keys {
+					b.Fatalf("rows: %d", len(res.Rows))
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(requests.Load())/float64(b.N), "rtts/op")
 		})
 	}
 }

@@ -1,7 +1,12 @@
 // Command sourced serves one data source of the synthetic mixed
 // instance as an HTTP federation endpoint, so a remote tatooine
 // mediator can query it (the paper's remote-endpoint / dynamic source
-// discovery code path).
+// discovery code path). The endpoint speaks the full federation wire
+// protocol, including POST /batch: a mediator's batched bind-join
+// probes arrive as one request and are pushed down natively when the
+// served source supports source.BatchProber (IN-list rewriting for the
+// relational sources), or evaluated in a server-side loop otherwise —
+// either way the per-binding HTTP round trips collapse into one.
 //
 // Usage:
 //

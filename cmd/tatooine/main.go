@@ -102,8 +102,8 @@ func printResult(res *core.QueryResult) {
 		}
 		fmt.Println(strings.Join(parts, "\t"))
 	}
-	fmt.Fprintf(os.Stderr, "%d rows; %d sub-queries, %d rows fetched, %d waves, %d bind joins, %d dynamic sources\n",
-		len(res.Rows), res.Stats.SubQueries, res.Stats.RowsFetched,
+	fmt.Fprintf(os.Stderr, "%d rows; %d sub-queries (%d batched), %d rows fetched, %d waves, %d bind joins, %d dynamic sources\n",
+		len(res.Rows), res.Stats.SubQueries, res.Stats.BatchProbes, res.Stats.RowsFetched,
 		res.Stats.Waves, res.Stats.BindJoins, res.Stats.Dynamic)
 }
 
@@ -150,14 +150,19 @@ func cmdServe(in *core.Instance, args []string) error {
 		"result-cache entries (negative disables)")
 	probeCache := fs.Int("probe-cache", 0,
 		"per-source sub-query cache entries (0 = default, negative disables)")
+	probeTTL := fs.Duration("probe-ttl", 0,
+		"probe-cache entry TTL, e.g. 5m (0 = entries never expire)")
 	fanout := fs.Int("fanout", 8, "bind-join fan-out per atom")
+	probeBatch := fs.Int("probe-batch", 0,
+		"bind-join probe batch size for batch-capable sources (0 = default 64, 1 disables batching)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	srv := server.New(in, server.Options{
 		ResultCacheSize: *resultCache,
 		ProbeCacheSize:  *probeCache,
-		Exec:            core.ExecOptions{Parallel: true, MaxFanout: *fanout},
+		ProbeTTL:        *probeTTL,
+		Exec:            core.ExecOptions{Parallel: true, MaxFanout: *fanout, ProbeBatch: *probeBatch},
 	})
 	fmt.Fprintf(os.Stderr, "mediator service listening on %s (POST /cmq, GET /stats, GET /healthz)\n", *addr)
 	return server.NewHTTPServer(*addr, srv.Handler()).ListenAndServe()

@@ -30,8 +30,45 @@
 //     Execute(sub, params) by (URI, language, text, params), so
 //     repeated bind-join probes — notably through federation.Client —
 //     hit memory (-probe-cache entries; 0 = default 1024, negative
-//     disables).
+//     disables; -probe-ttl expires entries after a duration so a
+//     long-running mediator stops serving arbitrarily stale remote
+//     rows).
 //
 // BenchmarkServeThroughput measures the end-to-end HTTP path in both
 // cached and cold configurations.
+//
+// # Batched bind-join pushdown
+//
+// The paper's bind-join strategy ships one native sub-query per outer
+// binding — for a remote source that is one HTTP round trip per
+// binding. Sources may implement the optional source.BatchProber
+// capability (ExecuteBatch: one sub-query, many parameter tuples, one
+// native round trip); the executor then chunks a bind join's distinct
+// outer tuples into batches of ExecOptions.ProbeBatch (default 64,
+// "tatooine serve -probe-batch") and ships each chunk as ONE
+// sub-query, turning O(bindings) round trips into O(bindings/batch).
+//
+//   - source.RelSource pushes batches down as SQL: each `col = ?`
+//     probe predicate is rewritten into `col IN (v1, ..., vk)` per
+//     batch and the single result is split back per tuple — exactly,
+//     including multi-parameter cross products; shapes whose meaning
+//     would change (LIMIT, DISTINCT, aggregation, '?' outside a
+//     top-level equality) report source.ErrBatchUnsupported and fall
+//     back to per-tuple probes.
+//   - source.RDFSource and source.DocSource evaluate batches
+//     VALUES-style: parse once, evaluate per tuple in-process.
+//   - federation.Client ships the whole batch as one POST /batch
+//     request; the remote endpoint pushes it natively into its store
+//     when it can and loops server-side otherwise — either way the
+//     per-binding network round trips collapse into one. Endpoints
+//     predating the route degrade cleanly to per-tuple probes.
+//   - source.Cached answers cached tuples from the probe cache and
+//     forwards only the misses as a smaller batch, filling the cache
+//     per tuple from the batch result.
+//
+// ExecStats.BatchProbes (and the /stats batchProbes counter) reports
+// how many batched dispatches ran; POST /cmq with {"explain": true}
+// returns the plan plus each atom's batched-vs-per-probe decision
+// without executing. BenchmarkBatchedBindJoin measures the round-trip
+// collapse against a latency-injected remote source.
 package tatooine

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -18,17 +19,33 @@ type ExecOptions struct {
 	Parallel bool
 	// MaxFanout bounds bind-join concurrency (default 8).
 	MaxFanout int
+	// ProbeBatch is the bind-join batch size: when the source supports
+	// batched probes (source.BatchProber) the distinct outer tuples are
+	// chunked into batches of this size and each batch ships as one
+	// native sub-query. 0 uses DefaultProbeBatch; 1 or negative forces
+	// per-tuple probes (the pre-batching behavior).
+	ProbeBatch int
 	// NaiveOrder disables selectivity-based ordering (ablation E6):
 	// atoms run one per wave in declaration order.
 	NaiveOrder bool
+	// MaterializeFinal materializes the final wave's join pipeline into
+	// a relation before the finishing projection instead of streaming
+	// it straight into finish() (ablation/testing knob; results are
+	// identical either way).
+	MaterializeFinal bool
 }
+
+// DefaultProbeBatch is the bind-join batch size when ExecOptions leaves
+// ProbeBatch at zero.
+const DefaultProbeBatch = 64
 
 // ExecStats reports what an execution did.
 type ExecStats struct {
-	SubQueries  int // native sub-query invocations (incl. bind-join probes)
+	SubQueries  int // native sub-query invocations (a batched probe counts once)
 	RowsFetched int // rows returned by sources before residual joins
 	Waves       int
 	BindJoins   int // atoms executed as bind joins
+	BatchProbes int // batched bind-join dispatches (each also counts one SubQuery)
 	Dynamic     int // distinct dynamically-resolved sources contacted
 }
 
@@ -51,16 +68,19 @@ func (in *Instance) ExecuteOpts(q *CMQ, opts ExecOptions) (*QueryResult, error) 
 	if opts.MaxFanout <= 0 {
 		opts.MaxFanout = 8
 	}
+	if opts.ProbeBatch == 0 {
+		opts.ProbeBatch = DefaultProbeBatch
+	}
 	plan, err := in.planQuery(q, opts.NaiveOrder)
 	if err != nil {
 		return nil, err
 	}
 	ex := &executor{in: in, q: q, plan: plan, opts: opts}
-	rel, err := ex.run()
+	it, err := ex.run()
 	if err != nil {
 		return nil, err
 	}
-	out, err := ex.finish(rel)
+	out, err := ex.finish(it)
 	if err != nil {
 		return nil, err
 	}
@@ -85,10 +105,13 @@ func (ex *executor) addStats(subQueries, rows int) {
 }
 
 // run executes the plan wave by wave, joining each wave's atom results
-// into the growing intermediate relation.
-func (ex *executor) run() (*Relation, error) {
+// into the growing intermediate relation. Intermediate waves
+// materialize (later bind joins need their rows); the final wave's
+// join pipeline is returned unmaterialized so finish() streams it.
+func (ex *executor) run() (Iterator, error) {
 	var rel *Relation
-	for wave := 0; wave < ex.plan.NumWaves(); wave++ {
+	last := ex.plan.NumWaves() - 1
+	for wave := 0; wave <= last; wave++ {
 		var steps []PlanStep
 		for _, s := range ex.plan.Steps {
 			if s.Wave == wave {
@@ -124,9 +147,10 @@ func (ex *executor) run() (*Relation, error) {
 		// Join the wave's results into the intermediate relation,
 		// smallest first so intermediates grow from the tightest seed.
 		// The joins are composed into one left-deep iterator pipeline so
-		// the wave materializes exactly once: the seed streams through
+		// the wave materializes at most once: the seed streams through
 		// the whole chain while each remaining relation is hashed as a
-		// join's build side.
+		// join's build side. The final wave skips even that single
+		// materialization and streams into the finishing operators.
 		sort.SliceStable(results, func(i, j int) bool {
 			return len(results[i].Rows) < len(results[j].Rows)
 		})
@@ -144,6 +168,9 @@ func (ex *executor) run() (*Relation, error) {
 			joins++
 		}
 		if joins > 0 {
+			if wave == last && !ex.opts.MaterializeFinal {
+				return it, nil
+			}
 			joined, err := Materialize(it)
 			if err != nil {
 				return nil, err
@@ -152,9 +179,9 @@ func (ex *executor) run() (*Relation, error) {
 		}
 	}
 	if rel == nil {
-		return &Relation{}, nil
+		rel = &Relation{}
 	}
-	return rel, nil
+	return NewScan(rel), nil
 }
 
 // runStep executes one atom against its source(s).
@@ -260,10 +287,21 @@ func (ex *executor) runDynamic(a Atom, outs []string, rel *Relation) (*Relation,
 	return merged, nil
 }
 
+// paramTuple is one distinct combination of bind-join parameter values.
+type paramTuple struct {
+	key    string
+	params value.Row
+}
+
 // bindJoin executes the atom once per distinct combination of its
 // InVars values in rel, pushing the values as sub-query parameters, and
-// returns the relation (InVars ∪ OutVars). When srcURI is non-empty the
-// bindings considered are restricted to rows designating that source.
+// returns the relation (InVars ∪ OutVars). When the source supports
+// batched probes (source.BatchProber) and opts.ProbeBatch > 1, the
+// distinct tuples are chunked and each chunk ships as ONE native
+// sub-query (⌈N/ProbeBatch⌉ round trips instead of N); sources without
+// the capability — or sub-query shapes a source cannot batch — keep
+// the per-tuple fan-out. When srcURI is non-empty the bindings
+// considered are restricted to rows designating that source.
 func (ex *executor) bindJoin(src source.DataSource, a Atom, outs []string, rel *Relation, srcURI string) (*Relation, error) {
 	if rel == nil {
 		return nil, fmt.Errorf("core: bind join for atom %s has no outer bindings", a.Designator())
@@ -284,10 +322,6 @@ func (ex *executor) bindJoin(src source.DataSource, a Atom, outs []string, rel *
 	}
 
 	// Distinct parameter tuples.
-	type paramTuple struct {
-		key    string
-		params value.Row
-	}
 	seen := make(map[string]struct{})
 	var tuples []paramTuple
 	for _, row := range rel.Rows {
@@ -330,14 +364,13 @@ func (ex *executor) bindJoin(src source.DataSource, a Atom, outs []string, rel *
 
 	out := &Relation{Cols: cols}
 	var outMu sync.Mutex
-	probe := func(t paramTuple) error {
-		res, err := src.Execute(a.Sub, t.params)
-		if err != nil {
-			return err
-		}
-		ex.addStats(1, len(res.Rows))
+
+	// filterRows turns one tuple's sub-result into output rows: the
+	// overlap columns are equality-checked against the tuple, the rest
+	// appended after the tuple's parameter values.
+	filterRows := func(t paramTuple, res *source.Result) ([]value.Row, error) {
 		if len(res.Cols) != len(outs) {
-			return fmt.Errorf("core: atom %s returned %d columns for %d OUT variables",
+			return nil, fmt.Errorf("core: atom %s returned %d columns for %d OUT variables",
 				a.Designator(), len(res.Cols), len(outs))
 		}
 		var local []value.Row
@@ -359,50 +392,157 @@ func (ex *executor) bindJoin(src source.DataSource, a Atom, outs []string, rel *
 			}
 			local = append(local, row)
 		}
+		return local, nil
+	}
+
+	probe := func(t paramTuple) error {
+		res, err := src.Execute(a.Sub, t.params)
+		if err != nil {
+			return err
+		}
+		ex.addStats(1, len(res.Rows))
+		local, err := filterRows(t, res)
+		if err != nil {
+			return err
+		}
 		outMu.Lock()
 		out.Rows = append(out.Rows, local...)
 		outMu.Unlock()
 		return nil
 	}
 
-	if ex.opts.Parallel && len(tuples) > 1 {
-		sem := make(chan struct{}, ex.opts.MaxFanout)
-		var wg sync.WaitGroup
-		errOnce := sync.Once{}
-		var firstErr error
-		var failed atomic.Bool
-		for _, t := range tuples {
-			// Once a probe fails, stop launching: queued probes would
-			// only fire doomed network sub-queries.
-			if failed.Load() {
-				break
-			}
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(t paramTuple) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				if failed.Load() {
-					return
+	// Batch phase: when the source can really batch (source.CanBatch
+	// sees through decorators, so a probe cache over a plain source
+	// does not look batchable), ship ProbeBatch-sized chunks, each as
+	// one job. Chunks the source rejects at run time as unbatchable
+	// (source.ErrBatchUnsupported, e.g. a remote endpoint without the
+	// batch route) collect their tuples for the per-tuple phase; real
+	// errors abort the join.
+	probeTuples := tuples
+	if source.CanBatch(src) && ex.opts.ProbeBatch > 1 && len(tuples) > 1 {
+		bp := src.(source.BatchProber)
+		var rejectedMu sync.Mutex
+		var rejected []paramTuple
+		var jobs []func() error
+		for start := 0; start < len(tuples); start += ex.opts.ProbeBatch {
+			chunk := tuples[start:min(start+ex.opts.ProbeBatch, len(tuples))]
+			jobs = append(jobs, func() error {
+				unsupported, err := ex.batchProbe(bp, a, chunk, filterRows, out, &outMu)
+				if err != nil {
+					return err
 				}
-				if err := probe(t); err != nil {
-					errOnce.Do(func() { firstErr = err })
-					failed.Store(true)
+				if unsupported {
+					rejectedMu.Lock()
+					rejected = append(rejected, chunk...)
+					rejectedMu.Unlock()
 				}
-			}(t)
+				return nil
+			})
 		}
-		wg.Wait()
-		if firstErr != nil {
-			return nil, firstErr
+		if err := ex.runJobs(jobs); err != nil {
+			return nil, err
 		}
-	} else {
-		for _, t := range tuples {
-			if err := probe(t); err != nil {
-				return nil, err
-			}
-		}
+		probeTuples = rejected
+	}
+
+	// Per-tuple phase: everything the batch phase did not cover, one
+	// job per tuple so MaxFanout parallelism and the per-probe error
+	// short-circuit apply at tuple granularity either way.
+	var jobs []func() error
+	for _, t := range probeTuples {
+		t := t
+		jobs = append(jobs, func() error { return probe(t) })
+	}
+	if err := ex.runJobs(jobs); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// runJobs executes probe jobs, concurrently under MaxFanout when the
+// options allow. Once a job fails no further jobs launch: queued
+// probes would only fire doomed network sub-queries.
+func (ex *executor) runJobs(jobs []func() error) error {
+	if !ex.opts.Parallel || len(jobs) <= 1 {
+		for _, job := range jobs {
+			if err := job(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	sem := make(chan struct{}, ex.opts.MaxFanout)
+	var wg sync.WaitGroup
+	errOnce := sync.Once{}
+	var firstErr error
+	var failed atomic.Bool
+	for _, job := range jobs {
+		if failed.Load() {
+			break
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(job func() error) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if failed.Load() {
+				return
+			}
+			if err := job(); err != nil {
+				errOnce.Do(func() { firstErr = err })
+				failed.Store(true)
+			}
+		}(job)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// batchProbe ships one chunk of parameter tuples as a single batched
+// sub-query and merges the per-tuple results. unsupported=true reports
+// the source rejected this sub-query's shape (ErrBatchUnsupported);
+// the caller then reprobes the chunk's tuples individually.
+func (ex *executor) batchProbe(bp source.BatchProber, a Atom, chunk []paramTuple,
+	filterRows func(paramTuple, *source.Result) ([]value.Row, error),
+	out *Relation, outMu *sync.Mutex) (unsupported bool, _ error) {
+
+	sets := make([]value.Row, len(chunk))
+	for i, t := range chunk {
+		sets[i] = t.params
+	}
+	results, err := bp.ExecuteBatch(a.Sub, sets)
+	if err != nil {
+		if errors.Is(err, source.ErrBatchUnsupported) {
+			return true, nil
+		}
+		return false, err
+	}
+	if len(results) != len(chunk) {
+		return false, fmt.Errorf("core: atom %s: batched probe returned %d results for %d tuples",
+			a.Designator(), len(results), len(chunk))
+	}
+	rows := 0
+	var merged []value.Row
+	for i, res := range results {
+		if res == nil {
+			return false, fmt.Errorf("core: atom %s: batched probe returned a nil result", a.Designator())
+		}
+		rows += len(res.Rows)
+		local, err := filterRows(chunk[i], res)
+		if err != nil {
+			return false, err
+		}
+		merged = append(merged, local...)
+	}
+	ex.mu.Lock()
+	ex.stats.SubQueries++
+	ex.stats.BatchProbes++
+	ex.stats.RowsFetched += rows
+	ex.mu.Unlock()
+	outMu.Lock()
+	out.Rows = append(out.Rows, merged...)
+	outMu.Unlock()
+	return false, nil
 }
 
 // atomRelation renames a source result's columns to the atom's OUT
@@ -449,15 +589,16 @@ func atomRelation(res *source.Result, outs []string) (*Relation, error) {
 }
 
 // finish applies head projection (or grouped aggregation), distinct,
-// order and limit.
-func (ex *executor) finish(rel *Relation) (*Relation, error) {
-	var it Iterator = NewScan(rel)
+// order and limit, consuming the body pipeline without materializing
+// it first.
+func (ex *executor) finish(input Iterator) (*Relation, error) {
+	it := input
 	if len(ex.q.HeadItems) > 0 {
 		it = NewAggregate(it, ex.q.GroupBy, ex.q.HeadItems)
 	} else {
 		head := ex.q.Head
 		if len(head) == 0 {
-			head = rel.Cols
+			head = input.Cols()
 		}
 		it = NewProject(it, head)
 	}

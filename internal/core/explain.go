@@ -1,0 +1,92 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+
+	"tatooine/internal/source"
+)
+
+// AtomExplain reports, for one planned atom, how the executor would
+// probe its source — in particular whether bind-join probes would ship
+// batched (source.BatchProber) or per tuple.
+type AtomExplain struct {
+	Atom       int    `json:"atom"`       // index in the CMQ body
+	Designator string `json:"designator"` // source URI, ?var, or GRAPH
+	Wave       int    `json:"wave"`
+	Mode       string `json:"mode"`    // "scan" or "bind-join(vars)" [+ " dynamic"]
+	EstCost    int    `json:"estCost"` // planner cardinality estimate (-1 unknown)
+	Batched    bool   `json:"batched"` // probes would ship as batches
+	BatchSize  int    `json:"batchSize,omitempty"`
+	Reason     string `json:"reason"` // why (not) batched
+}
+
+// ExplainInfo is the plan-only answer to an explain request: the
+// rendered plan plus the per-atom probe decisions, computed without
+// executing anything.
+type ExplainInfo struct {
+	Plan  string        `json:"plan"`
+	Atoms []AtomExplain `json:"atoms"`
+}
+
+// ExplainQuery plans q under opts and reports, per atom, whether its
+// bind-join probes would be batched, without executing the query.
+// Dynamic atoms resolve their sources only at run time, so their
+// decision is reported as undetermined.
+func (in *Instance) ExplainQuery(q *CMQ, opts ExecOptions) (*ExplainInfo, error) {
+	if opts.ProbeBatch == 0 {
+		opts.ProbeBatch = DefaultProbeBatch
+	}
+	plan, err := in.planQuery(q, opts.NaiveOrder)
+	if err != nil {
+		return nil, err
+	}
+	info := &ExplainInfo{Plan: plan.Explain(q)}
+	for _, s := range plan.Steps {
+		a := q.Atoms[s.AtomIndex]
+		ae := AtomExplain{
+			Atom:       s.AtomIndex,
+			Designator: a.Designator(),
+			Wave:       s.Wave,
+			EstCost:    s.EstCost,
+			Mode:       "scan",
+		}
+		if s.BindJoin {
+			ae.Mode = "bind-join(" + strings.Join(a.Sub.InVars, ",") + ")"
+		}
+		if s.Dynamic {
+			ae.Mode += " dynamic"
+		}
+		switch {
+		case !s.BindJoin:
+			ae.Reason = "not a bind join: single sub-query, nothing to batch"
+		case opts.ProbeBatch <= 1:
+			ae.Reason = "batching disabled (ProbeBatch <= 1)"
+		case s.Dynamic:
+			ae.Reason = "dynamic source: capability known only after the designator binds at run time"
+		default:
+			src, err := in.atomExplainSource(a, q.Prefixes)
+			if err != nil {
+				ae.Reason = "source unresolvable at plan time: " + err.Error()
+				break
+			}
+			if source.CanBatch(src) {
+				ae.Batched = true
+				ae.BatchSize = opts.ProbeBatch
+				ae.Reason = "source supports batched probes; tuples ship in batches of " + strconv.Itoa(opts.ProbeBatch)
+			} else {
+				ae.Reason = "source lacks the BatchProber capability; probes ship per tuple"
+			}
+		}
+		info.Atoms = append(info.Atoms, ae)
+	}
+	return info, nil
+}
+
+// atomExplainSource resolves the source an atom would execute against.
+func (in *Instance) atomExplainSource(a Atom, prefixes map[string]string) (source.DataSource, error) {
+	if a.Kind == GraphAtom {
+		return in.graphSource(prefixes), nil
+	}
+	return in.ResolveSource(a.SourceURI)
+}

@@ -10,10 +10,12 @@ package federation
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tatooine/internal/digest"
@@ -37,6 +39,22 @@ type QueryResponse struct {
 	Error string      `json:"error,omitempty"`
 }
 
+// BatchRequest is the wire form of a batched sub-query execution
+// (POST /batch): one sub-query, many parameter tuples, one round trip.
+type BatchRequest struct {
+	Language  string      `json:"language"`
+	Text      string      `json:"text"`
+	InVars    []string    `json:"inVars,omitempty"`
+	ParamSets []value.Row `json:"paramSets"`
+}
+
+// BatchResponse carries one result per parameter tuple, aligned with
+// the request's ParamSets (or an error).
+type BatchResponse struct {
+	Results []QueryResponse `json:"results,omitempty"`
+	Error   string          `json:"error,omitempty"`
+}
+
 // MetaResponse describes a served source (GET /meta).
 type MetaResponse struct {
 	URI       string   `json:"uri"`
@@ -58,7 +76,7 @@ type EstimateResponse struct {
 }
 
 // Handler serves a DataSource over HTTP. Routes: GET /meta,
-// POST /query, POST /estimate, GET /digest.
+// POST /query, POST /batch, POST /estimate, GET /digest.
 func Handler(src source.DataSource) http.Handler {
 	mux := http.NewServeMux()
 	var (
@@ -115,6 +133,50 @@ func Handler(src source.DataSource) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, QueryResponse{Cols: res.Cols, Rows: res.Rows})
 	})
+	mux.HandleFunc("POST /batch", func(w http.ResponseWriter, r *http.Request) {
+		var req BatchRequest
+		if err := json.NewDecoder(io.LimitReader(r.Body, 64<<20)).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, BatchResponse{Error: "bad request: " + err.Error()})
+			return
+		}
+		q := source.SubQuery{
+			Language: source.Language(req.Language),
+			Text:     req.Text,
+			InVars:   req.InVars,
+		}
+		// Native pushdown when the source batches; otherwise loop the
+		// tuples server-side — the caller still saved N-1 network round
+		// trips, which is the point of the endpoint.
+		var results []*source.Result
+		var err error
+		if bp, ok := src.(source.BatchProber); ok {
+			results, err = bp.ExecuteBatch(q, req.ParamSets)
+			if errors.Is(err, source.ErrBatchUnsupported) {
+				results, err = source.ExecuteSerially(src, q, req.ParamSets)
+			}
+		} else {
+			results, err = source.ExecuteSerially(src, q, req.ParamSets)
+		}
+		if err != nil {
+			writeJSON(w, http.StatusUnprocessableEntity, BatchResponse{Error: err.Error()})
+			return
+		}
+		if len(results) != len(req.ParamSets) {
+			writeJSON(w, http.StatusUnprocessableEntity, BatchResponse{Error: fmt.Sprintf(
+				"federation: source returned %d results for %d tuples", len(results), len(req.ParamSets))})
+			return
+		}
+		resp := BatchResponse{Results: make([]QueryResponse, len(results))}
+		for i, res := range results {
+			if res == nil {
+				writeJSON(w, http.StatusUnprocessableEntity, BatchResponse{Error: fmt.Sprintf(
+					"federation: source returned a nil result for tuple %d", i)})
+				return
+			}
+			resp.Results[i] = QueryResponse{Cols: res.Cols, Rows: res.Rows}
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
 	mux.HandleFunc("POST /estimate", func(w http.ResponseWriter, r *http.Request) {
 		var req EstimateRequest
 		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
@@ -143,7 +205,18 @@ type Client struct {
 	baseURL string
 	http    *http.Client
 	meta    MetaResponse
+	// noBatchUntil (unix nanos) backs the /batch route off after the
+	// remote rejects it (404/405): until that instant batches fall back
+	// immediately instead of paying a doomed round trip per chunk. The
+	// backoff is bounded rather than permanent because the 404 may come
+	// from an intermediary (a rolling deploy behind a proxy), not the
+	// endpoint itself.
+	noBatchUntil atomic.Int64
 }
+
+// batchRetryAfter is how long a Client avoids the /batch route after a
+// 404/405 before re-probing it.
+const batchRetryAfter = time.Minute
 
 // Dial fetches the remote source's metadata and returns a client. The
 // returned source's URI is the remote's advertised URI when available,
@@ -216,16 +289,7 @@ func (c *Client) Execute(q source.SubQuery, params []value.Value) (*source.Resul
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		// Check the status before decoding: a non-JSON error body (a
-		// proxy 502, a wrong route) must surface as the HTTP status, not
-		// as a confusing decode failure. When the endpoint did send a
-		// JSON error, include its message alongside the status.
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 8<<10))
-		var qr QueryResponse
-		if json.Unmarshal(body, &qr) == nil && qr.Error != "" {
-			return nil, fmt.Errorf("federation: query %s: status %s: %s", c.baseURL, resp.Status, qr.Error)
-		}
-		return nil, fmt.Errorf("federation: query %s: status %s", c.baseURL, resp.Status)
+		return nil, c.statusError("query", resp)
 	}
 	var qr QueryResponse
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&qr); err != nil {
@@ -235,6 +299,78 @@ func (c *Client) Execute(q source.SubQuery, params []value.Value) (*source.Resul
 		return nil, fmt.Errorf("federation: remote %s: %s", c.baseURL, qr.Error)
 	}
 	return &source.Result{Cols: qr.Cols, Rows: qr.Rows}, nil
+}
+
+// ExecuteBatch implements source.BatchProber by shipping the whole
+// batch as ONE request to the remote /batch endpoint — this is where
+// bind-join batching pays for remote sources: ⌈N/batch⌉ HTTP round
+// trips instead of N, with the remote side pushing the batch natively
+// into its store when it can. A remote that predates the batch route
+// (404/405) reports source.ErrBatchUnsupported so the mediator falls
+// back to per-tuple probes; the route is then avoided for
+// batchRetryAfter before being re-probed.
+func (c *Client) ExecuteBatch(q source.SubQuery, paramSets []value.Row) ([]*source.Result, error) {
+	if time.Now().UnixNano() < c.noBatchUntil.Load() {
+		return nil, source.ErrBatchUnsupported
+	}
+	req := BatchRequest{
+		Language:  string(q.Language),
+		Text:      q.Text,
+		InVars:    q.InVars,
+		ParamSets: paramSets,
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("federation: marshal batch: %w", err)
+	}
+	resp, err := c.http.Post(c.baseURL+"/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("federation: batch %s: %w", c.baseURL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound || resp.StatusCode == http.StatusMethodNotAllowed {
+		// Endpoint without the batch route; back off so later batches
+		// skip the wasted round trip for a while.
+		c.noBatchUntil.Store(time.Now().Add(batchRetryAfter).UnixNano())
+		return nil, source.ErrBatchUnsupported
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, c.statusError("batch", resp)
+	}
+	var br BatchResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&br); err != nil {
+		return nil, fmt.Errorf("federation: batch %s: bad response: %w", c.baseURL, err)
+	}
+	if br.Error != "" {
+		return nil, fmt.Errorf("federation: remote %s: %s", c.baseURL, br.Error)
+	}
+	if len(br.Results) != len(paramSets) {
+		return nil, fmt.Errorf("federation: batch %s: %d results for %d tuples", c.baseURL, len(br.Results), len(paramSets))
+	}
+	out := make([]*source.Result, len(br.Results))
+	for i, qr := range br.Results {
+		if qr.Error != "" {
+			return nil, fmt.Errorf("federation: remote %s: tuple %d: %s", c.baseURL, i, qr.Error)
+		}
+		out[i] = &source.Result{Cols: qr.Cols, Rows: qr.Rows}
+	}
+	return out, nil
+}
+
+// statusError turns a non-OK response into an error. The status is
+// checked before decoding: a non-JSON error body (a proxy 502, a wrong
+// route) must surface as the HTTP status, not as a confusing decode
+// failure; when the endpoint did send a JSON error, its message is
+// included alongside the status.
+func (c *Client) statusError(op string, resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 8<<10))
+	var envelope struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &envelope) == nil && envelope.Error != "" {
+		return fmt.Errorf("federation: %s %s: status %s: %s", op, c.baseURL, resp.Status, envelope.Error)
+	}
+	return fmt.Errorf("federation: %s %s: status %s", op, c.baseURL, resp.Status)
 }
 
 // EstimateCost implements source.DataSource by asking the remote

@@ -40,6 +40,15 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 	return zero, false
 }
 
+// Remove deletes key if present (e.g. a TTL-expired entry, so dead
+// entries stop occupying recency slots).
+func (c *Cache[V]) Remove(key string) {
+	if el, ok := c.items[key]; ok {
+		c.order.Remove(el)
+		delete(c.items, key)
+	}
+}
+
 // Put stores (or refreshes) key and reports whether the insertion
 // evicted the least recently used entry.
 func (c *Cache[V]) Put(key string, val V) (evicted bool) {

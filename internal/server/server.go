@@ -8,7 +8,9 @@
 //
 // Routes:
 //
-//	POST /cmq      execute a CMQ (JSON {"query": "..."} or raw text body)
+//	POST /cmq      execute a CMQ (JSON {"query": "..."} or raw text body;
+//	               {"explain": true} plans without executing and returns
+//	               the plan plus per-atom batch/per-probe decisions)
 //	GET  /stats    server counters + cache occupancy
 //	GET  /healthz  liveness probe
 package server
@@ -40,6 +42,10 @@ type Options struct {
 	// ProbeCacheSize bounds each source's sub-query cache (entries).
 	// 0 uses source.DefaultCacheSize; negative disables probe caching.
 	ProbeCacheSize int
+	// ProbeTTL expires probe-cache entries this long after they were
+	// filled (0 = never), so a long-running mediator stops serving
+	// arbitrarily stale rows from mutable remote sources.
+	ProbeTTL time.Duration
 	// Exec carries the execution options every query runs with.
 	Exec core.ExecOptions
 }
@@ -56,21 +62,27 @@ type Stats struct {
 	Coalesced    int64 `json:"coalesced"`    // waited on an identical in-flight query
 	Errors       int64 `json:"errors"`       // parse or execution failures
 	SubQueries   int64 `json:"subQueries"`   // native sub-queries across all executions
+	BatchProbes  int64 `json:"batchProbes"`  // batched bind-join dispatches across all executions
 	CacheEntries int   `json:"cacheEntries"` // current result-cache occupancy
 }
 
-// QueryRequest is the JSON body of POST /cmq.
+// QueryRequest is the JSON body of POST /cmq. With Explain set the
+// query is planned but not executed: the response carries the rendered
+// plan plus the per-atom batched-vs-per-probe decisions instead of
+// rows.
 type QueryRequest struct {
-	Query string `json:"query"`
+	Query   string `json:"query"`
+	Explain bool   `json:"explain,omitempty"`
 }
 
 // QueryResponse is the JSON reply of POST /cmq.
 type QueryResponse struct {
-	Cols   []string       `json:"cols"`
-	Rows   []value.Row    `json:"rows"`
-	Stats  core.ExecStats `json:"stats"`
-	Cached bool           `json:"cached"`
-	Error  string         `json:"error,omitempty"`
+	Cols    []string          `json:"cols"`
+	Rows    []value.Row       `json:"rows"`
+	Stats   core.ExecStats    `json:"stats"`
+	Cached  bool              `json:"cached"`
+	Explain *core.ExplainInfo `json:"explain,omitempty"`
+	Error   string            `json:"error,omitempty"`
 }
 
 // Server is the mediator query service around one shared Instance.
@@ -82,7 +94,7 @@ type Server struct {
 	cache    *lru.Cache[*core.QueryResult] // nil when result caching is disabled
 	inflight map[string]*flightCall
 
-	requests, hits, misses, coalesced, errors, subQueries atomic.Int64
+	requests, hits, misses, coalesced, errors, subQueries, batchProbes atomic.Int64
 }
 
 // flightCall is one in-progress execution identical queries wait on.
@@ -104,9 +116,9 @@ func New(in *core.Instance, opts Options) *Server {
 		opts.ResultCacheSize = DefaultResultCacheSize
 	}
 	if opts.ProbeCacheSize >= 0 && !in.Sources().Interposed() {
-		n := opts.ProbeCacheSize
+		n, ttl := opts.ProbeCacheSize, opts.ProbeTTL
 		in.Sources().Interpose(func(s source.DataSource) source.DataSource {
-			return source.NewCached(s, n)
+			return source.NewCached(s, n).WithTTL(ttl)
 		})
 	}
 	s := &Server{
@@ -135,6 +147,7 @@ func (s *Server) Stats() Stats {
 		Coalesced:    s.coalesced.Load(),
 		Errors:       s.errors.Load(),
 		SubQueries:   s.subQueries.Load(),
+		BatchProbes:  s.batchProbes.Load(),
 		CacheEntries: entries,
 	}
 }
@@ -158,7 +171,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleCMQ(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
-	text, err := readQuery(r)
+	text, explain, err := readQuery(r)
 	if err != nil {
 		s.errors.Add(1)
 		writeJSON(w, http.StatusBadRequest, QueryResponse{Error: err.Error()})
@@ -172,6 +185,18 @@ func (s *Server) handleCMQ(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.errors.Add(1)
 		writeJSON(w, http.StatusBadRequest, QueryResponse{Error: err.Error()})
+		return
+	}
+
+	if explain {
+		// Plan only — nothing executes, no cache interaction.
+		info, err := s.in.ExplainQuery(q, s.opts.Exec)
+		if err != nil {
+			s.errors.Add(1)
+			writeJSON(w, http.StatusUnprocessableEntity, QueryResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, QueryResponse{Explain: info})
 		return
 	}
 
@@ -208,6 +233,7 @@ func (s *Server) execute(key string, q *core.CMQ) (res *core.QueryResult, cached
 		res, err = s.in.ExecuteOpts(q, s.opts.Exec)
 		if err == nil {
 			s.subQueries.Add(int64(res.Stats.SubQueries))
+			s.batchProbes.Add(int64(res.Stats.BatchProbes))
 		}
 		return res, false, err
 	}
@@ -233,6 +259,7 @@ func (s *Server) execute(key string, q *core.CMQ) (res *core.QueryResult, cached
 	call.res, call.err = s.in.ExecuteOpts(q, s.opts.Exec)
 	if call.err == nil {
 		s.subQueries.Add(int64(call.res.Stats.SubQueries))
+		s.batchProbes.Add(int64(call.res.Stats.BatchProbes))
 	}
 
 	s.mu.Lock()
@@ -258,33 +285,33 @@ func (s *Server) cacheGet(key string) (*core.QueryResult, bool) {
 // outright rather than silently truncated to a still-parseable prefix.
 const maxQueryBytes = 1 << 20
 
-// readQuery extracts the CMQ text from the request body: a JSON
-// {"query": "..."} envelope when Content-Type is application/json,
-// otherwise the raw body.
-func readQuery(r *http.Request) (string, error) {
+// readQuery extracts the CMQ text (and the explain flag) from the
+// request body: a JSON {"query": "...", "explain": bool} envelope when
+// Content-Type is application/json, otherwise the raw body.
+func readQuery(r *http.Request) (string, bool, error) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxQueryBytes+1))
 	if err != nil {
-		return "", fmt.Errorf("server: read body: %w", err)
+		return "", false, fmt.Errorf("server: read body: %w", err)
 	}
 	if len(body) > maxQueryBytes {
-		return "", fmt.Errorf("server: query exceeds %d bytes", maxQueryBytes)
+		return "", false, fmt.Errorf("server: query exceeds %d bytes", maxQueryBytes)
 	}
 	ct := r.Header.Get("Content-Type")
 	if mt, _, err := mime.ParseMediaType(ct); err == nil && mt == "application/json" {
 		var req QueryRequest
 		if err := json.Unmarshal(body, &req); err != nil {
-			return "", fmt.Errorf("server: bad JSON body: %w", err)
+			return "", false, fmt.Errorf("server: bad JSON body: %w", err)
 		}
 		if strings.TrimSpace(req.Query) == "" {
-			return "", fmt.Errorf("server: empty query")
+			return "", false, fmt.Errorf("server: empty query")
 		}
-		return req.Query, nil
+		return req.Query, req.Explain, nil
 	}
 	text := string(body)
 	if strings.TrimSpace(text) == "" {
-		return "", fmt.Errorf("server: empty query")
+		return "", false, fmt.Errorf("server: empty query")
 	}
-	return text, nil
+	return text, false, nil
 }
 
 func writeJSON(w http.ResponseWriter, status int, body any) {

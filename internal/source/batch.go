@@ -1,0 +1,66 @@
+package source
+
+import (
+	"errors"
+	"fmt"
+
+	"tatooine/internal/value"
+)
+
+// ErrBatchUnsupported is returned by a BatchProber that cannot batch a
+// particular sub-query (unsupported shape, remote endpoint without the
+// batch route, ...). The executor falls back to per-tuple probes; any
+// other error aborts the bind join.
+var ErrBatchUnsupported = errors.New("source: batched execution unsupported for this sub-query")
+
+// BatchProber is the optional capability of a DataSource that can
+// evaluate one sub-query for many parameter tuples in a single native
+// round trip (IN-list pushdown for SQL, multi-binding BGP evaluation,
+// multi-term search, one HTTP request for a federation client). The
+// executor's bind join chunks its distinct outer tuples and dispatches
+// whole chunks here, turning O(bindings) source round trips into
+// O(bindings / batch).
+type BatchProber interface {
+	DataSource
+	// ExecuteBatch evaluates q once per parameter tuple and returns one
+	// Result per tuple, aligned with paramSets. Each per-tuple Result
+	// must equal what Execute(q, paramSets[i]) would return (row order
+	// within a tuple's result may differ only where Execute's own order
+	// is unspecified). ErrBatchUnsupported signals the source cannot
+	// batch this sub-query shape; callers then probe per tuple.
+	ExecuteBatch(q SubQuery, paramSets []value.Row) ([]*Result, error)
+}
+
+// CanBatch reports whether probes against s can actually ship batched:
+// s must implement BatchProber and any decorator chain (Unwrap) must
+// bottom out in a source that does too — a Cached wrapper always has
+// ExecuteBatch but only forwards when its inner source batches. This
+// is a static best-effort answer (a remote endpoint may still reject
+// the batch route at run time); the executor's authoritative signal is
+// ErrBatchUnsupported.
+func CanBatch(s DataSource) bool {
+	if _, ok := s.(BatchProber); !ok {
+		return false
+	}
+	type unwrapper interface{ Unwrap() DataSource }
+	if u, ok := s.(unwrapper); ok {
+		return CanBatch(u.Unwrap())
+	}
+	return true
+}
+
+// ExecuteSerially evaluates q once per tuple through plain Execute —
+// the reference semantics of ExecuteBatch. It is the server-side
+// fallback of the federation batch endpoint (one network round trip,
+// N local executions) and a convenience for tests.
+func ExecuteSerially(s DataSource, q SubQuery, paramSets []value.Row) ([]*Result, error) {
+	out := make([]*Result, len(paramSets))
+	for i, ps := range paramSets {
+		res, err := s.Execute(q, ps)
+		if err != nil {
+			return nil, fmt.Errorf("source: batch tuple %d: %w", i, err)
+		}
+		out[i] = res
+	}
+	return out, nil
+}

@@ -1,9 +1,11 @@
 package source
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"tatooine/internal/lru"
 	"tatooine/internal/value"
@@ -13,6 +15,7 @@ import (
 type CacheStats struct {
 	Hits      int64
 	Misses    int64
+	Expired   int64 // misses caused by TTL expiry of an existing entry
 	Evictions int64
 	Entries   int
 }
@@ -23,13 +26,26 @@ type CacheStats struct {
 // hot path, especially through a federation.Client — into memory
 // lookups. Results are shared between the cache and callers and must
 // be treated as read-only, which the executor already guarantees.
+//
+// Cached is also a BatchProber: batched probes are answered per tuple
+// from the cache, only the missing tuples are forwarded (as a smaller
+// batch when the inner source batches, per-tuple otherwise via the
+// caller's fallback), and the batch result fills the cache per tuple.
 type Cached struct {
 	inner DataSource
+	ttl   time.Duration    // 0 = entries never expire
+	now   func() time.Time // test hook
 
 	mu        sync.Mutex
-	cache     *lru.Cache[*Result]
+	cache     *lru.Cache[cacheEntry]
 	estimates *lru.Cache[int]
 	stats     CacheStats
+}
+
+// cacheEntry is one memoized result with its fill time (for TTL).
+type cacheEntry struct {
+	res *Result
+	at  time.Time
 }
 
 // DefaultCacheSize bounds a Cached decorator when the caller passes a
@@ -44,9 +60,21 @@ func NewCached(inner DataSource, maxEntries int) *Cached {
 	}
 	return &Cached{
 		inner:     inner,
-		cache:     lru.New[*Result](maxEntries),
+		now:       time.Now,
+		cache:     lru.New[cacheEntry](maxEntries),
 		estimates: lru.New[int](maxEntries),
 	}
+}
+
+// WithTTL makes result entries expire ttl after they were filled, so a
+// long-running mediator stops serving arbitrarily stale rows from
+// mutable remote sources. A non-positive ttl means no expiry. Returns
+// c for chaining.
+func (c *Cached) WithTTL(ttl time.Duration) *Cached {
+	c.mu.Lock()
+	c.ttl = ttl
+	c.mu.Unlock()
+	return c
 }
 
 // Unwrap returns the decorated source (digest construction dispatches
@@ -92,6 +120,40 @@ func (c *Cached) Stats() CacheStats {
 	return s
 }
 
+// peek returns the live cached result for key without touching the
+// stats; expired entries are removed so they stop occupying recency
+// slots. Caller must hold c.mu.
+func (c *Cached) peek(key string) (*Result, bool) {
+	e, ok := c.cache.Get(key)
+	if !ok {
+		return nil, false
+	}
+	if c.ttl > 0 && c.now().Sub(e.at) >= c.ttl {
+		c.cache.Remove(key)
+		c.stats.Expired++
+		return nil, false
+	}
+	return e.res, true
+}
+
+// lookup is peek plus hit/miss accounting. Caller must hold c.mu.
+func (c *Cached) lookup(key string) (*Result, bool) {
+	res, ok := c.peek(key)
+	if ok {
+		c.stats.Hits++
+	} else {
+		c.stats.Misses++
+	}
+	return res, ok
+}
+
+// store fills key with res, counting evictions. Caller must hold c.mu.
+func (c *Cached) store(key string, res *Result) {
+	if c.cache.Put(key, cacheEntry{res: res, at: c.now()}) {
+		c.stats.Evictions++
+	}
+}
+
 // Execute implements DataSource: a cache hit returns the memoized
 // result without touching the inner source; a miss executes and, on
 // success, stores the result (evicting the least recently used entry
@@ -100,13 +162,11 @@ func (c *Cached) Execute(q SubQuery, params []value.Value) (*Result, error) {
 	key := cacheKey(c.inner.URI(), q, params)
 
 	c.mu.Lock()
-	if res, ok := c.cache.Get(key); ok {
-		c.stats.Hits++
-		c.mu.Unlock()
+	res, ok := c.lookup(key)
+	c.mu.Unlock()
+	if ok {
 		return res, nil
 	}
-	c.stats.Misses++
-	c.mu.Unlock()
 
 	// Execute outside the lock; concurrent misses on the same key may
 	// race to fill, which is harmless (last writer wins).
@@ -116,11 +176,74 @@ func (c *Cached) Execute(q SubQuery, params []value.Value) (*Result, error) {
 	}
 
 	c.mu.Lock()
-	if c.cache.Put(key, res) {
-		c.stats.Evictions++
-	}
+	c.store(key, res)
 	c.mu.Unlock()
 	return res, nil
+}
+
+// ExecuteBatch implements BatchProber: cached tuples are answered from
+// the probe cache and only the misses travel to the inner source, as a
+// smaller batch. The batch result fills the cache per tuple, so a later
+// per-tuple probe (or a different batch overlapping this one) hits
+// memory. When the inner source is not a BatchProber (or cannot batch
+// this sub-query) ErrBatchUnsupported propagates; the executor then
+// probes per tuple through Execute, which still serves the hits.
+func (c *Cached) ExecuteBatch(q SubQuery, paramSets []value.Row) ([]*Result, error) {
+	bp, batchable := c.inner.(BatchProber)
+	if !batchable {
+		return nil, ErrBatchUnsupported
+	}
+	// Build the keys outside the lock (Execute does the same): under a
+	// parallel bind join many chunks contend on this mutex.
+	keys := make([]string, len(paramSets))
+	for i, ps := range paramSets {
+		keys[i] = cacheKey(c.inner.URI(), q, ps)
+	}
+	out := make([]*Result, len(paramSets))
+	var missIdx []int
+	c.mu.Lock()
+	for i := range paramSets {
+		if res, ok := c.peek(keys[i]); ok {
+			out[i] = res
+		} else {
+			missIdx = append(missIdx, i)
+		}
+	}
+	if len(missIdx) == 0 {
+		c.stats.Hits += int64(len(paramSets))
+		c.mu.Unlock()
+		return out, nil
+	}
+	c.mu.Unlock()
+
+	misses := make([]value.Row, len(missIdx))
+	for j, i := range missIdx {
+		misses[j] = paramSets[i]
+	}
+	// Hit/miss accounting is deferred until the batch commits: when the
+	// inner source rejects the shape (ErrBatchUnsupported) the caller
+	// re-probes every tuple through Execute, which does its own
+	// counting — counting here too would tally each logical probe twice.
+	results, err := bp.ExecuteBatch(q, misses)
+	if err != nil {
+		return nil, err
+	}
+	if len(results) != len(misses) {
+		// A contract violation, not an unsupported shape: reporting it
+		// as ErrBatchUnsupported would silently defeat batching forever.
+		return nil, fmt.Errorf("source %s: batched probe returned %d results for %d tuples",
+			c.inner.URI(), len(results), len(misses))
+	}
+
+	c.mu.Lock()
+	c.stats.Hits += int64(len(paramSets) - len(missIdx))
+	c.stats.Misses += int64(len(missIdx))
+	for j, i := range missIdx {
+		out[i] = results[j]
+		c.store(keys[i], results[j])
+	}
+	c.mu.Unlock()
+	return out, nil
 }
 
 // cacheKey builds an unambiguous key from the source identity, the

@@ -53,6 +53,34 @@ func (s *DocSource) Execute(q SubQuery, params []value.Value) (*Result, error) {
 	return out, nil
 }
 
+// ExecuteBatch implements BatchProber as a multi-term batch: the
+// SEARCH statement is parsed once and the prepared query runs once per
+// parameter tuple against the index. Like the RDF case, the win is
+// parse amortization locally and a single round trip when this index
+// is served behind a federation endpoint.
+func (s *DocSource) ExecuteBatch(q SubQuery, paramSets []value.Row) ([]*Result, error) {
+	if q.Language != LangSearch {
+		return nil, fmt.Errorf("source %s: unsupported language %q", s.uri, q.Language)
+	}
+	tq, err := fulltext.ParseTextQuery(q.Text)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Result, len(paramSets))
+	for i, params := range paramSets {
+		cols, rows, err := tq.Execute(s.ix, params)
+		if err != nil {
+			return nil, err
+		}
+		res := &Result{Cols: cols}
+		for _, r := range rows {
+			res.Rows = append(res.Rows, value.Row(r))
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
 // EstimateCost implements DataSource: keyword equality conditions with
 // literal values use exact document frequencies; parameterized or
 // analyzed conditions fall back to corpus-size heuristics.

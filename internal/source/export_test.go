@@ -2,6 +2,7 @@ package source
 
 import (
 	"testing"
+	"time"
 
 	"tatooine/internal/rdf"
 	"tatooine/internal/relstore"
@@ -105,3 +106,8 @@ func TestSanitizeLocal(t *testing.T) {
 		t.Errorf("sanitize: %q", got)
 	}
 }
+
+// SetCachedClock overrides a Cached decorator's time source for TTL
+// tests (exported to the external test package via this in-package
+// test file).
+func SetCachedClock(c *Cached, now func() time.Time) { c.now = now }

@@ -151,6 +151,45 @@ func (s *RDFSource) Execute(q SubQuery, params []value.Value) (*Result, error) {
 	return res, nil
 }
 
+// ExecuteBatch implements BatchProber, VALUES-style: the BGP is parsed
+// once and evaluated once per binding tuple over the in-process graph.
+// The pushdown win is amortizing the parse and — when this source sits
+// behind a federation endpoint — collapsing N probe round trips into
+// one request.
+func (s *RDFSource) ExecuteBatch(q SubQuery, paramSets []value.Row) ([]*Result, error) {
+	if q.Language != LangBGP {
+		return nil, fmt.Errorf("source %s: unsupported language %q", s.uri, q.Language)
+	}
+	bgp, err := rdf.ParseBGP(q.Text, s.prefixes)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Result, len(paramSets))
+	for i, params := range paramSets {
+		if len(params) != len(q.InVars) {
+			return nil, fmt.Errorf("source %s: query expects %d parameters, got %d", s.uri, len(q.InVars), len(params))
+		}
+		init := make(rdf.Bindings, len(params))
+		for j, name := range q.InVars {
+			init[strings.TrimPrefix(name, "?")] = ValueToTerm(params[j])
+		}
+		sols, err := rdf.EvaluateBound(s.graph, bgp, init)
+		if err != nil {
+			return nil, err
+		}
+		res := &Result{Cols: sols.Vars}
+		for _, row := range sols.Rows {
+			vrow := make(value.Row, len(row))
+			for k, t := range row {
+				vrow[k] = TermToValue(t)
+			}
+			res.Rows = append(res.Rows, vrow)
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
 // EstimateCost implements DataSource: the minimum pattern cardinality
 // of the BGP (a cheap, index-backed upper bound on the first join step).
 func (s *RDFSource) EstimateCost(q SubQuery, numParams int) int {

@@ -47,6 +47,171 @@ func (s *RelSource) Execute(q SubQuery, params []value.Value) (*Result, error) {
 	return out, nil
 }
 
+// ExecuteBatch implements BatchProber by IN-list pushdown: each
+// `col = ?` conjunct is rewritten into `col IN (v1, v2, ...)` over the
+// distinct values that parameter takes across the batch, the param
+// columns are appended to the projection, and the single native result
+// is split back per tuple by equality on those columns. The rewrite is
+// exact — the IN lists select a superset (a cross product when several
+// parameters batch together) and the split keeps only rows matching
+// the tuple on every parameter — so each per-tuple Result is identical
+// to a per-probe Execute. Shapes whose semantics would change under
+// batching (LIMIT/OFFSET, DISTINCT, grouping/aggregation, '?' outside
+// a top-level `col = ?` conjunct) return ErrBatchUnsupported.
+func (s *RelSource) ExecuteBatch(q SubQuery, paramSets []value.Row) (results []*Result, err error) {
+	if q.Language != LangSQL {
+		return nil, fmt.Errorf("source %s: unsupported language %q", s.uri, q.Language)
+	}
+	if len(paramSets) == 0 {
+		return nil, nil
+	}
+	stmt, err := sqlparse.ParseSelect(q.Text)
+	if err != nil {
+		return nil, ErrBatchUnsupported
+	}
+	nParams := len(paramSets[0])
+	for _, ps := range paramSets {
+		if len(ps) != nParams {
+			return nil, fmt.Errorf("source %s: ragged batch parameter tuples", s.uri)
+		}
+	}
+	if !rewriteInList(stmt, nParams, paramSets) {
+		return nil, ErrBatchUnsupported
+	}
+	res, err := s.db.ExecStmt(stmt)
+	if err != nil {
+		return nil, err
+	}
+	origN := len(res.Columns) - nParams
+	cols := res.Columns[:origN]
+	// Split in one pass: bucket rows by their param-column values.
+	// value.Key is Equal-consistent for non-null values (ints and
+	// integral floats share keys), and nulls — which Equal never
+	// matches — are excluded from both sides, so the bucketed split
+	// returns exactly what per-tuple value.Equal filtering would.
+	buckets := make(map[string][]value.Row, len(paramSets))
+	for _, row := range res.Rows {
+		if value.Row(row[origN:]).HasNull() {
+			continue
+		}
+		k := value.Row(row[origN:]).Key()
+		buckets[k] = append(buckets[k], row[:origN])
+	}
+	out := make([]*Result, len(paramSets))
+	for i, ps := range paramSets {
+		r := &Result{Cols: cols}
+		if !ps.HasNull() {
+			r.Rows = buckets[ps.Key()]
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// rewriteInList rewrites stmt in place for batched evaluation: every
+// '?' must appear as a top-level AND conjunct `col = ?` in WHERE; each
+// such conjunct becomes `col IN (...)` over the batch's distinct
+// values and the referenced columns are appended to the projection.
+// It reports false when the statement shape cannot be batched exactly.
+func rewriteInList(stmt *sqlparse.SelectStmt, nParams int, paramSets []value.Row) bool {
+	if stmt.Star || stmt.Distinct || stmt.Limit >= 0 || stmt.Offset > 0 ||
+		len(stmt.GroupBy) > 0 || stmt.Having != nil {
+		return false
+	}
+	for _, it := range stmt.Columns {
+		if sqlparse.HasAggregate(it.Expr) || sqlparse.CountParams(it.Expr) > 0 {
+			return false
+		}
+	}
+	for _, j := range stmt.Joins {
+		if sqlparse.CountParams(j.On) > 0 {
+			return false
+		}
+	}
+	for _, ob := range stmt.OrderBy {
+		if sqlparse.CountParams(ob.Expr) > 0 {
+			return false
+		}
+	}
+	if nParams == 0 || stmt.Where == nil {
+		return nParams == 0
+	}
+	conjuncts := splitAnd(stmt.Where)
+	paramCols := make([]*sqlparse.ColumnRef, nParams)
+	seen := 0
+	for ci, c := range conjuncts {
+		be, isEq := c.(*sqlparse.BinaryExpr)
+		if !isEq || be.Op != sqlparse.OpEq {
+			if sqlparse.CountParams(c) > 0 {
+				return false
+			}
+			continue
+		}
+		var p *sqlparse.Param
+		var col *sqlparse.ColumnRef
+		switch l := be.Left.(type) {
+		case *sqlparse.Param:
+			p = l
+			col, _ = be.Right.(*sqlparse.ColumnRef)
+		case *sqlparse.ColumnRef:
+			col = l
+			p, _ = be.Right.(*sqlparse.Param)
+		}
+		if p == nil {
+			if sqlparse.CountParams(c) > 0 {
+				return false
+			}
+			continue
+		}
+		if col == nil || p.Index >= nParams || paramCols[p.Index] != nil {
+			return false
+		}
+		paramCols[p.Index] = col
+		seen++
+		// Distinct values this parameter takes across the batch.
+		dedup := make(map[string]struct{}, len(paramSets))
+		var list []sqlparse.Expr
+		for _, ps := range paramSets {
+			v := ps[p.Index]
+			k := v.Key()
+			if _, dup := dedup[k]; dup {
+				continue
+			}
+			dedup[k] = struct{}{}
+			list = append(list, &sqlparse.Literal{Val: v})
+		}
+		conjuncts[ci] = &sqlparse.InExpr{Needle: col, List: list}
+	}
+	if seen != nParams {
+		return false
+	}
+	stmt.Where = joinAnd(conjuncts)
+	items := make([]sqlparse.SelectItem, 0, len(stmt.Columns)+nParams)
+	items = append(items, stmt.Columns...)
+	for _, col := range paramCols {
+		items = append(items, sqlparse.SelectItem{Expr: col})
+	}
+	stmt.Columns = items
+	return true
+}
+
+// splitAnd flattens a top-level AND tree into its conjuncts.
+func splitAnd(e sqlparse.Expr) []sqlparse.Expr {
+	if be, ok := e.(*sqlparse.BinaryExpr); ok && be.Op == sqlparse.OpAnd {
+		return append(splitAnd(be.Left), splitAnd(be.Right)...)
+	}
+	return []sqlparse.Expr{e}
+}
+
+// joinAnd rebuilds an AND tree from conjuncts.
+func joinAnd(conjuncts []sqlparse.Expr) sqlparse.Expr {
+	out := conjuncts[0]
+	for _, c := range conjuncts[1:] {
+		out = &sqlparse.BinaryExpr{Op: sqlparse.OpAnd, Left: out, Right: c}
+	}
+	return out
+}
+
 // EstimateCost implements DataSource: the base table's row count (a
 // join multiplies by joined table sizes; predicates with parameters
 // divide by a default selectivity factor of 10).

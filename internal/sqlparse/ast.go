@@ -298,6 +298,40 @@ func HasAggregate(e Expr) bool {
 	}
 }
 
+// CountParams counts '?' parameters anywhere in the expression tree.
+func CountParams(e Expr) int {
+	switch x := e.(type) {
+	case nil:
+		return 0
+	case *Param:
+		return 1
+	case *BinaryExpr:
+		return CountParams(x.Left) + CountParams(x.Right)
+	case *NotExpr:
+		return CountParams(x.Inner)
+	case *IsNullExpr:
+		return CountParams(x.Inner)
+	case *InExpr:
+		n := CountParams(x.Needle)
+		for _, le := range x.List {
+			n += CountParams(le)
+		}
+		return n
+	case *BetweenExpr:
+		return CountParams(x.X) + CountParams(x.Lo) + CountParams(x.Hi)
+	case *AggExpr:
+		return CountParams(x.Arg)
+	case *FuncExpr:
+		n := 0
+		for _, a := range x.Args {
+			n += CountParams(a)
+		}
+		return n
+	default:
+		return 0
+	}
+}
+
 // ColumnRefs collects every column reference in the expression tree.
 func ColumnRefs(e Expr, out *[]*ColumnRef) {
 	switch x := e.(type) {
