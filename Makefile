@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: verify build test vet race bench
+.PHONY: verify build test vet race bench benchsmoke
 
 # Tier-1 gate: a missing-module (or any build/test) regression fails here.
-verify: vet build test
+verify: vet build test benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -19,3 +19,8 @@ race:
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./
+
+# Compile and run every benchmark exactly once (no timing): a benchmark
+# that stops building or panics fails verify instead of rotting silently.
+benchsmoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

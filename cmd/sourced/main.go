@@ -8,6 +8,12 @@
 // relational sources), or evaluated in a server-side loop otherwise —
 // either way the per-binding HTTP round trips collapse into one.
 //
+// A running endpoint can be attached to (POST /sources) and dropped
+// from (DELETE /sources/{uri}) a live "tatooine serve" mediator; when
+// the data behind an endpoint is reloaded in place, tell the mediator
+// with POST /admin/invalidate {"source": "<uri>"} so its probe cache
+// stops serving pre-reload rows before the TTL would expire them.
+//
 // Usage:
 //
 //	sourced -source tweets  -addr :8081

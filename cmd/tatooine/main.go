@@ -8,6 +8,12 @@
 //	tatooine demo                        run the demonstration scenarios
 //	tatooine query  -q 'QUERY …'         run a CMQ (or -f query.cmq)
 //	tatooine serve  -addr :8080          long-running HTTP mediator service
+//	                                     (queries via POST /cmq; the instance
+//	                                     is mutable mid-session via POST
+//	                                     /graph, POST/DELETE /sources and
+//	                                     POST /admin/invalidate — every
+//	                                     mutation bumps the instance epoch
+//	                                     and invalidates dependent caches)
 //	tatooine keyword head of state SIA2016
 //	tatooine tagcloud -o tagcloud.html   Figure 3 tag clouds
 //	tatooine digest                      print per-source digests
@@ -164,7 +170,9 @@ func cmdServe(in *core.Instance, args []string) error {
 		ProbeTTL:        *probeTTL,
 		Exec:            core.ExecOptions{Parallel: true, MaxFanout: *fanout, ProbeBatch: *probeBatch},
 	})
-	fmt.Fprintf(os.Stderr, "mediator service listening on %s (POST /cmq, GET /stats, GET /healthz)\n", *addr)
+	fmt.Fprintf(os.Stderr, "mediator service listening on %s\n", *addr)
+	fmt.Fprintln(os.Stderr, "  query:  POST /cmq · GET /stats · GET /healthz")
+	fmt.Fprintln(os.Stderr, "  mutate: POST|DELETE /graph · POST /sources · DELETE /sources/{uri} · POST /admin/invalidate")
 	return server.NewHTTPServer(*addr, srv.Handler()).ListenAndServe()
 }
 

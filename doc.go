@@ -37,6 +37,41 @@
 // BenchmarkServeThroughput measures the end-to-end HTTP path in both
 // cached and cold configurations.
 //
+// # Mutation and epoch-based invalidation
+//
+// The paper's instances are dynamic: journalists keep loading new
+// tweets, INSEE tables and discovered endpoints into I = (G, D)
+// mid-session. core.Instance therefore carries a monotonically
+// increasing epoch, bumped by every mutation through its API —
+// AddTriples / RemoveTriples on G, AddSource / DropSource on D, and
+// the force-expiry entry points Invalidate / InvalidateSource. Every
+// cache derived from the instance validates against the epoch, so the
+// very next query after a mutation can never be answered from
+// pre-mutation state:
+//
+//   - the lazily computed RDFS saturation G∞ records the epoch it was
+//     computed at and recomputes once the epoch moves (it used to be
+//     computed exactly once per instance lifetime);
+//   - the server's result cache and single-flight map key on
+//     (epoch, CanonicalKey) and lazily flush the superseded
+//     generation — an in-flight leader that started before a mutation
+//     finishes under the old epoch's key, invisible to post-mutation
+//     requests;
+//   - per-source probe caches (source.Cached) drop with their source
+//     on DropSource, and expose Invalidate() (flushing memoized
+//     results AND cost estimates) for sources mutated underneath the
+//     mediator; Registry.InvalidateCaches reaches every interposed
+//     cache, including the memoized wrappers of dynamically
+//     discovered sources.
+//
+// Over HTTP ("tatooine serve"): POST /graph inserts triples (JSON
+// {"triples": "<turtle>"} or raw Turtle body), DELETE /graph removes
+// them, POST /sources dials and registers a federation endpoint,
+// DELETE /sources/{uri} (path-escaped, or ?uri=) drops one, and
+// POST /admin/invalidate force-expires probe caches (optionally
+// scoped to one source). GET /stats reports the instance epoch plus
+// the mutation, generation-flush and probe-invalidation counters.
+//
 // # Batched bind-join pushdown
 //
 // The paper's bind-join strategy ships one native sub-query per outer

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"tatooine/internal/rdf"
 	"tatooine/internal/source"
@@ -11,13 +12,25 @@ import (
 // Instance is a mixed instance I = (G, D): the custom
 // application-dependent RDF graph G plus a registry of data sources D
 // (Definition 2.1 of the paper).
+//
+// The paper's instances are dynamic — journalists keep loading new
+// tweets, INSEE tables and discovered endpoints mid-session — so the
+// instance carries a monotonically increasing epoch: every mutation
+// through the instance API (AddTriples, RemoveTriples, AddSource,
+// DropSource, Invalidate) bumps it, and every derived cache (the
+// saturation G∞ here, the mediator's result and probe caches in
+// internal/server) is validated against it, so a mutation can never
+// be answered with pre-mutation state.
 type Instance struct {
 	graph    *rdf.Graph
 	sources  *source.Registry
 	prefixes map[string]string
 	saturate bool
-	satOnce  sync.Once  // guards satGraph (queries may run concurrently)
+	epoch    atomic.Uint64 // bumped by every mutation
+
+	satMu    sync.Mutex // guards satGraph/satEpoch (queries run concurrently)
 	satGraph *rdf.Graph // cached saturation of graph
+	satEpoch uint64     // epoch satGraph was computed at
 }
 
 // InstanceOption configures an Instance.
@@ -35,8 +48,10 @@ func WithPrefixes(p map[string]string) InstanceOption {
 
 // WithSaturation makes graph atoms evaluate over G∞ (the RDFS
 // saturation of G), the paper's answer semantics. The saturation is
-// computed lazily and cached; mutate the graph via Graph() only before
-// the first query.
+// computed lazily, cached, and recomputed whenever the instance epoch
+// moves past the cached copy — mutate the graph through AddTriples /
+// RemoveTriples (not Graph().Add, which bypasses the epoch) and the
+// next query evaluates over the fresh G∞.
 func WithSaturation() InstanceOption {
 	return func(in *Instance) { in.saturate = true }
 }
@@ -58,7 +73,9 @@ func NewInstance(g *rdf.Graph, opts ...InstanceOption) *Instance {
 	return in
 }
 
-// Graph returns the custom RDF graph G.
+// Graph returns the custom RDF graph G. Direct writes through it do
+// not bump the instance epoch; callers that mutate mid-session should
+// use AddTriples / RemoveTriples so dependent caches notice.
 func (in *Instance) Graph() *rdf.Graph { return in.graph }
 
 // Sources returns the source registry D.
@@ -67,20 +84,111 @@ func (in *Instance) Sources() *source.Registry { return in.sources }
 // Prefixes returns the instance's prefix declarations.
 func (in *Instance) Prefixes() map[string]string { return in.prefixes }
 
-// AddSource registers a data source.
-func (in *Instance) AddSource(s source.DataSource) error {
-	return in.sources.Register(s)
+// Epoch returns the instance's mutation epoch. It starts at 0 and
+// increases monotonically with every mutation; caches derived from the
+// instance (saturation, result caches) key or validate against it.
+func (in *Instance) Epoch() uint64 { return in.epoch.Load() }
+
+// bump advances the epoch, invalidating every epoch-checked cache.
+func (in *Instance) bump() uint64 { return in.epoch.Add(1) }
+
+// AddTriples inserts triples into the custom graph G and returns how
+// many were new. Any insertion bumps the epoch, so the next query
+// re-saturates (under WithSaturation) and epoch-keyed result caches
+// miss instead of serving pre-mutation rows.
+func (in *Instance) AddTriples(ts []rdf.Triple) int {
+	n := in.graph.AddAll(ts)
+	if n > 0 {
+		in.bump()
+	}
+	return n
 }
 
-// queryGraph returns the graph BGPs evaluate over, saturating on first
-// use when configured.
+// RemoveTriples deletes triples from G and returns how many were
+// present; any deletion bumps the epoch.
+func (in *Instance) RemoveTriples(ts []rdf.Triple) int {
+	n := 0
+	for _, t := range ts {
+		if in.graph.Remove(t) {
+			n++
+		}
+	}
+	if n > 0 {
+		in.bump()
+	}
+	return n
+}
+
+// AddSource registers a data source and bumps the epoch: queries whose
+// answers could now include the new source must not be served from a
+// pre-registration cache entry.
+func (in *Instance) AddSource(s source.DataSource) error {
+	if err := in.sources.Register(s); err != nil {
+		return err
+	}
+	in.bump()
+	return nil
+}
+
+// DropSource removes the source registered under uri, discarding its
+// interposed probe cache with it, and bumps the epoch so cached
+// results that involved the source are not served after the drop. It
+// reports whether a source was removed.
+func (in *Instance) DropSource(uri string) bool {
+	if !in.sources.Deregister(uri) {
+		return false
+	}
+	in.bump()
+	return true
+}
+
+// Invalidate force-expires every cache derived from the instance: it
+// flushes the interposed per-source probe caches (returning how many
+// result entries they dropped) and bumps the epoch so saturation and
+// epoch-keyed result caches recompute. Use it when sources mutated
+// underneath the mediator without going through the instance API.
+func (in *Instance) Invalidate() (epoch uint64, probeEntries int) {
+	probeEntries = in.sources.InvalidateCaches()
+	return in.bump(), probeEntries
+}
+
+// InvalidateSource flushes the probe cache of a single source
+// (registered, or dynamically discovered and currently memoized) and
+// bumps the epoch, so both the source's memoized probes and any
+// whole-query results built on them stop being served. Sources are
+// looked up without consulting the fallback resolver — invalidating a
+// URI must never dial it — so a URI with no materialized source (which
+// necessarily has no cache to flush) is an error.
+func (in *Instance) InvalidateSource(uri string) (epoch uint64, probeEntries int, err error) {
+	s, ok := in.sources.Lookup(uri)
+	if !ok {
+		return in.Epoch(), 0, fmt.Errorf("core: no materialized source for URI %q", uri)
+	}
+	if inv, ok := s.(source.Invalidator); ok {
+		probeEntries = inv.Invalidate()
+	}
+	return in.bump(), probeEntries, nil
+}
+
+// queryGraph returns the graph BGPs evaluate over, saturating lazily
+// when configured and re-saturating after the epoch moves (a graph
+// mutation must be visible in G∞ on the very next query).
 func (in *Instance) queryGraph() *rdf.Graph {
 	if !in.saturate {
 		return in.graph
 	}
-	in.satOnce.Do(func() {
+	in.satMu.Lock()
+	defer in.satMu.Unlock()
+	// The epoch is read under satMu so a query that raced a mutation
+	// cannot stamp a fresh saturation with an older epoch and force the
+	// next query to redo it. Reading it before Saturate is conservative:
+	// a mutation landing mid-saturation moves the epoch past the stamp
+	// and the next query recomputes — never the reverse.
+	epoch := in.epoch.Load()
+	if in.satGraph == nil || in.satEpoch != epoch {
 		in.satGraph = rdf.Saturate(in.graph).Graph
-	})
+		in.satEpoch = epoch
+	}
 	return in.satGraph
 }
 

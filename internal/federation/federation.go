@@ -232,9 +232,11 @@ func Dial(baseURL string) (*Client, error) {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("federation: dial %s: status %s", baseURL, resp.Status)
+		return nil, c.statusError("dial", resp)
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&c.meta); err != nil {
+	// Bound the meta body like every other decode path: a misbehaving
+	// endpoint must not be able to balloon mediator memory.
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&c.meta); err != nil {
 		return nil, fmt.Errorf("federation: dial %s: bad meta: %w", baseURL, err)
 	}
 	if c.meta.URI == "" {
@@ -374,7 +376,11 @@ func (c *Client) statusError(op string, resp *http.Response) error {
 }
 
 // EstimateCost implements source.DataSource by asking the remote
-// endpoint; network failures degrade to unknown (-1).
+// endpoint; network and remote failures degrade to unknown (-1). The
+// status and error envelope are checked before the Cost field is
+// trusted: a 404/502 JSON error body would otherwise decode to
+// Cost: 0 and make a broken remote look like the cheapest source in
+// the plan.
 func (c *Client) EstimateCost(q source.SubQuery, numParams int) int {
 	body, err := json.Marshal(EstimateRequest{
 		Language:  string(q.Language),
@@ -389,8 +395,14 @@ func (c *Client) EstimateCost(q source.SubQuery, numParams int) int {
 		return -1
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return -1
+	}
 	var er EstimateResponse
-	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&er); err != nil {
+		return -1
+	}
+	if er.Error != "" {
 		return -1
 	}
 	return er.Cost
@@ -407,7 +419,9 @@ func (c *Client) Digest(_ digest.Budget) (*digest.Digest, error) {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("federation: digest %s: status %s", c.baseURL, resp.Status)
+		// statusError reads the error body through a bounded reader, so a
+		// misbehaving endpoint cannot balloon memory here either.
+		return nil, c.statusError("digest", resp)
 	}
 	var d digest.Digest
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&d); err != nil {

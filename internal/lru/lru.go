@@ -18,8 +18,13 @@ type Cache[V any] struct {
 	items map[string]*list.Element
 }
 
-// New returns a cache holding at most max entries (max must be > 0).
+// New returns a cache holding at most max entries. A non-positive max
+// is clamped to 1: with max = 0 every Put would immediately evict the
+// entry it just inserted, silently yielding a 100%-miss cache.
 func New[V any](max int) *Cache[V] {
+	if max < 1 {
+		max = 1
+	}
 	return &Cache[V]{
 		max:   max,
 		order: list.New(),
@@ -47,6 +52,15 @@ func (c *Cache[V]) Remove(key string) {
 		c.order.Remove(el)
 		delete(c.items, key)
 	}
+}
+
+// Clear drops every entry and returns how many were removed (cache
+// invalidation on instance mutation flushes whole caches at once).
+func (c *Cache[V]) Clear() int {
+	n := c.order.Len()
+	c.order.Init()
+	clear(c.items)
+	return n
 }
 
 // Put stores (or refreshes) key and reports whether the insertion

@@ -1,0 +1,111 @@
+package lru_test
+
+import (
+	"testing"
+
+	"tatooine/internal/lru"
+)
+
+func TestPutGetRemove(t *testing.T) {
+	c := lru.New[int](4)
+	if _, ok := c.Get("a"); ok {
+		t.Error("empty cache answered a Get")
+	}
+	if c.Put("a", 1) {
+		t.Error("first Put reported an eviction")
+	}
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Errorf("Get(a) = %d, %v", v, ok)
+	}
+	// Refreshing a key updates the value without growing the cache.
+	if c.Put("a", 2) {
+		t.Error("refresh reported an eviction")
+	}
+	if v, _ := c.Get("a"); v != 2 {
+		t.Errorf("refreshed value: %d", v)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+	c.Remove("a")
+	if _, ok := c.Get("a"); ok {
+		t.Error("removed key still answered")
+	}
+	c.Remove("a") // removing an absent key is a no-op
+	if c.Len() != 0 {
+		t.Errorf("Len after removes = %d", c.Len())
+	}
+}
+
+// TestEvictionOrder: the least recently *used* entry goes first, and a
+// Get refreshes recency, not just Put.
+func TestEvictionOrder(t *testing.T) {
+	c := lru.New[int](3)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3)
+	c.Get("a") // recency now: a, c, b
+	if !c.Put("d", 4) {
+		t.Error("overflowing Put reported no eviction")
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived; it was least recently used")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s was evicted out of order", k)
+		}
+	}
+	if c.Len() != 3 {
+		t.Errorf("Len = %d, want 3", c.Len())
+	}
+}
+
+func TestClear(t *testing.T) {
+	c := lru.New[string](8)
+	c.Put("a", "x")
+	c.Put("b", "y")
+	if n := c.Clear(); n != 2 {
+		t.Errorf("Clear dropped %d entries, want 2", n)
+	}
+	if c.Len() != 0 {
+		t.Errorf("Len after Clear = %d", c.Len())
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Error("cleared key still answered")
+	}
+	// The cache stays usable after a Clear.
+	c.Put("c", "z")
+	if v, ok := c.Get("c"); !ok || v != "z" {
+		t.Errorf("Get after Clear = %q, %v", v, ok)
+	}
+	if n := c.Clear(); n != 1 {
+		t.Errorf("second Clear dropped %d entries, want 1", n)
+	}
+	if c.Clear() != 0 {
+		t.Error("Clear of an empty cache reported drops")
+	}
+}
+
+// TestNonPositiveMaxClamped is the regression test for the max<=0 bug:
+// lru.New(0) used to build a cache where every Put immediately evicted
+// the entry it had just inserted — a silent 100%-miss cache.
+func TestNonPositiveMaxClamped(t *testing.T) {
+	for _, max := range []int{0, -1, -100} {
+		c := lru.New[int](max)
+		c.Put("a", 1)
+		if v, ok := c.Get("a"); !ok || v != 1 {
+			t.Errorf("New(%d): entry evicted on insert (got %d, %v)", max, v, ok)
+		}
+		if c.Len() != 1 {
+			t.Errorf("New(%d): Len = %d, want 1", max, c.Len())
+		}
+		// Still bounded: a second key evicts down to one entry.
+		if !c.Put("b", 2) {
+			t.Errorf("New(%d): second Put did not evict", max)
+		}
+		if c.Len() != 1 {
+			t.Errorf("New(%d): Len after overflow = %d, want 1", max, c.Len())
+		}
+	}
+}

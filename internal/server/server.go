@@ -1,18 +1,35 @@
 // Package server turns a mixed instance into a long-running HTTP
 // mediator service: one shared core.Instance answers concurrent mixed
-// queries, with an LRU result cache keyed on the parsed query's
-// canonical form (core.CMQ.CanonicalKey), a single-flight guard so
-// identical concurrent queries execute once, and a per-source
-// sub-query cache (source.Cached) underneath so repeated bind-join
-// probes hit memory instead of the network.
+// queries, with an LRU result cache keyed on (instance epoch, the
+// parsed query's canonical form core.CMQ.CanonicalKey), a
+// single-flight guard so identical concurrent queries execute once,
+// and a per-source sub-query cache (source.Cached) underneath so
+// repeated bind-join probes hit memory instead of the network.
+//
+// The instance is mutable over HTTP: POST /graph inserts triples,
+// POST /sources registers a remote endpoint, DELETE /sources drops
+// one. Every mutation bumps the instance epoch; because result-cache
+// and single-flight keys carry the epoch, the very next POST /cmq can
+// never be answered from a pre-mutation entry (the stale generation is
+// flushed lazily). POST /admin/invalidate force-expires the per-source
+// probe caches for sources that mutated underneath the mediator.
 //
 // Routes:
 //
-//	POST /cmq      execute a CMQ (JSON {"query": "..."} or raw text body;
-//	               {"explain": true} plans without executing and returns
-//	               the plan plus per-atom batch/per-probe decisions)
-//	GET  /stats    server counters + cache occupancy
-//	GET  /healthz  liveness probe
+//	POST   /cmq               execute a CMQ (JSON {"query": "..."} or raw
+//	                          text body; {"explain": true} plans without
+//	                          executing and returns the plan plus per-atom
+//	                          batch/per-probe decisions)
+//	POST   /graph             insert triples into G (JSON {"triples":
+//	                          "<turtle>"} or raw Turtle body)
+//	DELETE /graph             remove triples from G (same body forms)
+//	POST   /sources           register a remote endpoint (JSON {"url": ...})
+//	DELETE /sources/{uri}     drop a registered source (URI path-escaped;
+//	                          DELETE /sources?uri=... is equivalent)
+//	POST   /admin/invalidate  flush probe caches + rotate the result cache
+//	                          (JSON {"source": "uri"} scopes to one source)
+//	GET    /stats             server counters + cache occupancy + epoch
+//	GET    /healthz           liveness probe
 package server
 
 import (
@@ -21,13 +38,16 @@ import (
 	"io"
 	"mime"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"tatooine/internal/core"
+	"tatooine/internal/federation"
 	"tatooine/internal/lru"
+	"tatooine/internal/rdf"
 	"tatooine/internal/source"
 	"tatooine/internal/value"
 )
@@ -56,14 +76,18 @@ const DefaultResultCacheSize = 256
 
 // Stats are the server-level counters surfaced on GET /stats.
 type Stats struct {
-	Requests     int64 `json:"requests"`     // POST /cmq requests handled
-	CacheHits    int64 `json:"cacheHits"`    // answered from the result cache
-	CacheMisses  int64 `json:"cacheMisses"`  // executed (or joined an in-flight execution)
-	Coalesced    int64 `json:"coalesced"`    // waited on an identical in-flight query
-	Errors       int64 `json:"errors"`       // parse or execution failures
-	SubQueries   int64 `json:"subQueries"`   // native sub-queries across all executions
-	BatchProbes  int64 `json:"batchProbes"`  // batched bind-join dispatches across all executions
-	CacheEntries int   `json:"cacheEntries"` // current result-cache occupancy
+	Requests           int64  `json:"requests"`           // POST /cmq requests handled
+	CacheHits          int64  `json:"cacheHits"`          // answered from the result cache
+	CacheMisses        int64  `json:"cacheMisses"`        // executed (or joined an in-flight execution)
+	Coalesced          int64  `json:"coalesced"`          // waited on an identical in-flight query
+	Errors             int64  `json:"errors"`             // parse or execution failures
+	SubQueries         int64  `json:"subQueries"`         // native sub-queries across all executions
+	BatchProbes        int64  `json:"batchProbes"`        // batched bind-join dispatches across all executions
+	CacheEntries       int    `json:"cacheEntries"`       // current result-cache occupancy
+	Epoch              uint64 `json:"epoch"`              // instance mutation epoch
+	Mutations          int64  `json:"mutations"`          // mutation requests applied over HTTP
+	Invalidations      int64  `json:"invalidations"`      // stale result-cache generations flushed
+	ProbeInvalidations int64  `json:"probeInvalidations"` // probe-cache result entries force-dropped
 }
 
 // QueryRequest is the JSON body of POST /cmq. With Explain set the
@@ -85,6 +109,46 @@ type QueryResponse struct {
 	Error   string            `json:"error,omitempty"`
 }
 
+// GraphRequest is the JSON body of POST /graph and DELETE /graph; a
+// non-JSON body is treated as the Turtle/N-Triples text directly.
+type GraphRequest struct {
+	Triples string `json:"triples"`
+}
+
+// GraphResponse reports an applied graph mutation.
+type GraphResponse struct {
+	Changed int    `json:"changed"` // triples actually inserted / removed
+	Size    int    `json:"size"`    // G's triple count after the mutation
+	Epoch   uint64 `json:"epoch"`
+	Error   string `json:"error,omitempty"`
+}
+
+// SourceRequest is the JSON body of POST /sources: the base URL of a
+// federation endpoint to dial and register.
+type SourceRequest struct {
+	URL string `json:"url"`
+}
+
+// SourceResponse reports a source registration or drop.
+type SourceResponse struct {
+	URI   string `json:"uri,omitempty"`
+	Epoch uint64 `json:"epoch"`
+	Error string `json:"error,omitempty"`
+}
+
+// InvalidateRequest is the optional JSON body of POST /admin/invalidate;
+// Source scopes the flush to one source's probe cache.
+type InvalidateRequest struct {
+	Source string `json:"source,omitempty"`
+}
+
+// InvalidateResponse reports what an invalidation dropped.
+type InvalidateResponse struct {
+	Epoch        uint64 `json:"epoch"`
+	ProbeEntries int    `json:"probeEntries"` // probe-cache result entries dropped
+	Error        string `json:"error,omitempty"`
+}
+
 // Server is the mediator query service around one shared Instance.
 type Server struct {
 	in   *core.Instance
@@ -93,8 +157,10 @@ type Server struct {
 	mu       sync.Mutex
 	cache    *lru.Cache[*core.QueryResult] // nil when result caching is disabled
 	inflight map[string]*flightCall
+	gen      uint64 // instance epoch the current cache generation belongs to
 
 	requests, hits, misses, coalesced, errors, subQueries, batchProbes atomic.Int64
+	mutations, invalidations, probeInvalidations                       atomic.Int64
 }
 
 // flightCall is one in-progress execution identical queries wait on.
@@ -125,6 +191,7 @@ func New(in *core.Instance, opts Options) *Server {
 		in:       in,
 		opts:     opts,
 		inflight: make(map[string]*flightCall),
+		gen:      in.Epoch(),
 	}
 	if opts.ResultCacheSize > 0 {
 		s.cache = lru.New[*core.QueryResult](opts.ResultCacheSize)
@@ -141,14 +208,18 @@ func (s *Server) Stats() Stats {
 	}
 	s.mu.Unlock()
 	return Stats{
-		Requests:     s.requests.Load(),
-		CacheHits:    s.hits.Load(),
-		CacheMisses:  s.misses.Load(),
-		Coalesced:    s.coalesced.Load(),
-		Errors:       s.errors.Load(),
-		SubQueries:   s.subQueries.Load(),
-		BatchProbes:  s.batchProbes.Load(),
-		CacheEntries: entries,
+		Requests:           s.requests.Load(),
+		CacheHits:          s.hits.Load(),
+		CacheMisses:        s.misses.Load(),
+		Coalesced:          s.coalesced.Load(),
+		Errors:             s.errors.Load(),
+		SubQueries:         s.subQueries.Load(),
+		BatchProbes:        s.batchProbes.Load(),
+		CacheEntries:       entries,
+		Epoch:              s.in.Epoch(),
+		Mutations:          s.mutations.Load(),
+		Invalidations:      s.invalidations.Load(),
+		ProbeInvalidations: s.probeInvalidations.Load(),
 	}
 }
 
@@ -156,6 +227,12 @@ func (s *Server) Stats() Stats {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /cmq", s.handleCMQ)
+	mux.HandleFunc("POST /graph", func(w http.ResponseWriter, r *http.Request) { s.handleGraph(w, r, false) })
+	mux.HandleFunc("DELETE /graph", func(w http.ResponseWriter, r *http.Request) { s.handleGraph(w, r, true) })
+	mux.HandleFunc("POST /sources", s.handleSourceAdd)
+	mux.HandleFunc("DELETE /sources", s.handleSourceDrop)
+	mux.HandleFunc("DELETE /sources/{uri...}", s.handleSourceDrop)
+	mux.HandleFunc("POST /admin/invalidate", s.handleInvalidate)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
@@ -167,6 +244,133 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// maxMutationBytes bounds a mutation request body (a POST /graph can
+// legitimately carry a large triple document).
+const maxMutationBytes = 16 << 20
+
+// handleGraph inserts (POST) or removes (DELETE) triples in the custom
+// graph G through the epoch-bumping instance API, so the next query
+// re-saturates and result-cache generations rotate.
+func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request, remove bool) {
+	body, isJSON, err := readBody(r, maxMutationBytes)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, GraphResponse{Error: err.Error()})
+		return
+	}
+	text := string(body)
+	if isJSON {
+		var req GraphRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeJSON(w, http.StatusBadRequest, GraphResponse{Error: "server: bad JSON body: " + err.Error()})
+			return
+		}
+		text = req.Triples
+	}
+	if strings.TrimSpace(text) == "" {
+		writeJSON(w, http.StatusBadRequest, GraphResponse{Error: "server: empty triple document"})
+		return
+	}
+	ts, err := rdf.ParseString(text)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, GraphResponse{Error: err.Error()})
+		return
+	}
+	var changed int
+	if remove {
+		changed = s.in.RemoveTriples(ts)
+	} else {
+		changed = s.in.AddTriples(ts)
+	}
+	s.mutations.Add(1)
+	writeJSON(w, http.StatusOK, GraphResponse{Changed: changed, Size: s.in.Graph().Size(), Epoch: s.in.Epoch()})
+}
+
+// handleSourceAdd dials a remote federation endpoint and registers it
+// as a source of the shared instance; the registry's interposed
+// wrapper gives it a probe cache like any seed source.
+func (s *Server) handleSourceAdd(w http.ResponseWriter, r *http.Request) {
+	var req SourceRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxQueryBytes)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, SourceResponse{Error: "server: bad JSON body: " + err.Error()})
+		return
+	}
+	if strings.TrimSpace(req.URL) == "" {
+		writeJSON(w, http.StatusBadRequest, SourceResponse{Error: "server: missing url"})
+		return
+	}
+	c, err := federation.Dial(req.URL)
+	if err != nil {
+		writeJSON(w, http.StatusBadGateway, SourceResponse{Error: err.Error()})
+		return
+	}
+	if err := s.in.AddSource(c); err != nil {
+		writeJSON(w, http.StatusConflict, SourceResponse{Error: err.Error()})
+		return
+	}
+	s.mutations.Add(1)
+	writeJSON(w, http.StatusOK, SourceResponse{URI: c.URI(), Epoch: s.in.Epoch()})
+}
+
+// handleSourceDrop removes a registered source. The URI arrives either
+// path-escaped in the path (DELETE /sources/sql:%2F%2Finsee) or as the
+// uri query parameter (DELETE /sources?uri=sql://insee); the latter
+// avoids ServeMux's clean-path redirect for URIs containing "//".
+func (s *Server) handleSourceDrop(w http.ResponseWriter, r *http.Request) {
+	uri := r.PathValue("uri")
+	if uri == "" {
+		uri = r.URL.Query().Get("uri")
+	}
+	if uri == "" {
+		writeJSON(w, http.StatusBadRequest, SourceResponse{Error: "server: missing source URI"})
+		return
+	}
+	if !s.in.DropSource(uri) {
+		writeJSON(w, http.StatusNotFound, SourceResponse{Error: fmt.Sprintf("server: source %q not registered", uri)})
+		return
+	}
+	s.mutations.Add(1)
+	writeJSON(w, http.StatusOK, SourceResponse{URI: uri, Epoch: s.in.Epoch()})
+}
+
+// handleInvalidate force-expires cached state derived from the
+// instance: with no body (or an empty one) every probe cache flushes
+// and the epoch bumps; {"source": "uri"} scopes the flush to one
+// source. Either way the result cache rotates to a new generation.
+func (s *Server) handleInvalidate(w http.ResponseWriter, r *http.Request) {
+	body, isJSON, err := readBody(r, maxQueryBytes)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, InvalidateResponse{Error: err.Error()})
+		return
+	}
+	var req InvalidateRequest
+	if len(body) > 0 {
+		// Unlike /graph there is no raw-body form here: silently ignoring
+		// a non-JSON body would turn an intended source-scoped
+		// invalidation into a full flush.
+		if !isJSON {
+			writeJSON(w, http.StatusBadRequest, InvalidateResponse{Error: "server: body must be application/json"})
+			return
+		}
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeJSON(w, http.StatusBadRequest, InvalidateResponse{Error: "server: bad JSON body: " + err.Error()})
+			return
+		}
+	}
+	var epoch uint64
+	var dropped int
+	if req.Source != "" {
+		epoch, dropped, err = s.in.InvalidateSource(req.Source)
+		if err != nil {
+			writeJSON(w, http.StatusNotFound, InvalidateResponse{Error: err.Error()})
+			return
+		}
+	} else {
+		epoch, dropped = s.in.Invalidate()
+	}
+	s.probeInvalidations.Add(int64(dropped))
+	writeJSON(w, http.StatusOK, InvalidateResponse{Epoch: epoch, ProbeEntries: dropped})
 }
 
 func (s *Server) handleCMQ(w http.ResponseWriter, r *http.Request) {
@@ -200,7 +404,7 @@ func (s *Server) handleCMQ(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	key := q.CanonicalKey()
+	key, epoch := s.generationKey(q.CanonicalKey())
 	if res, ok := s.cacheGet(key); ok {
 		s.hits.Add(1)
 		// A cache hit executed nothing: report zeroed stats so clients
@@ -210,7 +414,7 @@ func (s *Server) handleCMQ(w http.ResponseWriter, r *http.Request) {
 	}
 	s.misses.Add(1)
 
-	res, cached, err := s.execute(key, q)
+	res, cached, err := s.execute(key, epoch, q)
 	if err != nil {
 		s.errors.Add(1)
 		writeJSON(w, http.StatusUnprocessableEntity, QueryResponse{Error: err.Error()})
@@ -223,12 +427,38 @@ func (s *Server) handleCMQ(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, QueryResponse{Cols: res.Cols, Rows: res.Rows, Stats: res.Stats})
 }
 
+// generationKey prefixes the canonical query key with the instance's
+// current epoch and lazily flushes the superseded cache generation.
+// The epoch in the key is what makes mutation safe: a single-flight
+// leader that started before a mutation finishes under the old epoch's
+// key, so post-mutation requests can neither join it nor read the
+// result it caches.
+func (s *Server) generationKey(canonical string) (string, uint64) {
+	epoch := s.in.Epoch()
+	s.mu.Lock()
+	// Strictly newer only: a request that loaded the epoch just before
+	// a concurrent mutation must not regress the generation and flush
+	// entries the newer generation just cached.
+	if epoch > s.gen {
+		if s.cache != nil {
+			s.cache.Clear()
+		}
+		s.gen = epoch
+		s.invalidations.Add(1)
+	}
+	s.mu.Unlock()
+	return strconv.FormatUint(epoch, 10) + "|" + canonical, epoch
+}
+
 // execute runs the query under the single-flight guard: the first
 // caller for a key executes; identical concurrent callers wait and
 // share the leader's result (cached=true for them — they shipped no
 // sub-queries of their own). With result caching disabled the guard is
-// off too: every request executes for itself.
-func (s *Server) execute(key string, q *core.CMQ) (res *core.QueryResult, cached bool, err error) {
+// off too: every request executes for itself. epoch is the generation
+// the key belongs to: a leader finishing after a newer generation
+// flushed skips the Put — its old-epoch key could never be read again
+// and would only waste LRU slots.
+func (s *Server) execute(key string, epoch uint64, q *core.CMQ) (res *core.QueryResult, cached bool, err error) {
 	if s.cache == nil {
 		res, err = s.in.ExecuteOpts(q, s.opts.Exec)
 		if err == nil {
@@ -264,7 +494,7 @@ func (s *Server) execute(key string, q *core.CMQ) (res *core.QueryResult, cached
 
 	s.mu.Lock()
 	delete(s.inflight, key)
-	if call.err == nil {
+	if call.err == nil && epoch == s.gen {
 		s.cache.Put(key, call.res)
 	}
 	s.mu.Unlock()
@@ -285,19 +515,30 @@ func (s *Server) cacheGet(key string) (*core.QueryResult, bool) {
 // outright rather than silently truncated to a still-parseable prefix.
 const maxQueryBytes = 1 << 20
 
+// readBody reads at most max bytes of the request body — larger bodies
+// are rejected outright rather than silently truncated — and reports
+// whether the request declared a JSON content type.
+func readBody(r *http.Request, max int64) ([]byte, bool, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, max+1))
+	if err != nil {
+		return nil, false, fmt.Errorf("server: read body: %w", err)
+	}
+	if int64(len(body)) > max {
+		return nil, false, fmt.Errorf("server: body exceeds %d bytes", max)
+	}
+	mt, _, err := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	return body, err == nil && mt == "application/json", nil
+}
+
 // readQuery extracts the CMQ text (and the explain flag) from the
 // request body: a JSON {"query": "...", "explain": bool} envelope when
 // Content-Type is application/json, otherwise the raw body.
 func readQuery(r *http.Request) (string, bool, error) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxQueryBytes+1))
+	body, isJSON, err := readBody(r, maxQueryBytes)
 	if err != nil {
-		return "", false, fmt.Errorf("server: read body: %w", err)
+		return "", false, err
 	}
-	if len(body) > maxQueryBytes {
-		return "", false, fmt.Errorf("server: query exceeds %d bytes", maxQueryBytes)
-	}
-	ct := r.Header.Get("Content-Type")
-	if mt, _, err := mime.ParseMediaType(ct); err == nil && mt == "application/json" {
+	if isJSON {
 		var req QueryRequest
 		if err := json.Unmarshal(body, &req); err != nil {
 			return "", false, fmt.Errorf("server: bad JSON body: %w", err)

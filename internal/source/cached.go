@@ -13,11 +13,12 @@ import (
 
 // CacheStats reports what a Cached decorator has done so far.
 type CacheStats struct {
-	Hits      int64
-	Misses    int64
-	Expired   int64 // misses caused by TTL expiry of an existing entry
-	Evictions int64
-	Entries   int
+	Hits        int64
+	Misses      int64
+	Expired     int64 // misses caused by TTL expiry of an existing entry
+	Evictions   int64
+	Invalidated int64 // result entries dropped by Invalidate
+	Entries     int
 }
 
 // Cached decorates a DataSource with a bounded LRU memoization of
@@ -37,6 +38,7 @@ type Cached struct {
 	now   func() time.Time // test hook
 
 	mu        sync.Mutex
+	gen       uint64 // bumped by Invalidate; fills from an older gen are discarded
 	cache     *lru.Cache[cacheEntry]
 	estimates *lru.Cache[int]
 	stats     CacheStats
@@ -101,14 +103,35 @@ func (c *Cached) EstimateCost(q SubQuery, numParams int) int {
 		c.mu.Unlock()
 		return cost
 	}
+	gen := c.gen
 	c.mu.Unlock()
 	cost := c.inner.EstimateCost(q, numParams)
 	if cost >= 0 {
 		c.mu.Lock()
-		c.estimates.Put(key, cost)
+		if c.gen == gen {
+			c.estimates.Put(key, cost)
+		}
 		c.mu.Unlock()
 	}
 	return cost
+}
+
+// Invalidate implements Invalidator: it drops every memoized sub-query
+// result and cost estimate, returning how many result entries were
+// discarded. The mediator calls it when the instance mutates (a source
+// changed underneath, or POST /admin/invalidate) so callers stop being
+// served pre-mutation rows until the TTL would have expired them.
+// Bumping the generation makes the flush cover in-flight probes too: a
+// miss that read the source before the invalidation discards its fill
+// instead of re-inserting pre-invalidation rows after the Clear.
+func (c *Cached) Invalidate() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen++
+	n := c.cache.Clear()
+	c.estimates.Clear()
+	c.stats.Invalidated += int64(n)
+	return n
 }
 
 // Stats returns a snapshot of the cache counters.
@@ -163,6 +186,7 @@ func (c *Cached) Execute(q SubQuery, params []value.Value) (*Result, error) {
 
 	c.mu.Lock()
 	res, ok := c.lookup(key)
+	gen := c.gen
 	c.mu.Unlock()
 	if ok {
 		return res, nil
@@ -176,7 +200,13 @@ func (c *Cached) Execute(q SubQuery, params []value.Value) (*Result, error) {
 	}
 
 	c.mu.Lock()
-	c.store(key, res)
+	// An Invalidate since the miss means this result may predate the
+	// mutation the invalidation announced: return it to the caller (it
+	// was read before the flush, like any probe that finished a moment
+	// earlier) but do not let it outlive the flush in the cache.
+	if c.gen == gen {
+		c.store(key, res)
+	}
 	c.mu.Unlock()
 	return res, nil
 }
@@ -214,6 +244,7 @@ func (c *Cached) ExecuteBatch(q SubQuery, paramSets []value.Row) ([]*Result, err
 		c.mu.Unlock()
 		return out, nil
 	}
+	gen := c.gen
 	c.mu.Unlock()
 
 	misses := make([]value.Row, len(missIdx))
@@ -240,7 +271,12 @@ func (c *Cached) ExecuteBatch(q SubQuery, paramSets []value.Row) ([]*Result, err
 	c.stats.Misses += int64(len(missIdx))
 	for j, i := range missIdx {
 		out[i] = results[j]
-		c.store(keys[i], results[j])
+		// As in Execute: a batch whose misses were read before an
+		// Invalidate still answers the caller, but must not re-fill the
+		// flushed cache with possibly pre-mutation rows.
+		if c.gen == gen {
+			c.store(keys[i], results[j])
+		}
 	}
 	c.mu.Unlock()
 	return out, nil

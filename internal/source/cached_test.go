@@ -48,6 +48,12 @@ func (f *fakeSource) calls() int {
 	return f.executes
 }
 
+func (f *fakeSource) estimateCalls() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.estimates
+}
+
 func sub(text string) source.SubQuery {
 	return source.SubQuery{Language: source.LangSQL, Text: text}
 }
@@ -326,5 +332,99 @@ func TestInterposeOrderIndependent(t *testing.T) {
 	}
 	if dials != 1 || r1 != r2 {
 		t.Errorf("late fallback not memoized: %d dials, stable=%v", dials, r1 == r2)
+	}
+}
+
+// TestCachedInvalidate: Invalidate drops both the memoized results and
+// the memoized cost estimates, so the next probe and the next planning
+// pass go back to the (possibly mutated) inner source.
+func TestCachedInvalidate(t *testing.T) {
+	f := &fakeSource{}
+	c := source.NewCached(f, 8)
+	q := sub("SELECT 1")
+
+	if _, err := c.Execute(q, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Execute(q, nil); err != nil {
+		t.Fatal(err)
+	}
+	if f.calls() != 1 {
+		t.Fatalf("inner executes before Invalidate: %d", f.calls())
+	}
+	c.EstimateCost(q, 0)
+	c.EstimateCost(q, 0)
+	if f.estimateCalls() != 1 {
+		t.Fatalf("inner estimates before Invalidate: %d", f.estimateCalls())
+	}
+
+	if dropped := c.Invalidate(); dropped != 1 {
+		t.Errorf("Invalidate dropped %d entries, want 1", dropped)
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Invalidated != 1 {
+		t.Errorf("stats after Invalidate: %+v", st)
+	}
+
+	if _, err := c.Execute(q, nil); err != nil {
+		t.Fatal(err)
+	}
+	if f.calls() != 2 {
+		t.Errorf("probe after Invalidate did not reach the inner source: %d calls", f.calls())
+	}
+	c.EstimateCost(q, 0)
+	if f.estimateCalls() != 2 {
+		t.Errorf("estimate after Invalidate did not reach the inner source: %d calls", f.estimateCalls())
+	}
+
+	// An empty cache invalidates to zero without side effects.
+	c2 := source.NewCached(&fakeSource{}, 8)
+	if c2.Invalidate() != 0 {
+		t.Error("empty cache reported dropped entries")
+	}
+}
+
+// blockingSource holds Execute until released so tests can interleave
+// an invalidation with an in-flight probe.
+type blockingSource struct {
+	fakeSource
+	started chan struct{}
+	release chan struct{}
+}
+
+func (b *blockingSource) Execute(q source.SubQuery, params []value.Value) (*source.Result, error) {
+	b.started <- struct{}{}
+	<-b.release
+	return b.fakeSource.Execute(q, params)
+}
+
+// TestInvalidateCoversInFlightProbe: a probe that read the inner
+// source BEFORE an Invalidate must not re-fill the cache AFTER the
+// flush — otherwise the stale rows the invalidation was meant to purge
+// survive it (forever, with no TTL configured).
+func TestInvalidateCoversInFlightProbe(t *testing.T) {
+	b := &blockingSource{started: make(chan struct{}, 1), release: make(chan struct{})}
+	c := source.NewCached(b, 8)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := c.Execute(sub("SELECT 1"), nil); err != nil {
+			t.Error(err)
+		}
+	}()
+	<-b.started // probe is mid-flight, pre-invalidation rows in hand
+	c.Invalidate()
+	close(b.release)
+	<-done
+
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("in-flight probe re-filled the invalidated cache: %+v", st)
+	}
+	// The next probe goes back to the (mutated) source.
+	if _, err := c.Execute(sub("SELECT 1"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if b.calls() != 2 {
+		t.Errorf("post-invalidate probe served the discarded fill: %d inner calls", b.calls())
 	}
 }

@@ -104,6 +104,14 @@ func Accepts(s DataSource, lang Language) bool {
 // federation client). Registered with Registry.SetFallback.
 type Resolver func(uri string) (DataSource, error)
 
+// Invalidator is implemented by source decorators (Cached) that hold
+// memoized state derived from their inner source. Invalidate drops
+// that state and returns how many result entries were discarded, so a
+// mutated source stops serving pre-mutation rows before its TTL.
+type Invalidator interface {
+	Invalidate() int
+}
+
 // Registry maps source URIs to DataSources; it is the catalog of a
 // mixed instance's D component.
 type Registry struct {
@@ -114,6 +122,29 @@ type Registry struct {
 	// enters the registry afterwards (Register and SetFallback included),
 	// so wiring order cannot silently lose the decoration.
 	wrapper func(DataSource) DataSource
+	// memo, set when the fallback resolver is wrapped, indexes the
+	// memoized wrappers of dynamically discovered sources so Lookup and
+	// InvalidateCaches reach sources that never entered the registry.
+	memo *resolverMemo
+}
+
+// resolverMemo bounds and indexes the stable wrappers of dynamically
+// discovered sources (see Interpose).
+type resolverMemo struct {
+	mu  sync.Mutex
+	lru *lru.Cache[DataSource]
+}
+
+func (m *resolverMemo) peek(uri string) (DataSource, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lru.Get(uri)
+}
+
+func (m *resolverMemo) clear() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lru.Clear()
 }
 
 // NewRegistry returns an empty registry.
@@ -139,6 +170,20 @@ func (r *Registry) Register(s DataSource) error {
 	return nil
 }
 
+// Deregister removes the source registered under uri, dropping its
+// interposed wrapper (and thus its probe and estimate caches) with it,
+// so a dropped source cannot keep serving cached rows. It reports
+// whether a source was removed; the URI can be registered again later.
+func (r *Registry) Deregister(uri string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.sources[uri]; !ok {
+		return false
+	}
+	delete(r.sources, uri)
+	return true
+}
+
 // SetFallback installs a resolver consulted when a URI is not
 // registered locally (remote endpoints / dynamic discovery). An
 // interposed wrapper applies to the new resolver's sources too.
@@ -146,7 +191,9 @@ func (r *Registry) SetFallback(f Resolver) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.wrapper != nil && f != nil {
-		f = wrapResolver(f, r.wrapper)
+		f, r.memo = wrapResolver(f, r.wrapper)
+	} else {
+		r.memo = nil
 	}
 	r.fallback = f
 }
@@ -180,20 +227,58 @@ func (r *Registry) Interpose(wrap func(DataSource) DataSource) {
 		r.sources[uri] = wrap(s)
 	}
 	if r.fallback != nil {
-		r.fallback = wrapResolver(r.fallback, wrap)
+		r.fallback, r.memo = wrapResolver(r.fallback, wrap)
 	}
 }
 
+// Lookup returns the already-materialized source for uri — registered,
+// or dynamically discovered and currently memoized — WITHOUT consulting
+// the fallback resolver. Use it when resolution side effects (dialing
+// an arbitrary URI, inserting a fresh wrapper into the memo) would be
+// wrong, e.g. when targeting an invalidation.
+func (r *Registry) Lookup(uri string) (DataSource, bool) {
+	r.mu.RLock()
+	s, ok := r.sources[uri]
+	memo := r.memo
+	r.mu.RUnlock()
+	if ok {
+		return s, true
+	}
+	if memo != nil {
+		return memo.peek(uri)
+	}
+	return nil, false
+}
+
+// InvalidateCaches flushes every interposed probe cache: each
+// registered source implementing Invalidator drops its memoized
+// entries, and the fallback resolver's memoized wrappers for
+// dynamically discovered sources are discarded entirely (they are
+// re-dialed and re-wrapped fresh on next use). It returns the number
+// of result entries dropped from registered sources' caches.
+func (r *Registry) InvalidateCaches() int {
+	r.mu.Lock()
+	dropped := 0
+	for _, s := range r.sources {
+		if inv, ok := s.(Invalidator); ok {
+			dropped += inv.Invalidate()
+		}
+	}
+	memo := r.memo
+	r.mu.Unlock()
+	if memo != nil {
+		memo.clear()
+	}
+	return dropped
+}
+
 // wrapResolver decorates a fallback resolver's sources with wrap,
-// memoizing resolutions per URI (bounded by FallbackMemoSize).
-func wrapResolver(fb Resolver, wrap func(DataSource) DataSource) Resolver {
-	var memoMu sync.Mutex
-	memo := lru.New[DataSource](FallbackMemoSize)
-	return func(uri string) (DataSource, error) {
-		memoMu.Lock()
-		s, ok := memo.Get(uri)
-		memoMu.Unlock()
-		if ok {
+// memoizing resolutions per URI (bounded by FallbackMemoSize). The
+// returned memo lets the registry peek and clear the wrappers.
+func wrapResolver(fb Resolver, wrap func(DataSource) DataSource) (Resolver, *resolverMemo) {
+	memo := &resolverMemo{lru: lru.New[DataSource](FallbackMemoSize)}
+	resolve := func(uri string) (DataSource, error) {
+		if s, ok := memo.peek(uri); ok {
 			return s, nil
 		}
 		inner, err := fb(uri)
@@ -201,15 +286,16 @@ func wrapResolver(fb Resolver, wrap func(DataSource) DataSource) Resolver {
 			return nil, err
 		}
 		wrapped := wrap(inner)
-		memoMu.Lock()
-		if prev, dup := memo.Get(uri); dup {
+		memo.mu.Lock()
+		if prev, dup := memo.lru.Get(uri); dup {
 			wrapped = prev // concurrent resolvers share one wrapper
 		} else {
-			memo.Put(uri, wrapped)
+			memo.lru.Put(uri, wrapped)
 		}
-		memoMu.Unlock()
+		memo.mu.Unlock()
 		return wrapped, nil
 	}
+	return resolve, memo
 }
 
 // Resolve returns the source for a URI, consulting the fallback

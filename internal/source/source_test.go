@@ -284,3 +284,107 @@ func TestModelStrings(t *testing.T) {
 		t.Error("model strings")
 	}
 }
+
+func TestRegistryDeregister(t *testing.T) {
+	reg := NewRegistry()
+	if reg.Deregister("rdf://politics") {
+		t.Error("deregistering an unknown URI reported success")
+	}
+	if err := reg.Register(NewRDFSource("rdf://politics", polGraph(t), false)); err != nil {
+		t.Fatal(err)
+	}
+	if !reg.Deregister("rdf://politics") {
+		t.Fatal("deregister failed")
+	}
+	if _, err := reg.Resolve("rdf://politics"); err == nil {
+		t.Error("deregistered source still resolves")
+	}
+	if len(reg.All()) != 0 {
+		t.Errorf("All after deregister: %v", reg.All())
+	}
+	// The URI is free for a fresh registration afterwards.
+	if err := reg.Register(NewRDFSource("rdf://politics", polGraph(t), false)); err != nil {
+		t.Errorf("re-register after deregister: %v", err)
+	}
+}
+
+// TestRegistryInvalidateCaches: the registry-wide flush reaches every
+// interposed probe cache — registered sources via Invalidator, and
+// dynamically discovered ones by discarding their memoized wrappers so
+// they are re-dialed (and re-cached) fresh.
+func TestRegistryInvalidateCaches(t *testing.T) {
+	reg := NewRegistry()
+	reg.Interpose(func(s DataSource) DataSource { return NewCached(s, 8) })
+	if err := reg.Register(NewRelSource("sql://insee", relDB(t))); err != nil {
+		t.Fatal(err)
+	}
+	dials := 0
+	reg.SetFallback(func(uri string) (DataSource, error) {
+		dials++
+		return NewRelSource(uri, relDB(t)), nil
+	})
+
+	s, err := reg.Resolve("sql://insee")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Execute(SubQuery{Language: LangSQL, Text: "SELECT * FROM departements"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Resolve("http://remote/db"); err != nil {
+		t.Fatal(err)
+	}
+	if dials != 1 {
+		t.Fatalf("dials before invalidation: %d", dials)
+	}
+
+	if dropped := reg.InvalidateCaches(); dropped != 1 {
+		t.Errorf("InvalidateCaches dropped %d entries, want 1", dropped)
+	}
+	if st := s.(*Cached).Stats(); st.Entries != 0 {
+		t.Errorf("registered probe cache not flushed: %+v", st)
+	}
+	// The fallback memo was cleared: the next resolution re-dials.
+	if _, err := reg.Resolve("http://remote/db"); err != nil {
+		t.Fatal(err)
+	}
+	if dials != 2 {
+		t.Errorf("fallback memo not cleared: %d dials", dials)
+	}
+}
+
+// TestRegistryLookupDoesNotDial: Lookup must only see materialized
+// sources — an unknown URI returns false without triggering the
+// fallback resolver's side effects (dialing, memo insertion).
+func TestRegistryLookupDoesNotDial(t *testing.T) {
+	reg := NewRegistry()
+	reg.Interpose(func(s DataSource) DataSource { return NewCached(s, 8) })
+	dials := 0
+	reg.SetFallback(func(uri string) (DataSource, error) {
+		dials++
+		return NewRelSource(uri, relDB(t)), nil
+	})
+
+	if _, ok := reg.Lookup("http://remote/db"); ok {
+		t.Error("Lookup materialized an unknown URI")
+	}
+	if dials != 0 {
+		t.Fatalf("Lookup dialed: %d", dials)
+	}
+	if _, err := reg.Resolve("http://remote/db"); err != nil {
+		t.Fatal(err)
+	}
+	if s, ok := reg.Lookup("http://remote/db"); !ok || s == nil {
+		t.Error("Lookup missed a memoized dynamic source")
+	}
+	if dials != 1 {
+		t.Errorf("Lookup of a memoized source re-dialed: %d", dials)
+	}
+
+	if err := reg.Register(NewRelSource("sql://local", relDB(t))); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reg.Lookup("sql://local"); !ok {
+		t.Error("Lookup missed a registered source")
+	}
+}
