@@ -1,9 +1,15 @@
 GO ?= go
 
-.PHONY: verify build test vet race bench benchsmoke
+.PHONY: verify build test vet race bench benchsmoke fmtcheck
 
 # Tier-1 gate: a missing-module (or any build/test) regression fails here.
-verify: vet build test benchsmoke
+verify: fmtcheck vet build test benchsmoke
+
+# Fail on any file gofmt would rewrite (prints the offenders).
+fmtcheck:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...
@@ -22,5 +28,7 @@ bench:
 
 # Compile and run every benchmark exactly once (no timing): a benchmark
 # that stops building or panics fails verify instead of rotting silently.
+# -benchmem surfaces allocation counts in CI logs, so an allocation
+# regression in the reasoner (or any hot path) is visible at review.
 benchsmoke:
-	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./...

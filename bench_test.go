@@ -595,6 +595,67 @@ func BenchmarkServeThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkDeltaSaturation measures the tentpole of incremental
+// delta-saturation: a mutation-heavy serving loop (insert one triple,
+// then query over G∞) against a datagen-sized graph. In "full" mode
+// (the WithFullResaturation ablation, the pre-reason behavior) every
+// insert bumps the epoch and the next query recomputes the whole
+// saturation from scratch; in "delta" mode the insert flows through
+// reason.Engine's semi-naive rules in O(consequences-of-the-delta) and
+// the query serves the maintained G∞ directly.
+func BenchmarkDeltaSaturation(b *testing.B) {
+	cfg := datagen.DefaultConfig()
+	cfg.NumPoliticians = 1000
+	cfg.NumTweets = 0
+	ds, err := datagen.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The query needs G∞ (being a :person is derived via rdfs9) but is
+	// selective, as serving-path queries are: the measured gap is the
+	// saturation maintenance itself, not the row scan.
+	q := core.MustParseCMQ("QUERY q(?x)\nGRAPH { ?x a :person . ?x :position :headOfState }")
+
+	for _, mode := range []struct {
+		name string
+		opt  core.InstanceOption
+	}{
+		{"delta", core.WithSaturation()},
+		{"full", core.WithFullResaturation()},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			in := core.NewInstance(ds.Graph.Clone(), mode.opt,
+				core.WithPrefixes(map[string]string{"": datagen.NS}))
+			// Warm up: materialize the initial saturation outside the
+			// timed loop (both modes pay it once).
+			if _, err := in.Execute(q); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n := in.AddTriples([]rdf.Triple{{
+					S: rdf.NewIRI(fmt.Sprintf("%sbench/p%d", datagen.NS, i)),
+					P: rdf.NewIRI(rdf.RDFType),
+					O: rdf.NewIRI(datagen.NS + "politician"),
+				}})
+				if n != 1 {
+					b.Fatal("insert did not apply")
+				}
+				res, err := in.Execute(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Rows) == 0 {
+					b.Fatal("no rows")
+				}
+			}
+			b.StopTimer()
+			st := in.SaturationStats()
+			b.ReportMetric(float64(st.FullRecomputes), "recomputes")
+		})
+	}
+}
+
 // BenchmarkBatchedBindJoin measures the tentpole of the batched
 // bind-join pushdown: a bind join whose probes travel to a remote
 // federation endpoint behind an injected per-request latency. perProbe

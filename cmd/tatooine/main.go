@@ -13,7 +13,11 @@
 //	                                     /graph, POST/DELETE /sources and
 //	                                     POST /admin/invalidate — every
 //	                                     mutation bumps the instance epoch
-//	                                     and invalidates dependent caches)
+//	                                     and invalidates dependent caches;
+//	                                     graph atoms answer over G∞,
+//	                                     maintained incrementally under
+//	                                     mutations unless
+//	                                     -delta-saturation=false)
 //	tatooine keyword head of state SIA2016
 //	tatooine tagcloud -o tagcloud.html   Figure 3 tag clouds
 //	tatooine digest                      print per-source digests
@@ -71,21 +75,24 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	in, err := ds.Instance()
-	if err != nil {
-		return err
-	}
 	fmt.Fprintf(os.Stderr, "mixed instance ready in %v: G=%d triples, %d tweets, %d fb posts, %d INSEE tables\n",
 		time.Since(start).Round(time.Millisecond), ds.Graph.Size(), ds.Tweets.Count(),
 		ds.Facebook.Count(), len(ds.INSEE.Tables()))
 
+	// serve assembles its own instance (it adds the saturation option
+	// from its flags); every other subcommand shares the default one.
+	if rest[0] == "serve" {
+		return cmdServe(ds, rest[1:])
+	}
+	in, err := ds.Instance()
+	if err != nil {
+		return err
+	}
 	switch rest[0] {
 	case "demo":
 		return cmdDemo(ds, in)
 	case "query":
 		return cmdQuery(in, rest[1:], false)
-	case "serve":
-		return cmdServe(in, rest[1:])
 	case "explain":
 		return cmdQuery(in, rest[1:], true)
 	case "keyword":
@@ -148,10 +155,16 @@ func cmdQuery(in *core.Instance, args []string, explainOnly bool) error {
 }
 
 // cmdServe runs the long-running HTTP mediator service around the
-// generated mixed instance.
-func cmdServe(in *core.Instance, args []string) error {
+// generated mixed instance. The serving instance evaluates graph atoms
+// over G∞ (the paper's answer semantics); by default the saturation is
+// maintained incrementally under mutations (internal/reason), and
+// -delta-saturation=false restores the recompute-per-epoch path for
+// ablation.
+func cmdServe(ds *datagen.Dataset, args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
+	deltaSat := fs.Bool("delta-saturation", true,
+		"maintain G∞ incrementally under mutations (false = full recompute per epoch move, for ablation)")
 	resultCache := fs.Int("result-cache", server.DefaultResultCacheSize,
 		"result-cache entries (negative disables)")
 	probeCache := fs.Int("probe-cache", 0,
@@ -162,6 +175,14 @@ func cmdServe(in *core.Instance, args []string) error {
 	probeBatch := fs.Int("probe-batch", 0,
 		"bind-join probe batch size for batch-capable sources (0 = default 64, 1 disables batching)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	satOpt := core.WithSaturation()
+	if !*deltaSat {
+		satOpt = core.WithFullResaturation()
+	}
+	in, err := ds.Instance(satOpt)
+	if err != nil {
 		return err
 	}
 	srv := server.New(in, server.Options{

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tatooine/internal/rdf"
+	"tatooine/internal/reason"
 	"tatooine/internal/source"
 )
 
@@ -18,19 +20,37 @@ import (
 // instance carries a monotonically increasing epoch: every mutation
 // through the instance API (AddTriples, RemoveTriples, AddSource,
 // DropSource, Invalidate) bumps it, and every derived cache (the
-// saturation G∞ here, the mediator's result and probe caches in
-// internal/server) is validated against it, so a mutation can never
-// be answered with pre-mutation state.
+// mediator's result and probe caches in internal/server) is validated
+// against it, so a mutation can never be answered with pre-mutation
+// state.
+//
+// The saturation G∞ is no longer epoch-invalidated by default: under
+// WithSaturation the instance feeds graph deltas straight into an
+// incremental reasoner (internal/reason) that maintains the
+// materialized G∞ in O(delta) instead of recomputing it from scratch
+// on every epoch move. WithFullResaturation restores the old
+// recompute-per-epoch behavior for ablation.
 type Instance struct {
 	graph    *rdf.Graph
 	sources  *source.Registry
 	prefixes map[string]string
 	saturate bool
+	fullSat  bool          // ablation: full recompute per epoch move instead of delta maintenance
 	epoch    atomic.Uint64 // bumped by every mutation
 
-	satMu    sync.Mutex // guards satGraph/satEpoch (queries run concurrently)
-	satGraph *rdf.Graph // cached saturation of graph
-	satEpoch uint64     // epoch satGraph was computed at
+	// satMu serializes graph mutations (so the base graph and the
+	// reasoner's maintained G∞ cannot diverge under concurrent mutators)
+	// and guards the saturation state below. Queries hold it only long
+	// enough to grab a graph pointer.
+	satMu    sync.Mutex
+	engine   *reason.Engine // maintained G∞ (delta mode; built on first saturated query)
+	satGraph *rdf.Graph     // cached saturation (full-recompute mode)
+	satEpoch uint64         // epoch satGraph was computed at
+
+	// Full-recompute-mode counters (the delta-mode equivalents live in
+	// the engine).
+	fullRecomputes int64
+	lastSatApply   time.Duration
 }
 
 // InstanceOption configures an Instance.
@@ -48,12 +68,23 @@ func WithPrefixes(p map[string]string) InstanceOption {
 
 // WithSaturation makes graph atoms evaluate over G∞ (the RDFS
 // saturation of G), the paper's answer semantics. The saturation is
-// computed lazily, cached, and recomputed whenever the instance epoch
-// moves past the cached copy — mutate the graph through AddTriples /
-// RemoveTriples (not Graph().Add, which bypasses the epoch) and the
-// next query evaluates over the fresh G∞.
+// materialized lazily on the first saturated query and from then on
+// maintained incrementally: AddTriples / RemoveTriples feed their delta
+// into a reason.Engine (semi-naive insert rules, delete-and-rederive),
+// so a mutation costs O(consequences-of-the-delta) instead of a full
+// G∞ recompute. Mutate through the instance API — Graph().Add bypasses
+// both the epoch and the reasoner; use Invalidate to force a rebuild
+// after out-of-band writes.
 func WithSaturation() InstanceOption {
 	return func(in *Instance) { in.saturate = true }
+}
+
+// WithFullResaturation makes a saturated instance recompute G∞ from
+// scratch whenever the epoch moves past the cached copy — the
+// pre-delta-saturation behavior, kept as an ablation path
+// ("tatooine serve -delta-saturation=false"). Implies WithSaturation.
+func WithFullResaturation() InstanceOption {
+	return func(in *Instance) { in.saturate, in.fullSat = true, true }
 }
 
 // NewInstance creates a mixed instance around a custom graph. A nil
@@ -74,8 +105,9 @@ func NewInstance(g *rdf.Graph, opts ...InstanceOption) *Instance {
 }
 
 // Graph returns the custom RDF graph G. Direct writes through it do
-// not bump the instance epoch; callers that mutate mid-session should
-// use AddTriples / RemoveTriples so dependent caches notice.
+// not bump the instance epoch and are invisible to the incremental
+// reasoner; callers that mutate mid-session should use AddTriples /
+// RemoveTriples so dependent caches and the maintained G∞ notice.
 func (in *Instance) Graph() *rdf.Graph { return in.graph }
 
 // Sources returns the source registry D.
@@ -86,42 +118,54 @@ func (in *Instance) Prefixes() map[string]string { return in.prefixes }
 
 // Epoch returns the instance's mutation epoch. It starts at 0 and
 // increases monotonically with every mutation; caches derived from the
-// instance (saturation, result caches) key or validate against it.
+// instance (result caches, full-mode saturation) key or validate
+// against it.
 func (in *Instance) Epoch() uint64 { return in.epoch.Load() }
 
 // bump advances the epoch, invalidating every epoch-checked cache.
 func (in *Instance) bump() uint64 { return in.epoch.Add(1) }
 
 // AddTriples inserts triples into the custom graph G and returns how
-// many were new. Any insertion bumps the epoch, so the next query
-// re-saturates (under WithSaturation) and epoch-keyed result caches
-// miss instead of serving pre-mutation rows.
+// many were new. The batch is applied atomically with respect to
+// concurrent readers, the actual delta is propagated into the
+// maintained G∞ (delta mode), and any insertion bumps the epoch so
+// epoch-keyed result caches miss instead of serving pre-mutation rows.
+// The epoch moves only after the saturation is maintained: a request
+// that observes the new epoch can never read a G∞ that predates the
+// mutation.
 func (in *Instance) AddTriples(ts []rdf.Triple) int {
-	n := in.graph.AddAll(ts)
-	if n > 0 {
+	in.satMu.Lock()
+	added := in.graph.AddBatch(ts)
+	if len(added) > 0 && in.engine != nil {
+		in.engine.ApplyInsert(added)
+	}
+	in.satMu.Unlock()
+	if len(added) > 0 {
 		in.bump()
 	}
-	return n
+	return len(added)
 }
 
 // RemoveTriples deletes triples from G and returns how many were
-// present; any deletion bumps the epoch.
+// present; the actual delta is retracted from the maintained G∞
+// (delete-and-rederive) and any deletion bumps the epoch.
 func (in *Instance) RemoveTriples(ts []rdf.Triple) int {
-	n := 0
-	for _, t := range ts {
-		if in.graph.Remove(t) {
-			n++
-		}
+	in.satMu.Lock()
+	removed := in.graph.RemoveBatch(ts)
+	if len(removed) > 0 && in.engine != nil {
+		in.engine.ApplyDelete(removed)
 	}
-	if n > 0 {
+	in.satMu.Unlock()
+	if len(removed) > 0 {
 		in.bump()
 	}
-	return n
+	return len(removed)
 }
 
 // AddSource registers a data source and bumps the epoch: queries whose
 // answers could now include the new source must not be served from a
-// pre-registration cache entry.
+// pre-registration cache entry. The graph is untouched, so the
+// maintained G∞ is not (delta mode: no longer) recomputed.
 func (in *Instance) AddSource(s source.DataSource) error {
 	if err := in.sources.Register(s); err != nil {
 		return err
@@ -144,11 +188,21 @@ func (in *Instance) DropSource(uri string) bool {
 
 // Invalidate force-expires every cache derived from the instance: it
 // flushes the interposed per-source probe caches (returning how many
-// result entries they dropped) and bumps the epoch so saturation and
-// epoch-keyed result caches recompute. Use it when sources mutated
-// underneath the mediator without going through the instance API.
+// result entries they dropped), rebuilds the incrementally maintained
+// G∞ from the base graph (out-of-band Graph() writes become visible),
+// and bumps the epoch so epoch-keyed result caches and the full-mode
+// saturation recompute. Use it when sources or the graph mutated
+// underneath the mediator without going through the instance API. The
+// epoch bumps even when nothing was cached — the caller asked for a
+// hard reset and the bump is what guarantees it downstream.
 func (in *Instance) Invalidate() (epoch uint64, probeEntries int) {
 	probeEntries = in.sources.InvalidateCaches()
+	in.satMu.Lock()
+	if in.engine != nil {
+		in.engine.Rebuild()
+	}
+	in.satGraph = nil
+	in.satMu.Unlock()
 	return in.bump(), probeEntries
 }
 
@@ -170,15 +224,55 @@ func (in *Instance) InvalidateSource(uri string) (epoch uint64, probeEntries int
 	return in.bump(), probeEntries, nil
 }
 
-// queryGraph returns the graph BGPs evaluate over, saturating lazily
-// when configured and re-saturating after the epoch moves (a graph
-// mutation must be visible in G∞ on the very next query).
+// SaturationStats is the shape of the mediator's /stats "saturation"
+// block, shared with the incremental reasoner.
+type SaturationStats = reason.Stats
+
+// SaturationStats reports how G∞ is being maintained: the mode ("off",
+// "delta" or "full"), how many implicit triples are materialized, and
+// the delta-apply / full-recompute counters behind the mediator's
+// /stats saturation block.
+func (in *Instance) SaturationStats() reason.Stats {
+	if !in.saturate {
+		return reason.Stats{Mode: "off"}
+	}
+	in.satMu.Lock()
+	defer in.satMu.Unlock()
+	if !in.fullSat {
+		if in.engine == nil {
+			return reason.Stats{Mode: "delta"}
+		}
+		return in.engine.Stats()
+	}
+	st := reason.Stats{
+		Mode:           "full",
+		FullRecomputes: in.fullRecomputes,
+		LastApply:      in.lastSatApply,
+	}
+	if in.satGraph != nil {
+		st.Derived = in.satGraph.Size() - in.graph.Size()
+	}
+	return st
+}
+
+// queryGraph returns the graph BGPs evaluate over. Unsaturated
+// instances serve G directly. Saturated instances serve the
+// incrementally maintained G∞ (built on first use, then kept fresh by
+// AddTriples/RemoveTriples — no per-query staleness check needed
+// because maintenance happens synchronously with the mutation), or,
+// under WithFullResaturation, the old epoch-checked full recompute.
 func (in *Instance) queryGraph() *rdf.Graph {
 	if !in.saturate {
 		return in.graph
 	}
 	in.satMu.Lock()
 	defer in.satMu.Unlock()
+	if !in.fullSat {
+		if in.engine == nil {
+			in.engine = reason.New(in.graph, reason.Config{})
+		}
+		return in.engine.Graph()
+	}
 	// The epoch is read under satMu so a query that raced a mutation
 	// cannot stamp a fresh saturation with an older epoch and force the
 	// next query to redo it. Reading it before Saturate is conservative:
@@ -186,8 +280,11 @@ func (in *Instance) queryGraph() *rdf.Graph {
 	// and the next query recomputes — never the reverse.
 	epoch := in.epoch.Load()
 	if in.satGraph == nil || in.satEpoch != epoch {
+		start := time.Now()
 		in.satGraph = rdf.Saturate(in.graph).Graph
 		in.satEpoch = epoch
+		in.fullRecomputes++
+		in.lastSatApply = time.Since(start)
 	}
 	return in.satGraph
 }

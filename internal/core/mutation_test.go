@@ -121,6 +121,106 @@ func TestSaturationRecomputesAfterMutation(t *testing.T) {
 	}
 }
 
+// TestDeltaSaturationMaintainsAnswers: under the default delta mode,
+// mutations are absorbed incrementally — answers stay correct and the
+// stats prove no full recompute ran beyond the initial build.
+func TestDeltaSaturationMaintainsAnswers(t *testing.T) {
+	in := mutableInstance(t, WithSaturation())
+	const q = "QUERY q(?x)\nGRAPH { ?x a :person }"
+
+	res, err := in.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("initial G∞ rows = %d, want 1", len(res.Rows))
+	}
+
+	if in.AddTriples(rdf.MustParse("@prefix : <http://t.example/> .\n:p9 a :politician .")) != 1 {
+		t.Fatal("insert did not apply")
+	}
+	if res, err = in.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("post-insert G∞ rows = %d, want 2", len(res.Rows))
+	}
+
+	if in.RemoveTriples(rdf.MustParse("@prefix : <http://t.example/> .\n:p9 a :politician .")) != 1 {
+		t.Fatal("remove did not apply")
+	}
+	if res, err = in.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("post-remove G∞ rows = %d, want 1", len(res.Rows))
+	}
+
+	st := in.SaturationStats()
+	if st.Mode != "delta" {
+		t.Errorf("mode = %q, want delta", st.Mode)
+	}
+	if st.FullRecomputes != 1 {
+		t.Errorf("fullRecomputes = %d, want 1 (the initial build only)", st.FullRecomputes)
+	}
+	if st.DeltaApplies != 2 {
+		t.Errorf("deltaApplies = %d, want 2 (one insert, one delete)", st.DeltaApplies)
+	}
+
+	// Invalidate forces a rebuild (the escape hatch for out-of-band
+	// Graph() writes).
+	in.Graph().AddAll(rdf.MustParse("@prefix : <http://t.example/> .\n:oob a :politician ."))
+	if res, _ = in.Query(q); len(res.Rows) != 1 {
+		t.Fatalf("out-of-band write visible without Invalidate: %d rows", len(res.Rows))
+	}
+	in.Invalidate()
+	if res, err = in.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("post-Invalidate G∞ rows = %d, want 2", len(res.Rows))
+	}
+	if st := in.SaturationStats(); st.FullRecomputes != 2 {
+		t.Errorf("Invalidate should force one rebuild: %+v", st)
+	}
+}
+
+// TestFullResaturationAblation: WithFullResaturation restores the
+// recompute-per-epoch path; answers match delta mode, stats say "full".
+func TestFullResaturationAblation(t *testing.T) {
+	in := mutableInstance(t, WithFullResaturation())
+	const q = "QUERY q(?x)\nGRAPH { ?x a :person }"
+
+	if res, err := in.Query(q); err != nil || len(res.Rows) != 1 {
+		t.Fatalf("initial query: rows=%v err=%v", res, err)
+	}
+	in.AddTriples(rdf.MustParse("@prefix : <http://t.example/> .\n:p9 a :politician ."))
+	if res, err := in.Query(q); err != nil || len(res.Rows) != 2 {
+		t.Fatalf("post-insert query: rows=%v err=%v", res, err)
+	}
+	st := in.SaturationStats()
+	if st.Mode != "full" {
+		t.Errorf("mode = %q, want full", st.Mode)
+	}
+	if st.FullRecomputes != 2 {
+		t.Errorf("fullRecomputes = %d, want 2 (every epoch move recomputes)", st.FullRecomputes)
+	}
+	if st.DeltaApplies != 0 {
+		t.Errorf("deltaApplies = %d, want 0 in full mode", st.DeltaApplies)
+	}
+	if st.Derived <= 0 {
+		t.Errorf("derived = %d, want > 0 with a cached saturation", st.Derived)
+	}
+}
+
+// TestSaturationStatsOff: an unsaturated instance reports mode "off".
+func TestSaturationStatsOff(t *testing.T) {
+	in := mutableInstance(t)
+	if st := in.SaturationStats(); st.Mode != "off" || st.Derived != 0 {
+		t.Errorf("stats = %+v, want mode off", st)
+	}
+}
+
 // TestInvalidateFlushesProbeCaches: Instance.Invalidate reaches the
 // interposed per-source probe caches through the registry.
 func TestInvalidateFlushesProbeCaches(t *testing.T) {

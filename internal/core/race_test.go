@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"tatooine/internal/rdf"
+)
+
+// TestConcurrentMutationAndUnsaturatedQuery is the -race regression
+// test for the unsaturated query path: queryGraph hands queries the
+// live graph G (no satMu, no snapshot), so AddTriples / RemoveTriples
+// running concurrently with query evaluation must be safe — batches
+// are applied under one write-lock hold (rdf.Graph.AddBatch /
+// RemoveBatch) and readers lock per operation. Run under
+// `go test -race` (the CI race job does) to make the guarantee
+// meaningful.
+func TestConcurrentMutationAndUnsaturatedQuery(t *testing.T) {
+	in := mutableInstance(t) // saturation disabled
+	const q = "QUERY q(?x)\nGRAPH { ?x a :politician }"
+
+	stop := make(chan struct{})
+	var mutators sync.WaitGroup
+
+	// Two mutators: one inserting fresh triples, one churning a batch
+	// in and out (exercising RemoveTriples against concurrent readers).
+	mutators.Add(2)
+	go func() {
+		defer mutators.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			in.AddTriples(rdf.MustParse(fmt.Sprintf(
+				"@prefix : <http://t.example/> .\n:m%d a :politician .", i)))
+		}
+	}()
+	go func() {
+		defer mutators.Done()
+		churn := rdf.MustParse(`
+@prefix : <http://t.example/> .
+:churn a :politician ; :position :deputy .
+`)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			in.AddTriples(churn)
+			in.RemoveTriples(churn)
+		}
+	}()
+
+	// Concurrent queries over the live graph. The seed politician is
+	// never touched, so every snapshot a query observes contains it.
+	var queries sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		queries.Add(1)
+		go func() {
+			defer queries.Done()
+			for i := 0; i < 50; i++ {
+				res, err := in.Query(q)
+				if err != nil {
+					t.Errorf("query under mutation: %v", err)
+					return
+				}
+				if len(res.Rows) < 1 {
+					t.Errorf("query lost the seed politician: %d rows", len(res.Rows))
+					return
+				}
+			}
+		}()
+	}
+
+	queries.Wait()
+	close(stop)
+	mutators.Wait()
+}

@@ -73,11 +73,14 @@ func Generate(cfg Config) (*Dataset, error) {
 }
 
 // Instance assembles the mixed instance I = (G, D) from the dataset.
-func (ds *Dataset) Instance() (*core.Instance, error) {
-	in := core.NewInstance(ds.Graph, core.WithPrefixes(map[string]string{
+// Extra options (e.g. core.WithSaturation for the serving path) are
+// applied on top of the standard prefixes.
+func (ds *Dataset) Instance(opts ...core.InstanceOption) (*core.Instance, error) {
+	opts = append([]core.InstanceOption{core.WithPrefixes(map[string]string{
 		"":    NS,
 		"pol": NSPol,
-	}))
+	})}, opts...)
+	in := core.NewInstance(ds.Graph, opts...)
 	srcs := []source.DataSource{
 		source.NewDocSource(TweetsURI, ds.Tweets),
 		source.NewDocSource(FacebookURI, ds.Facebook),

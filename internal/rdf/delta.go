@@ -1,0 +1,173 @@
+package rdf
+
+// This file holds the delta-aware side of the RDFS rule set: instead of
+// re-running the fixpoint of saturate.go over the whole graph, the
+// incremental reasoner (internal/reason) seeds the rules from a delta —
+// the triples just inserted or deleted — and joins each rule's other
+// premise against the already-saturated graph. DeltaConsequences is the
+// shared one-step consequence operator (used forward for inserts and to
+// trace the over-deletion cone of DRed); Derivable is its inverse (is
+// this triple still supported by one rule application?), used by DRed's
+// re-derivation phase.
+
+// Schema vocabulary terms, interned once.
+var (
+	termType          = NewIRI(RDFType)
+	termSubClassOf    = NewIRI(RDFSSubClassOf)
+	termSubPropertyOf = NewIRI(RDFSSubPropertyOf)
+	termDomain        = NewIRI(RDFSDomain)
+	termRange         = NewIRI(RDFSRange)
+)
+
+// SchemaTriple reports whether t is an RDFS schema triple — one whose
+// property shapes how the entailment rules fire (subClassOf,
+// subPropertyOf, domain, range). Deleting a schema triple can
+// invalidate derivations anywhere in the graph, which is why the
+// incremental reasoner falls back to a full recompute for those.
+func SchemaTriple(t Triple) bool {
+	switch t.P {
+	case termSubClassOf, termSubPropertyOf, termDomain, termRange:
+		return true
+	}
+	return false
+}
+
+// DeltaConsequences calls emit for every one-step consequence of t
+// under the RDFS rules, joining the rule's other premise against sat.
+// Both premise positions are covered: t as the schema premise (its
+// property is part of the schema vocabulary) and t as the data premise
+// (its property has super-properties, a domain or a range in sat, or it
+// is an rdf:type triple whose class has super-classes). Consequences
+// are emitted without deduplication; callers add them to a graph (whose
+// Add reports novelty) or a set.
+func DeltaConsequences(sat *Graph, t Triple, emit func(Triple)) {
+	switch t.P {
+	case termSubPropertyOf:
+		// rdfs5, t as right premise: (p0 ⊑ t.S) → (p0 ⊑ t.O).
+		for _, u := range sat.Match(Term{}, termSubPropertyOf, t.S) {
+			emit(Triple{u.S, termSubPropertyOf, t.O})
+		}
+		// rdfs5, t as left premise: (t.O ⊑ p3) → (t.S ⊑ p3).
+		for _, u := range sat.Match(t.O, termSubPropertyOf, Term{}) {
+			emit(Triple{t.S, termSubPropertyOf, u.O})
+		}
+		// rdfs7, t as schema premise: (s t.S o) → (s t.O o).
+		for _, u := range sat.Match(Term{}, t.S, Term{}) {
+			emit(Triple{u.S, t.O, u.O})
+		}
+	case termSubClassOf:
+		// rdfs11, both premise positions.
+		for _, u := range sat.Match(Term{}, termSubClassOf, t.S) {
+			emit(Triple{u.S, termSubClassOf, t.O})
+		}
+		for _, u := range sat.Match(t.O, termSubClassOf, Term{}) {
+			emit(Triple{t.S, termSubClassOf, u.O})
+		}
+		// rdfs9, t as schema premise: (x type t.S) → (x type t.O).
+		for _, u := range sat.Match(Term{}, termType, t.S) {
+			emit(Triple{u.S, termType, t.O})
+		}
+	case termDomain:
+		// rdfs2, t as schema premise: (s t.S o) → (s type t.O).
+		for _, u := range sat.Match(Term{}, t.S, Term{}) {
+			emit(Triple{u.S, termType, t.O})
+		}
+	case termRange:
+		// rdfs3, t as schema premise: (s t.S o) → (o type t.O), literal
+		// objects skipped (a literal cannot be typed).
+		for _, u := range sat.Match(Term{}, t.S, Term{}) {
+			if u.O.Kind != Literal {
+				emit(Triple{u.O, termType, t.O})
+			}
+		}
+	}
+
+	// t as the data premise of rdfs7/2/3: any triple's property may have
+	// super-properties, a domain or a range — including the schema
+	// vocabulary itself, which is what makes the schema cases above and
+	// these compose for meta-schema graphs.
+	for _, u := range sat.Match(t.P, termSubPropertyOf, Term{}) {
+		emit(Triple{t.S, u.O, t.O})
+	}
+	for _, u := range sat.Match(t.P, termDomain, Term{}) {
+		emit(Triple{t.S, termType, u.O})
+	}
+	if t.O.Kind != Literal {
+		for _, u := range sat.Match(t.P, termRange, Term{}) {
+			emit(Triple{t.O, termType, u.O})
+		}
+	}
+	// rdfs9, t as data premise: (t.S type t.O), (t.O ⊑ c2) → (t.S type c2).
+	if t.P == termType {
+		for _, u := range sat.Match(t.O, termSubClassOf, Term{}) {
+			emit(Triple{t.S, termType, u.O})
+		}
+	}
+}
+
+// Derivable reports whether t is the conclusion of at least one RDFS
+// rule whose premises are both present in sat. t itself must already be
+// absent from sat, or it would count as its own support through a
+// cyclic hierarchy; when checking derivability against a hypothetical
+// deletion use DerivableExcept instead.
+func Derivable(sat *Graph, t Triple) bool { return DerivableExcept(sat, t, nil) }
+
+// DerivableExcept reports whether t is the conclusion of at least one
+// RDFS rule whose premises are both present in sat AND not in dead. It
+// is the re-derivation check of delete-and-rederive, computed against
+// the hypothetical graph sat−dead without mutating sat: the reasoner
+// resurrects cone members bottom-up (removing them from dead as they
+// prove well-founded) and only then deletes what remains, so concurrent
+// readers of sat never observe a still-entailed triple missing. t may
+// be present in sat as long as it is in dead — it can then never count
+// as its own support.
+func DerivableExcept(sat *Graph, t Triple, dead map[Triple]struct{}) bool {
+	isDead := func(u Triple) bool {
+		_, ok := dead[u]
+		return ok
+	}
+	alive := func(u Triple) bool { return !isDead(u) && sat.Contains(u) }
+
+	// rdfs7: (t.S p' t.O) with (p' ⊑ t.P).
+	for _, u := range sat.Match(t.S, Term{}, t.O) {
+		if !isDead(u) && alive(Triple{u.P, termSubPropertyOf, t.P}) {
+			return true
+		}
+	}
+	switch t.P {
+	case termType:
+		// rdfs9: (t.S type c') with (c' ⊑ t.O).
+		for _, u := range sat.Match(t.S, termType, Term{}) {
+			if !isDead(u) && alive(Triple{u.O, termSubClassOf, t.O}) {
+				return true
+			}
+		}
+		// rdfs2: (t.S q o') with (q domain t.O).
+		for _, u := range sat.Match(t.S, Term{}, Term{}) {
+			if !isDead(u) && alive(Triple{u.P, termDomain, t.O}) {
+				return true
+			}
+		}
+		// rdfs3: (s' q t.S) with (q range t.O).
+		for _, u := range sat.Match(Term{}, Term{}, t.S) {
+			if !isDead(u) && alive(Triple{u.P, termRange, t.O}) {
+				return true
+			}
+		}
+	case termSubClassOf:
+		// rdfs11: (t.S ⊑ c) with (c ⊑ t.O).
+		for _, u := range sat.Match(t.S, termSubClassOf, Term{}) {
+			if !isDead(u) && alive(Triple{u.O, termSubClassOf, t.O}) {
+				return true
+			}
+		}
+	case termSubPropertyOf:
+		// rdfs5: (t.S ⊑ p) with (p ⊑ t.O).
+		for _, u := range sat.Match(t.S, termSubPropertyOf, Term{}) {
+			if !isDead(u) && alive(Triple{u.O, termSubPropertyOf, t.O}) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -96,26 +96,99 @@ func (g *Graph) Add(t Triple) bool {
 	return g.addIDs(s, p, o)
 }
 
-// AddAll inserts every triple in ts and returns how many were new.
+// AddAll inserts every triple in ts and returns how many were new. The
+// batch is applied atomically with respect to concurrent readers (it is
+// AddBatch without the delta).
 func (g *Graph) AddAll(ts []Triple) int {
-	n := 0
+	return len(g.AddBatch(ts))
+}
+
+// AddBatch inserts every triple in ts under ONE write-lock hold and
+// returns the subset that was actually new, in input order. Unlike
+// AddAll — which locks per triple, so a concurrent reader can observe a
+// half-applied batch — the whole batch becomes visible atomically with
+// respect to any single read operation. The returned delta is what an
+// incremental reasoner must propagate. Zero (invalid) terms are skipped.
+func (g *Graph) AddBatch(ts []Triple) []Triple {
+	type enc struct {
+		s, p, o TermID
+		t       Triple
+	}
+	// Intern outside the graph lock; the dictionary has its own.
+	encs := make([]enc, 0, len(ts))
 	for _, t := range ts {
-		if g.Add(t) {
-			n++
+		if t.S.IsZero() || t.P.IsZero() || t.O.IsZero() {
+			continue
+		}
+		encs = append(encs, enc{g.dict.Intern(t.S), g.dict.Intern(t.P), g.dict.Intern(t.O), t})
+	}
+	var added []Triple
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, e := range encs {
+		if g.addIDsLocked(e.s, e.p, e.o) {
+			added = append(added, e.t)
 		}
 	}
-	return n
+	return added
+}
+
+// RemoveBatch deletes every triple in ts under ONE write-lock hold and
+// returns the subset that was actually present, in input order (the
+// delta an incremental reasoner must retract).
+func (g *Graph) RemoveBatch(ts []Triple) []Triple {
+	type enc struct {
+		s, p, o TermID
+		t       Triple
+	}
+	encs := make([]enc, 0, len(ts))
+	for _, t := range ts {
+		s := g.dict.Lookup(t.S)
+		p := g.dict.Lookup(t.P)
+		o := g.dict.Lookup(t.O)
+		if s == NoTerm || p == NoTerm || o == NoTerm {
+			continue
+		}
+		encs = append(encs, enc{s, p, o, t})
+	}
+	var removed []Triple
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, e := range encs {
+		if g.removeIDsLocked(e.s, e.p, e.o) {
+			removed = append(removed, e.t)
+		}
+	}
+	return removed
 }
 
 func (g *Graph) addIDs(s, p, o TermID) bool {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	return g.addIDsLocked(s, p, o)
+}
+
+// addIDsLocked is the single index-maintenance point for insertion;
+// callers hold g.mu.
+func (g *Graph) addIDsLocked(s, p, o TermID) bool {
 	if !g.spo.add(s, p, o) {
 		return false
 	}
 	g.pos.add(p, o, s)
 	g.osp.add(o, s, p)
 	g.size++
+	return true
+}
+
+// removeIDsLocked is the single index-maintenance point for deletion;
+// callers hold g.mu.
+func (g *Graph) removeIDsLocked(s, p, o TermID) bool {
+	if !g.spo.remove(s, p, o) {
+		return false
+	}
+	g.pos.remove(p, o, s)
+	g.osp.remove(o, s, p)
+	g.size--
 	return true
 }
 
@@ -129,13 +202,7 @@ func (g *Graph) Remove(t Triple) bool {
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if !g.spo.remove(s, p, o) {
-		return false
-	}
-	g.pos.remove(p, o, s)
-	g.osp.remove(o, s, p)
-	g.size--
-	return true
+	return g.removeIDsLocked(s, p, o)
 }
 
 // Contains reports whether the triple is present.

@@ -45,21 +45,24 @@ func saturateInPlace(g *Graph) int {
 
 	derived := 0
 
-	// 1. Close the subClassOf and subPropertyOf hierarchies (rdfs5, rdfs11).
-	derived += transitiveClose(g, subClassOf)
-	derived += transitiveClose(g, subPropOf)
-
-	// Snapshot schema: super-properties, domains, ranges, super-classes.
-	superProps := objectMap(g, subPropOf)
-	superClasses := objectMap(g, subClassOf)
-	domains := objectMap(g, domain)
-	ranges := objectMap(g, rng)
-
-	// 2. Apply data rules to a fixpoint. rdfs7 can create triples whose
-	// property has domains/ranges, and rdfs2/3/9 only produce rdf:type
-	// triples, which in turn only feed rdfs9; iterate until stable.
+	// Close hierarchies and apply data rules to a fixpoint. The schema
+	// closure (rdfs5, rdfs11) and the schema snapshots are refreshed on
+	// every pass, not just once up front: rdfs7 can derive new *schema*
+	// triples (a property declared a sub-property of rdfs:subClassOf,
+	// say), and those must feed back into the hierarchy closure and the
+	// rule snapshots below or the fixpoint under-derives.
 	for {
 		added := 0
+
+		// 1. rdfs5 / rdfs11: transitive closure of the hierarchies.
+		added += transitiveClose(g, subClassOf)
+		added += transitiveClose(g, subPropOf)
+
+		// Snapshot schema: super-properties, domains, ranges, super-classes.
+		superProps := objectMap(g, subPropOf)
+		superClasses := objectMap(g, subClassOf)
+		domains := objectMap(g, domain)
+		ranges := objectMap(g, rng)
 
 		// rdfs7: property inheritance.
 		for p, supers := range superProps {
@@ -132,8 +135,11 @@ func transitiveClose(g *Graph, p Term) int {
 	})
 	added := 0
 	for s := range adj {
-		// BFS from s.
-		seen := map[TermID]struct{}{s: {}}
+		// BFS from s. s itself is NOT pre-seeded: when a cycle leads back
+		// to s, transitivity genuinely entails the reflexive edge
+		// (s p s) — e.g. A ⊑ B, B ⊑ A ⟹ A ⊑ A — and the incremental
+		// delta rules derive it, so the full fixpoint must too.
+		seen := map[TermID]struct{}{}
 		queue := append([]TermID(nil), adj[s]...)
 		for len(queue) > 0 {
 			cur := queue[0]

@@ -86,6 +86,67 @@ func TestSaturateSubClassCycle(t *testing.T) {
 	}
 }
 
+// TestSaturateSubClassCycleReflexive: transitivity around a cycle
+// entails the reflexive edges (A ⊑ B, B ⊑ A ⟹ A ⊑ A), which the
+// incremental delta rules derive — the full fixpoint must agree.
+func TestSaturateSubClassCycleReflexive(t *testing.T) {
+	g := NewGraph()
+	g.AddAll(MustParse(`
+@prefix : <http://e/> .
+:A rdfs:subClassOf :B .
+:B rdfs:subClassOf :C .
+:C rdfs:subClassOf :A .
+:x a :A .
+`))
+	got := Saturate(g).Graph
+	for _, c := range []string{"A", "B", "C"} {
+		if !got.Contains(Triple{NewIRI("http://e/" + c), NewIRI(RDFSSubClassOf), NewIRI("http://e/" + c)}) {
+			t.Errorf("cycle member %s should be its own subclass in the closure", c)
+		}
+		if !got.Contains(Triple{NewIRI("http://e/x"), NewIRI(RDFType), NewIRI("http://e/" + c)}) {
+			t.Errorf("x should be typed %s through the cycle", c)
+		}
+	}
+}
+
+// TestSaturateSubPropertyCycle: a subPropertyOf cycle must terminate
+// and propagate data triples to every property on the cycle.
+func TestSaturateSubPropertyCycle(t *testing.T) {
+	g := NewGraph()
+	g.AddAll(MustParse(`
+@prefix : <http://e/> .
+:p rdfs:subPropertyOf :q .
+:q rdfs:subPropertyOf :p .
+:s :p :o .
+`))
+	got := Saturate(g).Graph // must terminate
+	if !got.Contains(Triple{NewIRI("http://e/s"), NewIRI("http://e/q"), NewIRI("http://e/o")}) {
+		t.Error("data triple not propagated around the subPropertyOf cycle")
+	}
+	if !got.Contains(Triple{NewIRI("http://e/p"), NewIRI(RDFSSubPropertyOf), NewIRI("http://e/p")}) {
+		t.Error("reflexive subPropertyOf edge missing from the cycle closure")
+	}
+}
+
+// TestSaturateSelfSubProperty: a property that is its own sub-property
+// must not send the fixpoint into an infinite loop, and must derive
+// nothing beyond what is already there.
+func TestSaturateSelfSubProperty(t *testing.T) {
+	g := NewGraph()
+	g.AddAll(MustParse(`
+@prefix : <http://e/> .
+:p rdfs:subPropertyOf :p .
+:s :p :o .
+`))
+	sat := Saturate(g) // must terminate
+	if sat.Derived != 0 {
+		t.Errorf("self-subproperty derived %d triples, want 0", sat.Derived)
+	}
+	if sat.Graph.Size() != g.Size() {
+		t.Errorf("saturation size %d != input size %d", sat.Graph.Size(), g.Size())
+	}
+}
+
 func TestSaturateSubPropertyChainFeedsDomain(t *testing.T) {
 	// rdfs7 output must feed rdfs2: p ⊑ q, q has domain C, s p o ⟹ s type C.
 	g := NewGraph()

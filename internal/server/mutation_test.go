@@ -394,6 +394,85 @@ func TestAdminInvalidateFlushesProbeCache(t *testing.T) {
 	}
 }
 
+// TestAdminInvalidateResponseShape pins the JSON contract of POST
+// /admin/invalidate: a successful invalidation ALWAYS carries epoch
+// and probeEntries — probeEntries is an explicit 0 when nothing was
+// cached, never absent — while an error response carries only error
+// (no meaningless zero epoch or probeEntries).
+func TestAdminInvalidateResponseShape(t *testing.T) {
+	in, _ := saturatedFixture(t)
+	// Probe caching disabled: nothing is ever cached, so the flush
+	// drops 0 entries — which must still serialize as an explicit 0.
+	srv := server.New(in, server.Options{ProbeCacheSize: -1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	epochBefore := in.Epoch()
+	status, ir := postJSON(t, ts.URL+"/admin/invalidate", server.InvalidateRequest{})
+	if status != http.StatusOK {
+		t.Fatalf("invalidate: status %d %v", status, ir)
+	}
+	pe, ok := ir["probeEntries"]
+	if !ok {
+		t.Fatalf("success response must carry probeEntries even when 0: %v", ir)
+	}
+	if pe.(float64) != 0 {
+		t.Errorf("probeEntries = %v, want 0 with probe caching disabled", pe)
+	}
+	if ep, ok := ir["epoch"]; !ok || ep.(float64) != float64(epochBefore+1) {
+		t.Errorf("epoch = %v, want %d (the bump happens even when nothing was cached)", ir["epoch"], epochBefore+1)
+	}
+	if _, ok := ir["error"]; ok {
+		t.Errorf("success response must not carry error: %v", ir)
+	}
+
+	// Error response: only error, no zero-valued epoch/probeEntries.
+	status, ir = postJSON(t, ts.URL+"/admin/invalidate", server.InvalidateRequest{Source: "sql://nope"})
+	if status != http.StatusNotFound {
+		t.Fatalf("unknown source: status %d, want 404", status)
+	}
+	if _, ok := ir["error"]; !ok {
+		t.Errorf("error response must carry error: %v", ir)
+	}
+	for _, k := range []string{"epoch", "probeEntries"} {
+		if _, ok := ir[k]; ok {
+			t.Errorf("error response must omit %s: %v", k, ir)
+		}
+	}
+}
+
+// TestStatsSaturationBlock: /stats surfaces how G∞ is maintained —
+// delta mode absorbs a mutation without a second full recompute.
+func TestStatsSaturationBlock(t *testing.T) {
+	in, _ := saturatedFixture(t)
+	srv := server.New(in, server.Options{Exec: core.ExecOptions{Parallel: true}})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if status, _ := postCMQ(t, ts.URL, saturatedQuery); status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	st := getStats(t, ts.URL)
+	if st.Saturation.Mode != "delta" {
+		t.Fatalf("saturation mode = %q, want delta", st.Saturation.Mode)
+	}
+	if st.Saturation.FullRecomputes != 1 || st.Saturation.Derived == 0 {
+		t.Errorf("after first query: %+v, want 1 full recompute and derived > 0", st.Saturation)
+	}
+
+	status, gr := postJSON(t, ts.URL+"/graph", server.GraphRequest{Triples: `
+@prefix : <http://t.example/> .
+:p7 a :headOfState ; :electedIn "92" .
+`})
+	if status != http.StatusOK {
+		t.Fatalf("graph insert: status %d %v", status, gr)
+	}
+	st = getStats(t, ts.URL)
+	if st.Saturation.DeltaApplies != 1 || st.Saturation.FullRecomputes != 1 {
+		t.Errorf("after mutation: %+v, want the insert absorbed as a delta apply", st.Saturation)
+	}
+}
+
 // TestAdminInvalidateRejectsNonJSONBody: a non-empty body that is not
 // JSON must be a 400 — silently ignoring it would turn an intended
 // source-scoped invalidation into a full flush.

@@ -88,6 +88,12 @@ type Stats struct {
 	Mutations          int64  `json:"mutations"`          // mutation requests applied over HTTP
 	Invalidations      int64  `json:"invalidations"`      // stale result-cache generations flushed
 	ProbeInvalidations int64  `json:"probeInvalidations"` // probe-cache result entries force-dropped
+
+	// Saturation reports how the instance maintains G∞: the mode
+	// ("off", "delta", "full"), the materialized implicit-triple count,
+	// the deltaApplies / fullRecomputes counters and the last apply
+	// duration (ns).
+	Saturation core.SaturationStats `json:"saturation"`
 }
 
 // QueryRequest is the JSON body of POST /cmq. With Explain set the
@@ -142,10 +148,15 @@ type InvalidateRequest struct {
 	Source string `json:"source,omitempty"`
 }
 
-// InvalidateResponse reports what an invalidation dropped.
+// InvalidateResponse reports what an invalidation dropped. The shape
+// is pinned: a successful invalidation ALWAYS carries epoch and
+// probeEntries — probeEntries is an explicit 0 when nothing was cached
+// (the epoch still bumps; the caller asked for a hard reset and the
+// bump is what guarantees it) — while an error response carries only
+// error, never a meaningless zero epoch.
 type InvalidateResponse struct {
-	Epoch        uint64 `json:"epoch"`
-	ProbeEntries int    `json:"probeEntries"` // probe-cache result entries dropped
+	Epoch        uint64 `json:"epoch,omitempty"`
+	ProbeEntries *int   `json:"probeEntries,omitempty"` // probe-cache result entries dropped
 	Error        string `json:"error,omitempty"`
 }
 
@@ -220,6 +231,7 @@ func (s *Server) Stats() Stats {
 		Mutations:          s.mutations.Load(),
 		Invalidations:      s.invalidations.Load(),
 		ProbeInvalidations: s.probeInvalidations.Load(),
+		Saturation:         s.in.SaturationStats(),
 	}
 }
 
@@ -370,7 +382,7 @@ func (s *Server) handleInvalidate(w http.ResponseWriter, r *http.Request) {
 		epoch, dropped = s.in.Invalidate()
 	}
 	s.probeInvalidations.Add(int64(dropped))
-	writeJSON(w, http.StatusOK, InvalidateResponse{Epoch: epoch, ProbeEntries: dropped})
+	writeJSON(w, http.StatusOK, InvalidateResponse{Epoch: epoch, ProbeEntries: &dropped})
 }
 
 func (s *Server) handleCMQ(w http.ResponseWriter, r *http.Request) {
