@@ -1,4 +1,5 @@
 GO ?= go
+BENCHTIME ?= 1x
 
 .PHONY: verify build test vet race bench benchsmoke fmtcheck
 
@@ -23,8 +24,14 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Record the perf trajectory: run the experiment benchmarks (root
+# package, E1–E12 + serve/saturation/bind-join/pipelined) with
+# allocation counts and write the results as test2json events to
+# BENCH_5.json, so numbers are diffable across PRs. Raise BENCHTIME
+# (e.g. BENCHTIME=2s) for stabler timings.
 bench:
-	$(GO) test -run xxx -bench . -benchmem ./
+	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) -benchmem -json ./ > BENCH_5.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_5.json | sed 's/"Output":"//;s/\\t/ /g;s/\\n//' || true
 
 # Compile and run every benchmark exactly once (no timing): a benchmark
 # that stops building or panics fails verify instead of rotting silently.

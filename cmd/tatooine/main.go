@@ -171,9 +171,14 @@ func cmdServe(ds *datagen.Dataset, args []string) error {
 		"per-source sub-query cache entries (0 = default, negative disables)")
 	probeTTL := fs.Duration("probe-ttl", 0,
 		"probe-cache entry TTL, e.g. 5m (0 = entries never expire)")
-	fanout := fs.Int("fanout", 8, "bind-join fan-out per atom")
+	fanout := fs.Int("fanout", 0,
+		"bind-join fan-out per atom (0 = derive from GOMAXPROCS, clamped)")
 	probeBatch := fs.Int("probe-batch", 0,
 		"bind-join probe batch size for batch-capable sources (0 = default 64, 1 disables batching)")
+	adaptiveBatch := fs.Bool("adaptive-batch", true,
+		"adapt per-source probe batch size from observed round-trip latency (within [16, 256])")
+	waveBarrier := fs.Bool("wave-barrier", false,
+		"schedule atoms in barrier-synchronized waves instead of the pipelined operator DAG (ablation)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -185,11 +190,20 @@ func cmdServe(ds *datagen.Dataset, args []string) error {
 	if err != nil {
 		return err
 	}
+	exec := core.ExecOptions{
+		Parallel:    true,
+		MaxFanout:   *fanout,
+		ProbeBatch:  *probeBatch,
+		WaveBarrier: *waveBarrier,
+	}
+	if *adaptiveBatch {
+		exec.Tuner = core.NewBatchTuner()
+	}
 	srv := server.New(in, server.Options{
 		ResultCacheSize: *resultCache,
 		ProbeCacheSize:  *probeCache,
 		ProbeTTL:        *probeTTL,
-		Exec:            core.ExecOptions{Parallel: true, MaxFanout: *fanout, ProbeBatch: *probeBatch},
+		Exec:            exec,
 	})
 	fmt.Fprintf(os.Stderr, "mediator service listening on %s\n", *addr)
 	fmt.Fprintln(os.Stderr, "  query:  POST /cmq · GET /stats · GET /healthz")

@@ -139,4 +139,66 @@
 // returns the plan plus each atom's batched-vs-per-probe decision
 // without executing. BenchmarkBatchedBindJoin measures the round-trip
 // collapse against a latency-injected remote source.
+//
+// Batch sizes adapt per source when a core.BatchTuner is configured
+// (on by default under "tatooine serve", off with
+// -adaptive-batch=false): observed batch round-trip latency grows or
+// shrinks the effective size within [16, 256] — fast round trips are
+// paying proportionally too much per-request overhead, slow ones
+// serialize too much work behind one request. ExecStats.BatchSizes and
+// the /stats probeBatchSizes map report the current choice per source.
+//
+// # Pipelined operator-DAG execution
+//
+// The planner (internal/core/plan.go) compiles a CMQ into a dependency
+// DAG rather than barrier-synchronized waves: each atom becomes a
+// PlanStep whose Deps are the producers of its InVars (dynamic atoms
+// depend on everything scheduled before them, because their URI set is
+// resolved from the full intermediate result). Join order is greedy
+// and selectivity-aware — atoms connected to what is already scheduled
+// beat disconnected ones (avoiding cross products), then smaller
+// estimated row counts win. Estimates come from the two-dimensional
+// source.Estimator capability, Estimate(q, numParams) = (rows, cost):
+// rows drives ordering (it is what intermediates grow with), cost
+// records total effort (scan work + rows, plus
+// federation.RemoteCostOverhead for remote sources); sources
+// implementing only the legacy single-int EstimateCost participate
+// through a default adapter (rows = cost).
+//
+// The executor (internal/core/exec.go) runs each DAG node as soon as
+// its OWN dependencies finish: independent subtrees overlap with
+// downstream bind joins instead of idling at wave boundaries, so on
+// latency-skewed plans the wall clock drops from sum-of-waves to the
+// longest dependency chain. A node's outer input is the natural join
+// of its dependencies' results — a superset of the full intermediate
+// projected on the variables it needs, so the final join (a streaming
+// left-deep hash-join pipeline feeding the finishing operators without
+// materializing) returns exactly the wave answer. Plan.Explain and
+// {"explain": true} render the DAG:
+//
+//	plan for qSIA(?t, ?id) :- ... (2 nodes, depth 2)
+//	  node 0: atom 0 [G] scan rows=1 cost=3 wave 0 deps=(-) out=(x,id)
+//	  node 1: atom 1 [<solr://tweets>] bind-join(id) rows=2 cost=4 wave 1 deps=(0) out=(t,id)
+//
+// and ExecStats.Nodes reports per-node actual row counts next to the
+// estimates, so misestimates are visible per query. The pre-DAG
+// scheduler survives behind ExecOptions.WaveBarrier ("tatooine serve
+// -wave-barrier") for ablation; a property test keeps both paths
+// row-multiset-identical over randomized CMQs, and
+// BenchmarkPipelinedExec measures the overlap win (a three-hop fast
+// chain against a slow sibling branch: ≥1.6x lower wall clock than the
+// barrier path).
+//
+// Execution is cancellable end to end: the POST /cmq request context
+// flows through Instance.ExecuteContext into every DAG node, probe
+// fan-out and federation.Client HTTP round trip
+// (source.ContextExecutor / source.ContextBatchProber), so a
+// disconnected client or an expired deadline stops scheduled nodes,
+// refuses further probes and aborts in-flight remote requests instead
+// of leaking goroutines. The mediator's single-flight guard counts
+// interested requests per flight and cancels the shared execution only
+// when the LAST one disconnects — a leader's disconnect never poisons
+// coalesced followers. ExecOptions.MaxFanout defaults to a
+// GOMAXPROCS-derived bound (DefaultMaxFanout, clamped to [8, 64]);
+// "tatooine serve -fanout" overrides it.
 package tatooine

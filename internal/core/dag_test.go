@@ -1,0 +1,280 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tatooine/internal/relstore"
+	"tatooine/internal/source"
+	"tatooine/internal/value"
+)
+
+// randomFixture builds a three-source relational instance with random
+// overlapping key data (duplicates, nulls, dangling keys) so random
+// queries exercise joins that actually match, miss and cross-product.
+func randomFixture(t *testing.T, rng *rand.Rand) *Instance {
+	t.Helper()
+	in := NewInstance(nil)
+	for s := 0; s < 3; s++ {
+		db := relstore.NewDatabase(fmt.Sprintf("s%d", s))
+		if _, err := db.Exec("CREATE TABLE t (k TEXT, v TEXT)"); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 12; i++ {
+			var stmt string
+			if rng.Intn(8) == 0 {
+				stmt = fmt.Sprintf("INSERT INTO t (k) VALUES ('k%d')", rng.Intn(6)) // NULL v
+			} else {
+				stmt = fmt.Sprintf("INSERT INTO t VALUES ('k%d', 'k%d')", rng.Intn(6), rng.Intn(6))
+			}
+			if _, err := db.Exec(stmt); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := in.AddSource(source.NewRelSource(fmt.Sprintf("sql://s%d", s), db)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return in
+}
+
+// randomCMQ generates a valid random query: a seed scan followed by a
+// mix of scans and bind joins whose InVars are produced by earlier
+// atoms — the shapes the planner turns into multi-level DAGs.
+func randomCMQ(rng *rand.Rand) string {
+	nAtoms := 2 + rng.Intn(3)
+	var vars []string
+	fresh := 0
+	newVar := func() string {
+		v := fmt.Sprintf("x%d", fresh)
+		fresh++
+		vars = append(vars, v)
+		return v
+	}
+	pickVar := func() string { return vars[rng.Intn(len(vars))] }
+
+	var atoms []string
+	for i := 0; i < nAtoms; i++ {
+		src := fmt.Sprintf("sql://s%d", rng.Intn(3))
+		if i == 0 || rng.Intn(3) == 0 {
+			o1 := newVar()
+			o2 := newVar()
+			atoms = append(atoms, fmt.Sprintf("FROM <%s> OUT(?%s, ?%s) { SELECT k, v FROM t }", src, o1, o2))
+		} else {
+			iv := pickVar()
+			ov := newVar()
+			atoms = append(atoms, fmt.Sprintf(
+				"FROM <%s> IN(?%s) OUT(?%s, ?%s) { SELECT k, v FROM t WHERE k = ? }", src, iv, iv, ov))
+		}
+	}
+	head := make([]string, len(vars))
+	for i, v := range vars {
+		head[i] = "?" + v
+	}
+	q := "QUERY q(" + strings.Join(head, ", ") + ")\n" + strings.Join(atoms, "\n")
+	if rng.Intn(3) == 0 {
+		q += "\nDISTINCT"
+	}
+	return q
+}
+
+// TestDAGMatchesWaveBarrierProperty is the acceptance property of the
+// pipelined executor: over randomized CMQs, the operator-DAG execution
+// returns a row multiset identical to the wave-barrier path (both
+// parallel and sequential), mirroring the PR 4 saturation equivalence
+// test. Run under -race in CI.
+func TestDAGMatchesWaveBarrierProperty(t *testing.T) {
+	const seeds, queries = 5, 25
+	for seed := int64(0); seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		in := randomFixture(t, rng)
+		for qn := 0; qn < queries; qn++ {
+			text := randomCMQ(rng)
+			q := mustParse(t, text)
+			ref, err := in.ExecuteOpts(q, ExecOptions{WaveBarrier: true, Parallel: false})
+			if err != nil {
+				t.Fatalf("seed %d query %d (wave ref): %v\n%s", seed, qn, err, text)
+			}
+			for _, cfg := range []struct {
+				name string
+				opts ExecOptions
+			}{
+				{"dag-parallel", ExecOptions{Parallel: true}},
+				{"dag-sequential", ExecOptions{Parallel: false}},
+				{"dag-materialized", ExecOptions{Parallel: true, MaterializeFinal: true}},
+				{"wave-parallel", ExecOptions{WaveBarrier: true, Parallel: true}},
+			} {
+				res, err := in.ExecuteOpts(q, cfg.opts)
+				if err != nil {
+					t.Fatalf("seed %d query %d (%s): %v\n%s", seed, qn, cfg.name, err, text)
+				}
+				if !equalStrings(res.Cols, ref.Cols) {
+					t.Fatalf("seed %d query %d (%s): cols %v want %v\n%s",
+						seed, qn, cfg.name, res.Cols, ref.Cols, text)
+				}
+				if got, want := sortedRows(res), sortedRows(ref); !equalStrings(got, want) {
+					t.Fatalf("seed %d query %d (%s): row multiset diverges\n got %v\nwant %v\nquery:\n%s\nplan:\n%s",
+						seed, qn, cfg.name, got, want, text, res.Plan.Explain(q))
+				}
+			}
+		}
+	}
+}
+
+// TestDAGReportsNodeStats checks per-node estimated vs actual rows
+// surface in ExecStats, so misestimates are visible.
+func TestDAGReportsNodeStats(t *testing.T) {
+	in, _ := batchFixture(t)
+	res, err := in.ExecuteOpts(mustParse(t, batchQuery), ExecOptions{Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats.Nodes) != 2 {
+		t.Fatalf("node stats: %+v", res.Stats.Nodes)
+	}
+	seedNode := res.Stats.Nodes[0]
+	if seedNode.Rows != 7 { // 7 seed rows (incl. dup + NULL)
+		t.Errorf("seed node actual rows = %d, want 7 (stats %+v)", seedNode.Rows, res.Stats.Nodes)
+	}
+	if seedNode.EstRows < 0 || seedNode.EstCost < seedNode.EstRows {
+		t.Errorf("seed node estimates: %+v", seedNode)
+	}
+}
+
+// slowSource is a context-aware source whose probes block for delay
+// unless the query context is cancelled first — a stand-in for a slow
+// remote with latency injected at the source boundary.
+type slowSource struct {
+	uri     string
+	delay   time.Duration
+	started chan struct{}
+	once    sync.Once
+
+	mu       sync.Mutex
+	inFlight int
+}
+
+func (s *slowSource) URI() string                           { return s.uri }
+func (s *slowSource) Model() source.Model                   { return source.RelationalModel }
+func (s *slowSource) Languages() []source.Language          { return []source.Language{source.LangSQL} }
+func (s *slowSource) EstimateCost(source.SubQuery, int) int { return 1 }
+
+func (s *slowSource) Execute(q source.SubQuery, params []value.Value) (*source.Result, error) {
+	return s.ExecuteContext(context.Background(), q, params)
+}
+
+func (s *slowSource) ExecuteContext(ctx context.Context, q source.SubQuery, params []value.Value) (*source.Result, error) {
+	s.once.Do(func() { close(s.started) })
+	s.mu.Lock()
+	s.inFlight++
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.inFlight--
+		s.mu.Unlock()
+	}()
+	select {
+	case <-time.After(s.delay):
+		return &source.Result{Cols: []string{"k", "v"}, Rows: []value.Row{{params[0], value.NewString("v")}}}, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// TestCancellationStopsSlowProbes proves a cancelled context stops a
+// slow latency-injected source promptly — well before its injected
+// delay — with no goroutine leaked by the executor.
+func TestCancellationStopsSlowProbes(t *testing.T) {
+	in := NewInstance(nil)
+	db := relstore.NewDatabase("seed")
+	if _, err := db.Exec("CREATE TABLE seed (k TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := db.Exec(fmt.Sprintf("INSERT INTO seed VALUES ('k%d')", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := in.AddSource(source.NewRelSource("sql://seed", db)); err != nil {
+		t.Fatal(err)
+	}
+	slow := &slowSource{uri: "sql://slow", delay: 30 * time.Second, started: make(chan struct{})}
+	if err := in.AddSource(slow); err != nil {
+		t.Fatal(err)
+	}
+	q := mustParse(t, `
+QUERY q(?k, ?v)
+FROM <sql://seed> OUT(?k) { SELECT k FROM seed }
+FROM <sql://slow> IN(?k) OUT(?k, ?v) { SELECT k, v FROM t WHERE k = ? }
+`)
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := in.ExecuteContext(ctx, q, ExecOptions{Parallel: true, ProbeBatch: 1})
+		errCh <- err
+	}()
+
+	<-slow.started
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled execution returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled execution did not return before the injected 30s delay")
+	}
+
+	// Every probe goroutine must unwind: no goroutine leak, no probe
+	// left blocking on the 30s delay.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		slow.mu.Lock()
+		inFlight := slow.inFlight
+		slow.mu.Unlock()
+		if inFlight == 0 && runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("leak: %d probes in flight, %d goroutines (baseline %d)",
+				inFlight, runtime.NumGoroutine(), before)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCancelledContextRefusesExecution: a context that is already done
+// never ships a sub-query.
+func TestCancelledContextRefusesExecution(t *testing.T) {
+	in, probe := batchFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := in.ExecuteContext(ctx, mustParse(t, batchQuery), ExecOptions{Parallel: true})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if probe.execCalls != 0 || probe.batchCalls != 0 {
+		t.Errorf("probes shipped under a dead context: exec=%d batch=%d", probe.execCalls, probe.batchCalls)
+	}
+}
+
+// TestDefaultMaxFanout checks the hardware-derived default stays in
+// its documented clamp.
+func TestDefaultMaxFanout(t *testing.T) {
+	n := DefaultMaxFanout()
+	if n < 8 || n > 64 {
+		t.Fatalf("DefaultMaxFanout() = %d, want within [8, 64]", n)
+	}
+	if want := 2 * runtime.GOMAXPROCS(0); want >= 8 && want <= 64 && n != want {
+		t.Fatalf("DefaultMaxFanout() = %d, want 2*GOMAXPROCS = %d", n, want)
+	}
+}

@@ -1,12 +1,15 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tatooine/internal/source"
 	"tatooine/internal/value"
@@ -14,23 +17,34 @@ import (
 
 // ExecOptions tune query execution.
 type ExecOptions struct {
-	// Parallel runs independent atoms of a wave (and the per-binding
+	// Parallel overlaps independent DAG nodes (and the per-binding
 	// probes of a bind join) concurrently.
 	Parallel bool
-	// MaxFanout bounds bind-join concurrency (default 8).
+	// MaxFanout bounds bind-join concurrency. Zero or negative derives
+	// the bound from the host via DefaultMaxFanout.
 	MaxFanout int
 	// ProbeBatch is the bind-join batch size: when the source supports
 	// batched probes (source.BatchProber) the distinct outer tuples are
 	// chunked into batches of this size and each batch ships as one
 	// native sub-query. 0 uses DefaultProbeBatch; 1 or negative forces
-	// per-tuple probes (the pre-batching behavior).
+	// per-tuple probes (the pre-batching behavior). With a Tuner set,
+	// ProbeBatch only seeds the per-source adaptive size.
 	ProbeBatch int
+	// Tuner, when non-nil, adapts the effective per-source batch size
+	// from observed batch round-trip latency (see BatchTuner). Share
+	// one tuner across queries so sizes converge over traffic.
+	Tuner *BatchTuner
 	// NaiveOrder disables selectivity-based ordering (ablation E6):
 	// atoms run one per wave in declaration order.
 	NaiveOrder bool
-	// MaterializeFinal materializes the final wave's join pipeline into
-	// a relation before the finishing projection instead of streaming
-	// it straight into finish() (ablation/testing knob; results are
+	// WaveBarrier restores the pre-DAG scheduler for ablation: steps
+	// are grouped by dependency depth and every step of depth d+1 waits
+	// for the *slowest* step of depth d, even when its own inputs were
+	// ready long before.
+	WaveBarrier bool
+	// MaterializeFinal materializes the root join pipeline into a
+	// relation before the finishing projection instead of streaming it
+	// straight into finish() (ablation/testing knob; results are
 	// identical either way).
 	MaterializeFinal bool
 }
@@ -39,14 +53,45 @@ type ExecOptions struct {
 // ProbeBatch at zero.
 const DefaultProbeBatch = 64
 
+// DefaultMaxFanout derives the bind-join fan-out bound from the host:
+// probes are I/O-bound (they mostly wait on remote sources), so twice
+// GOMAXPROCS, clamped to [8, 64] so a one-core container still
+// overlaps round trips and a large host does not stampede a remote.
+func DefaultMaxFanout() int {
+	n := 2 * runtime.GOMAXPROCS(0)
+	if n < 8 {
+		n = 8
+	}
+	if n > 64 {
+		n = 64
+	}
+	return n
+}
+
+// NodeStats reports what one DAG node actually did, next to what the
+// planner predicted, so estimate drift is visible per query.
+type NodeStats struct {
+	Atom    int `json:"atom"`    // index in the CMQ body
+	EstRows int `json:"estRows"` // planner cardinality estimate (-1 unknown)
+	EstCost int `json:"estCost"` // planner effort estimate (-1 unknown)
+	Rows    int `json:"rows"`    // rows the node actually produced
+}
+
 // ExecStats reports what an execution did.
 type ExecStats struct {
 	SubQueries  int // native sub-query invocations (a batched probe counts once)
 	RowsFetched int // rows returned by sources before residual joins
-	Waves       int
+	Waves       int // DAG depth (longest dependency chain)
 	BindJoins   int // atoms executed as bind joins
 	BatchProbes int // batched bind-join dispatches (each also counts one SubQuery)
 	Dynamic     int // distinct dynamically-resolved sources contacted
+
+	// Nodes lists per-DAG-node estimated vs actual rows, in schedule
+	// order.
+	Nodes []NodeStats `json:"Nodes,omitempty"`
+	// BatchSizes records the effective bind-join batch size used per
+	// source URI (adaptive when a Tuner is set, ProbeBatch otherwise).
+	BatchSizes map[string]int `json:"BatchSizes,omitempty"`
 }
 
 // QueryResult is the outcome of a CMQ execution.
@@ -63,20 +108,35 @@ func (in *Instance) Execute(q *CMQ) (*QueryResult, error) {
 	return in.ExecuteOpts(q, ExecOptions{Parallel: true})
 }
 
-// ExecuteOpts runs a CMQ with explicit options.
+// ExecuteOpts runs a CMQ with explicit options and no caller context.
 func (in *Instance) ExecuteOpts(q *CMQ, opts ExecOptions) (*QueryResult, error) {
+	return in.ExecuteContext(context.Background(), q, opts)
+}
+
+// ExecuteContext runs a CMQ with explicit options under ctx. The
+// context is threaded through the whole operator DAG into every probe:
+// cancelling it (a disconnected HTTP client, a deadline) stops
+// scheduled nodes from launching, refuses further probe fan-out, and
+// aborts in-flight federation round trips mid-request.
+func (in *Instance) ExecuteContext(ctx context.Context, q *CMQ, opts ExecOptions) (*QueryResult, error) {
 	if opts.MaxFanout <= 0 {
-		opts.MaxFanout = 8
+		opts.MaxFanout = DefaultMaxFanout()
 	}
 	if opts.ProbeBatch == 0 {
 		opts.ProbeBatch = DefaultProbeBatch
 	}
-	plan, err := in.planQuery(q, opts.NaiveOrder)
+	plan, err := in.planQuery(ctx, q, opts.NaiveOrder)
 	if err != nil {
 		return nil, err
 	}
-	ex := &executor{in: in, q: q, plan: plan, opts: opts}
-	it, err := ex.run()
+	ex := &executor{in: in, q: q, plan: plan, opts: opts, ctx: ctx,
+		nodeRows: make([]int, len(plan.Steps))}
+	var it Iterator
+	if opts.WaveBarrier {
+		it, err = ex.runWaves()
+	} else {
+		it, err = ex.runDAG()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -85,16 +145,26 @@ func (in *Instance) ExecuteOpts(q *CMQ, opts ExecOptions) (*QueryResult, error) 
 		return nil, err
 	}
 	ex.stats.Waves = plan.NumWaves()
+	for i, s := range plan.Steps {
+		ex.stats.Nodes = append(ex.stats.Nodes, NodeStats{
+			Atom: s.AtomIndex, EstRows: s.EstRows, EstCost: s.EstCost, Rows: ex.nodeRows[i],
+		})
+	}
 	return &QueryResult{Cols: out.Cols, Rows: out.Rows, Stats: ex.stats, Plan: plan}, nil
 }
 
 type executor struct {
-	in    *Instance
-	q     *CMQ
-	plan  *Plan
-	opts  ExecOptions
-	stats ExecStats
-	mu    sync.Mutex // guards stats
+	in   *Instance
+	q    *CMQ
+	plan *Plan
+	opts ExecOptions
+	// ctx is the caller's context; runDAG narrows it to a cancellable
+	// child so one node's failure stops its siblings' probes.
+	ctx context.Context
+
+	stats    ExecStats
+	nodeRows []int      // actual rows per plan step (indexed by step position)
+	mu       sync.Mutex // guards stats
 }
 
 func (ex *executor) addStats(subQueries, rows int) {
@@ -104,18 +174,215 @@ func (ex *executor) addStats(subQueries, rows int) {
 	ex.mu.Unlock()
 }
 
-// run executes the plan wave by wave, joining each wave's atom results
-// into the growing intermediate relation. Intermediate waves
-// materialize (later bind joins need their rows); the final wave's
-// join pipeline is returned unmaterialized so finish() streams it.
-func (ex *executor) run() (Iterator, error) {
+func (ex *executor) recordBatchSize(uri string, size int) {
+	ex.mu.Lock()
+	if ex.stats.BatchSizes == nil {
+		ex.stats.BatchSizes = make(map[string]int)
+	}
+	ex.stats.BatchSizes[uri] = size
+	ex.mu.Unlock()
+}
+
+// errDepFailed marks a node skipped because one of its dependencies
+// already failed; the dependency's own error is what surfaces.
+var errDepFailed = errors.New("core: dependency failed")
+
+// runDAG executes the plan as a pipelined operator DAG: every node
+// waits only for its OWN dependencies, so independent subtrees overlap
+// with downstream bind joins instead of idling at wave boundaries. A
+// node's outer input is the natural join of its dependencies' results
+// — a superset of the full intermediate result projected onto the
+// variables it needs, so the final join yields exactly the
+// wave-barrier answer (extra probe rows cannot survive it). The root
+// of the DAG — the join of all node results — is returned as a
+// streaming iterator pipeline for finish() to consume without
+// materializing.
+func (ex *executor) runDAG() (Iterator, error) {
+	steps := ex.plan.Steps
+	results := make([]*Relation, len(steps))
+	nodeErr := make([]error, len(steps))
+	done := make([]chan struct{}, len(steps))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+
+	ctx, cancel := context.WithCancel(ex.ctx)
+	defer cancel()
+	ex.ctx = ctx // probes observe sibling failures and caller cancellation alike
+
+	var failOnce sync.Once
+	var firstErr error
+	fail := func(err error) {
+		failOnce.Do(func() { firstErr = err })
+		cancel()
+	}
+
+	runNode := func(i int) {
+		defer close(done[i])
+		for _, d := range steps[i].Deps {
+			select {
+			case <-done[d]:
+				if nodeErr[d] != nil {
+					nodeErr[i] = errDepFailed
+					return
+				}
+			case <-ctx.Done():
+				nodeErr[i] = ctx.Err()
+				fail(ctx.Err())
+				return
+			}
+		}
+		outer, err := ex.outerInput(steps[i], results)
+		if err == nil {
+			results[i], err = ex.runStep(steps[i], outer)
+		}
+		if err != nil {
+			nodeErr[i] = err
+			if !errors.Is(err, errDepFailed) {
+				fail(err)
+			}
+			return
+		}
+		ex.nodeRows[i] = len(results[i].Rows)
+	}
+
+	if ex.opts.Parallel && len(steps) > 1 {
+		var wg sync.WaitGroup
+		for i := range steps {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				runNode(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		// Steps are topologically ordered, so sequential execution in
+		// schedule order satisfies every dependency.
+		for i := range steps {
+			runNode(i)
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	for _, err := range nodeErr { // belt and braces: no failure escapes
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ex.rootPipeline(results)
+}
+
+// outerInput assembles the outer relation a bind-join or dynamic node
+// probes from: nothing for scans, the single dependency's result
+// as-is, or the natural join of several dependencies' results.
+func (ex *executor) outerInput(s PlanStep, results []*Relation) (*Relation, error) {
+	switch len(s.Deps) {
+	case 0:
+		return nil, nil
+	case 1:
+		return results[s.Deps[0]], nil
+	}
+	rels := make([]*Relation, len(s.Deps))
+	for i, d := range s.Deps {
+		rels[i] = results[d]
+	}
+	it := joinPipeline(joinOrder(rels))
+	return Materialize(it)
+}
+
+// rootPipeline joins every node's result into the final body relation,
+// returned as a streaming iterator (materialized first only under the
+// MaterializeFinal ablation knob).
+func (ex *executor) rootPipeline(results []*Relation) (Iterator, error) {
+	if len(results) == 0 {
+		return NewScan(&Relation{}), nil
+	}
+	it := joinPipeline(joinOrder(results))
+	if ex.opts.MaterializeFinal {
+		rel, err := Materialize(it)
+		if err != nil {
+			return nil, err
+		}
+		return NewScan(rel), nil
+	}
+	return it, nil
+}
+
+// joinOrder orders relations for a left-deep join chain: smallest
+// first, then greedily the smallest relation sharing a column with
+// what is already joined — disconnected relations (cross products)
+// only when nothing connected remains.
+func joinOrder(rels []*Relation) []*Relation {
+	if len(rels) <= 1 {
+		return rels
+	}
+	rest := append([]*Relation(nil), rels...)
+	sort.SliceStable(rest, func(i, j int) bool { return len(rest[i].Rows) < len(rest[j].Rows) })
+
+	ordered := []*Relation{rest[0]}
+	joined := make(map[string]struct{})
+	add := func(r *Relation) {
+		ordered = append(ordered, r)
+		for _, c := range r.Cols {
+			joined[c] = struct{}{}
+		}
+	}
+	for _, c := range rest[0].Cols {
+		joined[c] = struct{}{}
+	}
+	rest = rest[1:]
+	for len(rest) > 0 {
+		pick := -1
+		for i, r := range rest {
+			for _, c := range r.Cols {
+				if _, ok := joined[c]; ok {
+					pick = i
+					break
+				}
+			}
+			if pick >= 0 {
+				break
+			}
+		}
+		if pick < 0 {
+			pick = 0 // nothing connects: unavoidable cross product
+		}
+		add(rest[pick])
+		rest = append(rest[:pick], rest[pick+1:]...)
+	}
+	return ordered
+}
+
+// joinPipeline chains relations into one left-deep streaming hash-join
+// pipeline: the first relation streams, every later one is hashed as a
+// build side.
+func joinPipeline(ordered []*Relation) Iterator {
+	it := Iterator(NewScan(ordered[0]))
+	for _, r := range ordered[1:] {
+		it = NewHashJoin(it, NewScan(r))
+	}
+	return it
+}
+
+// runWaves executes the plan wave by wave — the pre-DAG scheduler,
+// kept behind ExecOptions.WaveBarrier for ablation: steps are grouped
+// by dependency depth, each group joins into the growing intermediate
+// relation, and depth d+1 starts only after the slowest step of depth
+// d finished. Intermediate waves materialize (later bind joins consume
+// their rows); the final wave's join pipeline is returned
+// unmaterialized so finish() streams it.
+func (ex *executor) runWaves() (Iterator, error) {
 	var rel *Relation
 	last := ex.plan.NumWaves() - 1
 	for wave := 0; wave <= last; wave++ {
 		var steps []PlanStep
-		for _, s := range ex.plan.Steps {
+		var positions []int
+		for i, s := range ex.plan.Steps {
 			if s.Wave == wave {
 				steps = append(steps, s)
+				positions = append(positions, i)
 			}
 		}
 		results := make([]*Relation, len(steps))
@@ -143,6 +410,9 @@ func (ex *executor) run() (Iterator, error) {
 				}
 				results[i] = r
 			}
+		}
+		for i, r := range results {
+			ex.nodeRows[positions[i]] = len(r.Rows)
 		}
 		// Join the wave's results into the intermediate relation,
 		// smallest first so intermediates grow from the tightest seed.
@@ -184,7 +454,10 @@ func (ex *executor) run() (Iterator, error) {
 	return NewScan(rel), nil
 }
 
-// runStep executes one atom against its source(s).
+// runStep executes one atom against its source(s). rel is the outer
+// relation bind joins and dynamic resolution consume: the assembled
+// dependency join under the DAG executor, the cumulative intermediate
+// relation under the wave-barrier one.
 func (ex *executor) runStep(s PlanStep, rel *Relation) (*Relation, error) {
 	a := ex.q.Atoms[s.AtomIndex]
 	outs := ex.plan.outs[s.AtomIndex]
@@ -203,7 +476,7 @@ func (ex *executor) runStep(s PlanStep, rel *Relation) (*Relation, error) {
 		ex.mu.Unlock()
 		return ex.bindJoin(src, a, outs, rel, "")
 	}
-	res, err := src.Execute(a.Sub, nil)
+	res, err := source.ExecuteWith(ex.ctx, src, a.Sub, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -219,7 +492,7 @@ func (ex *executor) atomSource(a Atom) (source.DataSource, error) {
 }
 
 // runDynamic resolves the designating variable's distinct values from
-// the intermediate relation and ships the sub-query to each discovered
+// the outer relation and ships the sub-query to each discovered
 // source; results carry the designator column so they join back to the
 // rows that mentioned that source (§2.2's per-embedding source
 // resolution).
@@ -258,7 +531,7 @@ func (ex *executor) runDynamic(a Atom, outs []string, rel *Relation) (*Relation,
 			part, err = ex.bindJoin(src, a, outs, rel, uri)
 		} else {
 			var res *source.Result
-			res, err = src.Execute(a.Sub, nil)
+			res, err = source.ExecuteWith(ex.ctx, src, a.Sub, nil)
 			if err == nil {
 				ex.addStats(1, len(res.Rows))
 				part, err = atomRelation(res, outs)
@@ -298,7 +571,8 @@ type paramTuple struct {
 // returns the relation (InVars ∪ OutVars). When the source supports
 // batched probes (source.BatchProber) and opts.ProbeBatch > 1, the
 // distinct tuples are chunked and each chunk ships as ONE native
-// sub-query (⌈N/ProbeBatch⌉ round trips instead of N); sources without
+// sub-query (⌈N/batch⌉ round trips instead of N); the chunk size is
+// the per-source adaptive size when a Tuner is set. Sources without
 // the capability — or sub-query shapes a source cannot batch — keep
 // the per-tuple fan-out. When srcURI is non-empty the bindings
 // considered are restricted to rows designating that source.
@@ -396,7 +670,7 @@ func (ex *executor) bindJoin(src source.DataSource, a Atom, outs []string, rel *
 	}
 
 	probe := func(t paramTuple) error {
-		res, err := src.Execute(a.Sub, t.params)
+		res, err := source.ExecuteWith(ex.ctx, src, a.Sub, t.params)
 		if err != nil {
 			return err
 		}
@@ -413,19 +687,24 @@ func (ex *executor) bindJoin(src source.DataSource, a Atom, outs []string, rel *
 
 	// Batch phase: when the source can really batch (source.CanBatch
 	// sees through decorators, so a probe cache over a plain source
-	// does not look batchable), ship ProbeBatch-sized chunks, each as
-	// one job. Chunks the source rejects at run time as unbatchable
-	// (source.ErrBatchUnsupported, e.g. a remote endpoint without the
-	// batch route) collect their tuples for the per-tuple phase; real
-	// errors abort the join.
+	// does not look batchable), ship chunks of the effective batch
+	// size, each as one job. Chunks the source rejects at run time as
+	// unbatchable (source.ErrBatchUnsupported, e.g. a remote endpoint
+	// without the batch route) collect their tuples for the per-tuple
+	// phase; real errors abort the join.
 	probeTuples := tuples
 	if source.CanBatch(src) && ex.opts.ProbeBatch > 1 && len(tuples) > 1 {
+		batch := ex.opts.ProbeBatch
+		if ex.opts.Tuner != nil {
+			batch = ex.opts.Tuner.Size(src.URI(), batch)
+		}
+		ex.recordBatchSize(src.URI(), batch)
 		bp := src.(source.BatchProber)
 		var rejectedMu sync.Mutex
 		var rejected []paramTuple
 		var jobs []func() error
-		for start := 0; start < len(tuples); start += ex.opts.ProbeBatch {
-			chunk := tuples[start:min(start+ex.opts.ProbeBatch, len(tuples))]
+		for start := 0; start < len(tuples); start += batch {
+			chunk := tuples[start:min(start+batch, len(tuples))]
 			jobs = append(jobs, func() error {
 				unsupported, err := ex.batchProbe(bp, a, chunk, filterRows, out, &outMu)
 				if err != nil {
@@ -460,11 +739,15 @@ func (ex *executor) bindJoin(src source.DataSource, a Atom, outs []string, rel *
 }
 
 // runJobs executes probe jobs, concurrently under MaxFanout when the
-// options allow. Once a job fails no further jobs launch: queued
-// probes would only fire doomed network sub-queries.
+// options allow. Once a job fails — or the query's context is done —
+// no further jobs launch: queued probes would only fire doomed network
+// sub-queries.
 func (ex *executor) runJobs(jobs []func() error) error {
 	if !ex.opts.Parallel || len(jobs) <= 1 {
 		for _, job := range jobs {
+			if err := ex.ctx.Err(); err != nil {
+				return err
+			}
 			if err := job(); err != nil {
 				return err
 			}
@@ -478,6 +761,10 @@ func (ex *executor) runJobs(jobs []func() error) error {
 	var failed atomic.Bool
 	for _, job := range jobs {
 		if failed.Load() {
+			break
+		}
+		if err := ex.ctx.Err(); err != nil {
+			errOnce.Do(func() { firstErr = err })
 			break
 		}
 		wg.Add(1)
@@ -501,7 +788,8 @@ func (ex *executor) runJobs(jobs []func() error) error {
 // batchProbe ships one chunk of parameter tuples as a single batched
 // sub-query and merges the per-tuple results. unsupported=true reports
 // the source rejected this sub-query's shape (ErrBatchUnsupported);
-// the caller then reprobes the chunk's tuples individually.
+// the caller then reprobes the chunk's tuples individually. Successful
+// round trips feed the adaptive tuner when one is configured.
 func (ex *executor) batchProbe(bp source.BatchProber, a Atom, chunk []paramTuple,
 	filterRows func(paramTuple, *source.Result) ([]value.Row, error),
 	out *Relation, outMu *sync.Mutex) (unsupported bool, _ error) {
@@ -510,12 +798,16 @@ func (ex *executor) batchProbe(bp source.BatchProber, a Atom, chunk []paramTuple
 	for i, t := range chunk {
 		sets[i] = t.params
 	}
-	results, err := bp.ExecuteBatch(a.Sub, sets)
+	start := time.Now()
+	results, err := source.ExecuteBatchWith(ex.ctx, bp, a.Sub, sets)
 	if err != nil {
 		if errors.Is(err, source.ErrBatchUnsupported) {
 			return true, nil
 		}
 		return false, err
+	}
+	if ex.opts.Tuner != nil {
+		ex.opts.Tuner.Observe(bp.URI(), time.Since(start))
 	}
 	if len(results) != len(chunk) {
 		return false, fmt.Errorf("core: atom %s: batched probe returned %d results for %d tuples",

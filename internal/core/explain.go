@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strconv"
 	"strings"
 
@@ -11,12 +12,14 @@ import (
 // probe its source — in particular whether bind-join probes would ship
 // batched (source.BatchProber) or per tuple.
 type AtomExplain struct {
-	Atom       int    `json:"atom"`       // index in the CMQ body
-	Designator string `json:"designator"` // source URI, ?var, or GRAPH
-	Wave       int    `json:"wave"`
-	Mode       string `json:"mode"`    // "scan" or "bind-join(vars)" [+ " dynamic"]
-	EstCost    int    `json:"estCost"` // planner cardinality estimate (-1 unknown)
-	Batched    bool   `json:"batched"` // probes would ship as batches
+	Atom       int    `json:"atom"`           // index in the CMQ body
+	Designator string `json:"designator"`     // source URI, ?var, or GRAPH
+	Wave       int    `json:"wave"`           // dependency depth in the operator DAG
+	Deps       []int  `json:"deps,omitempty"` // plan-step positions feeding this node
+	Mode       string `json:"mode"`           // "scan" or "bind-join(vars)" [+ " dynamic"]
+	EstRows    int    `json:"estRows"`        // planner cardinality estimate (-1 unknown)
+	EstCost    int    `json:"estCost"`        // planner effort estimate (-1 unknown)
+	Batched    bool   `json:"batched"`        // probes would ship as batches
 	BatchSize  int    `json:"batchSize,omitempty"`
 	Reason     string `json:"reason"` // why (not) batched
 }
@@ -37,7 +40,7 @@ func (in *Instance) ExplainQuery(q *CMQ, opts ExecOptions) (*ExplainInfo, error)
 	if opts.ProbeBatch == 0 {
 		opts.ProbeBatch = DefaultProbeBatch
 	}
-	plan, err := in.planQuery(q, opts.NaiveOrder)
+	plan, err := in.planQuery(context.Background(), q, opts.NaiveOrder)
 	if err != nil {
 		return nil, err
 	}
@@ -48,6 +51,8 @@ func (in *Instance) ExplainQuery(q *CMQ, opts ExecOptions) (*ExplainInfo, error)
 			Atom:       s.AtomIndex,
 			Designator: a.Designator(),
 			Wave:       s.Wave,
+			Deps:       s.Deps,
+			EstRows:    s.EstRows,
 			EstCost:    s.EstCost,
 			Mode:       "scan",
 		}

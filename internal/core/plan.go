@@ -1,12 +1,15 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+
+	"tatooine/internal/source"
 )
 
-// PlanStep schedules one atom.
+// PlanStep schedules one atom as a node of the operator DAG.
 type PlanStep struct {
 	// AtomIndex identifies the atom in the CMQ body.
 	AtomIndex int
@@ -15,23 +18,40 @@ type PlanStep struct {
 	BindJoin bool
 	// Dynamic marks a run-time-resolved source (SourceVar designator).
 	Dynamic bool
-	// EstCost is the planner's cardinality estimate (-1 unknown).
+	// EstRows is the planner's result-cardinality estimate (-1 unknown).
+	EstRows int
+	// EstCost is the planner's total-effort estimate: access work plus
+	// rows produced, with remote sources carrying their round-trip
+	// overhead (-1 unknown).
 	EstCost int
-	// Wave groups steps that run in parallel; waves execute in order.
+	// Wave is the step's dependency depth. The pipelined executor
+	// ignores it (nodes fire as soon as their own Deps finish); the
+	// WaveBarrier ablation executor runs depth d+1 only after every
+	// step of depth d completed — the pre-DAG behavior.
 	Wave int
+	// Deps indexes the steps (positions in Plan.Steps) whose outputs
+	// feed this step: the producers of its InVars, plus — for dynamic
+	// atoms — every earlier step, because the set of URIs to contact is
+	// resolved from the full intermediate result, not a projection of
+	// it.
+	Deps []int
 }
 
-// Plan is an ordered, wave-grouped execution schedule for a CMQ,
-// honouring the paper's three rules (§2.3): source-designating
-// variables are bound before their atoms run, independent atoms share a
-// wave (parallelism), and cheaper atoms run in earlier waves
-// (selectivity-first).
+// Plan is a dependency-DAG execution schedule for a CMQ, honouring the
+// paper's three rules (§2.3): source-designating variables are bound
+// before their atoms run, atoms with disjoint dependencies overlap
+// (parallelism), and cheaper atoms are scheduled first
+// (selectivity-first, by estimated rows with estimated cost as the
+// tie-breaker). Steps are listed in a topological order: every
+// dependency of a step precedes it.
 type Plan struct {
 	Steps []PlanStep
 	outs  [][]string // per-atom effective out variables
 }
 
-// NumWaves returns the number of execution waves.
+// NumWaves returns the depth of the DAG — the length of the longest
+// dependency chain, i.e. the number of barrier-synchronized waves the
+// ablation executor would run.
 func (p *Plan) NumWaves() int {
 	n := 0
 	for _, s := range p.Steps {
@@ -42,11 +62,12 @@ func (p *Plan) NumWaves() int {
 	return n
 }
 
-// Explain renders the plan for humans.
+// Explain renders the plan for humans: one line per DAG node with its
+// estimated rows/cost, dependency edges and dependency depth (wave).
 func (p *Plan) Explain(q *CMQ) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "plan for %s (%d waves)\n", q.String(), p.NumWaves())
-	for _, s := range p.Steps {
+	fmt.Fprintf(&b, "plan for %s (%d nodes, depth %d)\n", q.String(), len(p.Steps), p.NumWaves())
+	for i, s := range p.Steps {
 		a := q.Atoms[s.AtomIndex]
 		mode := "scan"
 		if s.BindJoin {
@@ -55,16 +76,37 @@ func (p *Plan) Explain(q *CMQ) string {
 		if s.Dynamic {
 			mode += " dynamic"
 		}
-		fmt.Fprintf(&b, "  wave %d: atom %d [%s] %s est=%d out=(%s)\n",
-			s.Wave, s.AtomIndex, a.Designator(), mode, s.EstCost,
+		deps := "-"
+		if len(s.Deps) > 0 {
+			parts := make([]string, len(s.Deps))
+			for j, d := range s.Deps {
+				parts[j] = fmt.Sprintf("%d", d)
+			}
+			deps = strings.Join(parts, ",")
+		}
+		fmt.Fprintf(&b, "  node %d: atom %d [%s] %s rows=%d cost=%d wave %d deps=(%s) out=(%s)\n",
+			i, s.AtomIndex, a.Designator(), mode, s.EstRows, s.EstCost, s.Wave, deps,
 			strings.Join(p.outs[s.AtomIndex], ","))
 	}
 	return b.String()
 }
 
-// planQuery builds the execution plan. naiveOrder disables selectivity
-// ordering (one atom per wave, declaration order) for ablation studies.
-func (in *Instance) planQuery(q *CMQ, naiveOrder bool) (*Plan, error) {
+// planQuery builds the execution DAG. Atoms are scheduled greedily:
+// among the runnable atoms (designator bound, InVars produced) the
+// planner prefers atoms connected by at least one shared variable to
+// what is already scheduled — connected atoms narrow the intermediate
+// result where disconnected ones cross-product it — and among those
+// picks the smallest estimated row count (unknown estimates last,
+// estimated cost breaking ties). naiveOrder disables all of it (one
+// atom per wave, declaration order, a sequential dependency chain) for
+// ablation studies.
+//
+// ctx bounds the estimation phase: remote sources answer estimates
+// over HTTP (sequentially, one per atom), so a dead request must stop
+// consulting them instead of paying up to one client timeout per
+// remaining atom. An estimate cut short degrades to unknown; a context
+// found dead between atoms aborts the plan.
+func (in *Instance) planQuery(ctx context.Context, q *CMQ, naiveOrder bool) (*Plan, error) {
 	if err := q.Validate(in.prefixesFor(q.Prefixes)); err != nil {
 		return nil, err
 	}
@@ -82,34 +124,33 @@ func (in *Instance) planQuery(q *CMQ, naiveOrder bool) (*Plan, error) {
 		outs[i] = clean
 	}
 
+	rows := make([]int, n)
 	costs := make([]int, n)
 	for i, a := range q.Atoms {
-		costs[i] = in.estimateAtom(a, q.Prefixes)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		rows[i], costs[i] = in.estimateAtom(a, q.Prefixes)
 	}
 
 	plan := &Plan{outs: outs}
 	scheduled := make([]bool, n)
-	bound := make(map[string]struct{})
-	wave := 0
-	for remaining := n; remaining > 0; wave++ {
-		// An atom is runnable when its source designator is bound and
-		// its parameters are available (BGPs tolerate missing InVars by
-		// running unbound only if none of their InVars are pending —
-		// we require InVars bound for all languages: running with
-		// partial bindings would change semantics).
+	// producer maps a bound variable to the first plan step producing it.
+	producer := make(map[string]int)
+	for remaining := n; remaining > 0; {
 		var runnable []int
 		for i, a := range q.Atoms {
 			if scheduled[i] {
 				continue
 			}
 			if a.SourceVar != "" {
-				if _, ok := bound[a.SourceVar]; !ok {
+				if _, ok := producer[a.SourceVar]; !ok {
 					continue
 				}
 			}
 			ok := true
 			for _, iv := range a.Sub.InVars {
-				if _, b := bound[strings.TrimPrefix(iv, "?")]; !b {
+				if _, b := producer[strings.TrimPrefix(iv, "?")]; !b {
 					ok = false
 					break
 				}
@@ -121,60 +162,125 @@ func (in *Instance) planQuery(q *CMQ, naiveOrder bool) (*Plan, error) {
 		if len(runnable) == 0 {
 			return nil, fmt.Errorf("core: circular dependency among atom parameters/designators")
 		}
-		// Selectivity-first: unknown costs (-1) sort last.
-		sort.SliceStable(runnable, func(a, b int) bool {
-			ca, cb := costs[runnable[a]], costs[runnable[b]]
-			if ca < 0 {
-				ca = 1 << 30
-			}
-			if cb < 0 {
-				cb = 1 << 30
-			}
-			return ca < cb
-		})
+
+		var pick int
 		if naiveOrder {
-			// Declaration order, one atom per wave.
 			sort.Ints(runnable)
-			runnable = runnable[:1]
+			pick = runnable[0]
+		} else {
+			pick = pickAtom(runnable, q, outs, rows, costs, producer)
 		}
-		for _, i := range runnable {
-			a := q.Atoms[i]
-			plan.Steps = append(plan.Steps, PlanStep{
-				AtomIndex: i,
-				BindJoin:  len(a.Sub.InVars) > 0,
-				Dynamic:   a.SourceVar != "",
-				EstCost:   costs[i],
-				Wave:      wave,
-			})
-			scheduled[i] = true
-			remaining--
+
+		a := q.Atoms[pick]
+		step := PlanStep{
+			AtomIndex: pick,
+			BindJoin:  len(a.Sub.InVars) > 0,
+			Dynamic:   a.SourceVar != "",
+			EstRows:   rows[pick],
+			EstCost:   costs[pick],
 		}
-		// Only after the whole wave completes do its outputs become
-		// available to later waves.
-		for _, s := range plan.Steps {
-			if s.Wave == wave {
-				for _, v := range outs[s.AtomIndex] {
-					bound[v] = struct{}{}
+		pos := len(plan.Steps)
+		switch {
+		case naiveOrder:
+			// Declaration order, one atom per wave, each step gated on
+			// every previous one: the fully sequential ablation baseline.
+			step.Wave = pos
+			for d := 0; d < pos; d++ {
+				step.Deps = append(step.Deps, d)
+			}
+		case step.Dynamic:
+			// The designating URIs are resolved from the full intermediate
+			// result (§2.2): restricting them to a projection of one
+			// producer could contact — and fail on — URIs the complete
+			// join would have filtered out.
+			for d := 0; d < pos; d++ {
+				step.Deps = append(step.Deps, d)
+			}
+		default:
+			seen := make(map[int]struct{})
+			for _, iv := range a.Sub.InVars {
+				d := producer[strings.TrimPrefix(iv, "?")]
+				if _, dup := seen[d]; !dup {
+					seen[d] = struct{}{}
+					step.Deps = append(step.Deps, d)
 				}
+			}
+			sort.Ints(step.Deps)
+		}
+		for _, d := range step.Deps {
+			if w := plan.Steps[d].Wave + 1; w > step.Wave {
+				step.Wave = w
+			}
+		}
+		plan.Steps = append(plan.Steps, step)
+		scheduled[pick] = true
+		remaining--
+		for _, v := range outs[pick] {
+			if _, dup := producer[v]; !dup {
+				producer[v] = pos
 			}
 		}
 	}
 	return plan, nil
 }
 
-// estimateAtom asks the target source for a cardinality estimate.
-// Dynamic sources are unknown (-1): they cannot be consulted before the
-// designating variable is bound.
-func (in *Instance) estimateAtom(a Atom, extra map[string]string) int {
+// pickAtom chooses the next atom to schedule: connected atoms (sharing
+// a variable with something already produced) beat disconnected ones,
+// then lower estimated rows beat higher (unknown last), then lower
+// cost, then declaration order for determinism.
+func pickAtom(runnable []int, q *CMQ, outs [][]string, rows, costs []int, producer map[string]int) int {
+	connected := func(i int) bool {
+		if len(producer) == 0 {
+			return true // nothing scheduled yet: everything is a seed
+		}
+		if len(q.Atoms[i].Sub.InVars) > 0 || q.Atoms[i].SourceVar != "" {
+			return true // consumes bound values by construction
+		}
+		for _, v := range outs[i] {
+			if _, ok := producer[v]; ok {
+				return true
+			}
+		}
+		return false
+	}
+	key := func(i int) (int, int, int) {
+		r, c := rows[i], costs[i]
+		if r < 0 {
+			r = 1 << 30
+		}
+		if c < 0 {
+			c = 1 << 30
+		}
+		conn := 1
+		if connected(i) {
+			conn = 0
+		}
+		return conn, r, c
+	}
+	best := runnable[0]
+	bc, br, bco := key(best)
+	for _, i := range runnable[1:] {
+		c, r, co := key(i)
+		if c < bc || (c == bc && (r < br || (r == br && (co < bco || (co == bco && i < best))))) {
+			best, bc, br, bco = i, c, r, co
+		}
+	}
+	return best
+}
+
+// estimateAtom asks the target source for a (rows, cost) estimate.
+// Dynamic sources are unknown (-1, -1): they cannot be consulted
+// before the designating variable is bound.
+func (in *Instance) estimateAtom(a Atom, extra map[string]string) (rows, cost int) {
 	if a.SourceVar != "" {
-		return -1
+		return -1, -1
 	}
 	if a.Kind == GraphAtom {
-		return in.graphSource(extra).EstimateCost(a.Sub, len(a.Sub.InVars))
+		return source.EstimateOf(in.graphSource(extra), a.Sub, len(a.Sub.InVars))
 	}
 	s, err := in.sources.Resolve(a.SourceURI)
 	if err != nil {
-		return -1
+		return -1, -1
 	}
-	return s.EstimateCost(a.Sub, len(a.Sub.InVars))
+	return source.EstimateOf(s, a.Sub, len(a.Sub.InVars))
 }

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// Bounds and thresholds of adaptive probe-batch sizing. A batch that
+// round-trips faster than growBelow is paying proportionally too much
+// per-request overhead — ship more tuples per trip; one slower than
+// shrinkAbove serializes too much work behind a single request —
+// ship fewer and let MaxFanout overlap them.
+const (
+	// MinProbeBatch is the smallest batch size the tuner will shrink to.
+	MinProbeBatch = 16
+	// MaxProbeBatch is the largest batch size the tuner will grow to.
+	MaxProbeBatch = 256
+
+	growBelow   = 100 * time.Millisecond
+	shrinkAbove = time.Second
+
+	// wireFloor filters observations that never touched the network: a
+	// batch answered from the probe cache (or by an in-process source)
+	// returns in microseconds and carries no round-trip signal — letting
+	// it through would pump the size to MaxProbeBatch off cache latency.
+	wireFloor = 500 * time.Microsecond
+)
+
+// BatchTuner adapts the effective bind-join batch size per source from
+// observed batch round-trip latency, within [MinProbeBatch,
+// MaxProbeBatch]. One tuner is shared across queries (the mediator
+// keeps one per server) so the size converges over traffic instead of
+// resetting per request. The zero value is not usable; use
+// NewBatchTuner.
+type BatchTuner struct {
+	mu    sync.Mutex
+	sizes map[string]int
+}
+
+// NewBatchTuner returns an empty tuner; each source's size is seeded
+// from the executor's configured ProbeBatch on first use.
+func NewBatchTuner() *BatchTuner {
+	return &BatchTuner{sizes: make(map[string]int)}
+}
+
+func clampBatch(n int) int {
+	if n < MinProbeBatch {
+		return MinProbeBatch
+	}
+	if n > MaxProbeBatch {
+		return MaxProbeBatch
+	}
+	return n
+}
+
+// Size returns the current batch size for a source, seeding it from
+// fallback (clamped into the tuner's bounds) the first time the
+// source is seen.
+func (t *BatchTuner) Size(uri string, fallback int) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n, ok := t.sizes[uri]; ok {
+		return n
+	}
+	n := clampBatch(fallback)
+	t.sizes[uri] = n
+	return n
+}
+
+// Observe feeds one batch round-trip latency back into the tuner:
+// fast round trips double the source's batch size, slow ones halve
+// it, both clamped into [MinProbeBatch, MaxProbeBatch]. Round trips
+// under wireFloor are discarded — they were answered from a cache or
+// an in-process source and say nothing about the wire.
+func (t *BatchTuner) Observe(uri string, rtt time.Duration) {
+	if rtt < wireFloor {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n, ok := t.sizes[uri]
+	if !ok {
+		n = DefaultProbeBatch
+	}
+	switch {
+	case rtt < growBelow:
+		n *= 2
+	case rtt > shrinkAbove:
+		n /= 2
+	}
+	t.sizes[uri] = clampBatch(n)
+}
+
+// Sizes snapshots the per-source batch sizes (for /stats).
+func (t *BatchTuner) Sizes() map[string]int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]int, len(t.sizes))
+	for k, v := range t.sizes {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBatchTunerGrowShrinkClamp(t *testing.T) {
+	tn := NewBatchTuner()
+	if got := tn.Size("s", DefaultProbeBatch); got != DefaultProbeBatch {
+		t.Fatalf("seed size = %d, want %d", got, DefaultProbeBatch)
+	}
+	// Fast round trips double up to the cap.
+	for i := 0; i < 5; i++ {
+		tn.Observe("s", time.Millisecond)
+	}
+	if got := tn.Size("s", DefaultProbeBatch); got != MaxProbeBatch {
+		t.Fatalf("after fast observes size = %d, want %d", got, MaxProbeBatch)
+	}
+	// Slow round trips halve down to the floor.
+	for i := 0; i < 10; i++ {
+		tn.Observe("s", 2*time.Second)
+	}
+	if got := tn.Size("s", DefaultProbeBatch); got != MinProbeBatch {
+		t.Fatalf("after slow observes size = %d, want %d", got, MinProbeBatch)
+	}
+	// Mid-range latency holds steady.
+	tn.Observe("s", 300*time.Millisecond)
+	if got := tn.Size("s", DefaultProbeBatch); got != MinProbeBatch {
+		t.Fatalf("mid-range observe moved size to %d", got)
+	}
+	// Sub-wire-floor observations (cache hits, in-process sources) are
+	// discarded: they would otherwise pump the size off cache latency.
+	for i := 0; i < 5; i++ {
+		tn.Observe("s", 50*time.Microsecond)
+	}
+	if got := tn.Size("s", DefaultProbeBatch); got != MinProbeBatch {
+		t.Fatalf("sub-floor observes moved size to %d", got)
+	}
+	// Seeds clamp into the bounds.
+	if got := tn.Size("tiny", 2); got != MinProbeBatch {
+		t.Fatalf("seed clamp low: %d, want %d", got, MinProbeBatch)
+	}
+	if got := tn.Size("huge", 10_000); got != MaxProbeBatch {
+		t.Fatalf("seed clamp high: %d, want %d", got, MaxProbeBatch)
+	}
+}
+
+// TestAdaptiveBatchSizingInExecutor checks the executor consults the
+// tuner for the effective chunk size, reports it in ExecStats, and
+// feeds observed round trips back so the size adapts for the next
+// query.
+func TestAdaptiveBatchSizingInExecutor(t *testing.T) {
+	in, probe := batchFixture(t)
+	tn := NewBatchTuner()
+	// ProbeBatch 2 would ship ⌈5/2⌉ = 3 chunks; the tuner clamps the
+	// seed up to MinProbeBatch = 16, so all 5 tuples fit one chunk.
+	res, err := in.ExecuteOpts(mustParse(t, batchQuery),
+		ExecOptions{Parallel: true, ProbeBatch: 2, Tuner: tn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.BatchProbes != 1 {
+		t.Fatalf("batch probes = %d, want 1 (stats %+v)", res.Stats.BatchProbes, res.Stats)
+	}
+	if len(probe.batchSizes) != 1 || probe.batchSizes[0] != 5 {
+		t.Fatalf("observed chunk sizes %v, want one chunk of 5", probe.batchSizes)
+	}
+	if got := res.Stats.BatchSizes["sql://probe"]; got != MinProbeBatch {
+		t.Fatalf("ExecStats.BatchSizes = %v, want %q -> %d", res.Stats.BatchSizes, "sql://probe", MinProbeBatch)
+	}
+	// The in-process probe normally answers under the wire floor, so
+	// the observation carries no round-trip signal and the size holds
+	// (a heavily loaded machine may legitimately cross the floor once,
+	// which at most doubles it — never shrinks or runs away).
+	if got := tn.Size("sql://probe", 2); got != MinProbeBatch && got != 2*MinProbeBatch {
+		t.Fatalf("post-query tuned size = %d, want %d (or %d under load)",
+			got, MinProbeBatch, 2*MinProbeBatch)
+	}
+
+	// Results stay identical to the untuned path.
+	inRef, _ := batchFixture(t)
+	ref, err := inRef.ExecuteOpts(mustParse(t, batchQuery), ExecOptions{Parallel: true, ProbeBatch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sortedRows(res), sortedRows(ref); !equalStrings(got, want) {
+		t.Fatalf("tuned rows diverge:\n got %v\nwant %v", got, want)
+	}
+}

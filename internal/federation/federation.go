@@ -9,6 +9,7 @@ package federation
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -69,9 +70,14 @@ type EstimateRequest struct {
 	NumParams int    `json:"numParams"`
 }
 
-// EstimateResponse carries the estimated cardinality.
+// EstimateResponse carries the estimated cost and, on endpoints that
+// implement the richer source.Estimator protocol, the estimated result
+// cardinality. Rows is a pointer so a pre-Estimator endpoint (which
+// omits the field) is distinguishable from a remote that really
+// estimates zero rows; clients fall back to rows = cost when absent.
 type EstimateResponse struct {
 	Cost  int    `json:"cost"`
+	Rows  *int   `json:"rows,omitempty"`
 	Error string `json:"error,omitempty"`
 }
 
@@ -183,11 +189,11 @@ func Handler(src source.DataSource) http.Handler {
 			writeJSON(w, http.StatusBadRequest, EstimateResponse{Cost: -1, Error: err.Error()})
 			return
 		}
-		cost := src.EstimateCost(source.SubQuery{
+		rows, cost := source.EstimateOf(src, source.SubQuery{
 			Language: source.Language(req.Language),
 			Text:     req.Text,
 		}, req.NumParams)
-		writeJSON(w, http.StatusOK, EstimateResponse{Cost: cost})
+		writeJSON(w, http.StatusOK, EstimateResponse{Cost: cost, Rows: &rows})
 	})
 	return mux
 }
@@ -272,9 +278,28 @@ func (c *Client) Languages() []source.Language {
 	return out
 }
 
+// post ships a JSON body to a route under the endpoint's base URL,
+// bound to ctx: cancelling the context aborts the in-flight HTTP
+// request, which is how a cancelled query reaches remote probes.
+func (c *Client) post(ctx context.Context, route string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+route, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.http.Do(req)
+}
+
 // Execute implements source.DataSource by shipping the sub-query to the
 // remote endpoint.
 func (c *Client) Execute(q source.SubQuery, params []value.Value) (*source.Result, error) {
+	return c.ExecuteContext(context.Background(), q, params)
+}
+
+// ExecuteContext implements source.ContextExecutor: the probe's HTTP
+// request is bound to ctx, so a cancelled or expired query aborts the
+// round trip instead of leaking it.
+func (c *Client) ExecuteContext(ctx context.Context, q source.SubQuery, params []value.Value) (*source.Result, error) {
 	req := QueryRequest{
 		Language: string(q.Language),
 		Text:     q.Text,
@@ -285,7 +310,7 @@ func (c *Client) Execute(q source.SubQuery, params []value.Value) (*source.Resul
 	if err != nil {
 		return nil, fmt.Errorf("federation: marshal: %w", err)
 	}
-	resp, err := c.http.Post(c.baseURL+"/query", "application/json", bytes.NewReader(body))
+	resp, err := c.post(ctx, "/query", body)
 	if err != nil {
 		return nil, fmt.Errorf("federation: query %s: %w", c.baseURL, err)
 	}
@@ -312,6 +337,12 @@ func (c *Client) Execute(q source.SubQuery, params []value.Value) (*source.Resul
 // back to per-tuple probes; the route is then avoided for
 // batchRetryAfter before being re-probed.
 func (c *Client) ExecuteBatch(q source.SubQuery, paramSets []value.Row) ([]*source.Result, error) {
+	return c.ExecuteBatchContext(context.Background(), q, paramSets)
+}
+
+// ExecuteBatchContext implements source.ContextBatchProber; see
+// ExecuteBatch and ExecuteContext.
+func (c *Client) ExecuteBatchContext(ctx context.Context, q source.SubQuery, paramSets []value.Row) ([]*source.Result, error) {
 	if time.Now().UnixNano() < c.noBatchUntil.Load() {
 		return nil, source.ErrBatchUnsupported
 	}
@@ -325,7 +356,7 @@ func (c *Client) ExecuteBatch(q source.SubQuery, paramSets []value.Row) ([]*sour
 	if err != nil {
 		return nil, fmt.Errorf("federation: marshal batch: %w", err)
 	}
-	resp, err := c.http.Post(c.baseURL+"/batch", "application/json", bytes.NewReader(body))
+	resp, err := c.post(ctx, "/batch", body)
 	if err != nil {
 		return nil, fmt.Errorf("federation: batch %s: %w", c.baseURL, err)
 	}
@@ -375,37 +406,57 @@ func (c *Client) statusError(op string, resp *http.Response) error {
 	return fmt.Errorf("federation: %s %s: status %s", op, c.baseURL, resp.Status)
 }
 
-// EstimateCost implements source.DataSource by asking the remote
-// endpoint; network and remote failures degrade to unknown (-1). The
-// status and error envelope are checked before the Cost field is
-// trusted: a 404/502 JSON error body would otherwise decode to
-// Cost: 0 and make a broken remote look like the cheapest source in
-// the plan.
+// RemoteCostOverhead is the flat cost a Client adds to the remote's
+// self-reported estimate: shipping a sub-query pays an HTTP round trip
+// the remote does not account for, so with otherwise-equal estimates
+// the planner should prefer the local source.
+const RemoteCostOverhead = 32
+
+// EstimateCost implements source.DataSource through Estimate.
 func (c *Client) EstimateCost(q source.SubQuery, numParams int) int {
+	rows, _ := c.Estimate(q, numParams)
+	return rows
+}
+
+// Estimate implements source.Estimator by asking the remote endpoint;
+// network and remote failures degrade to unknown (-1, -1). The status
+// and error envelope are checked before the payload is trusted: a
+// 404/502 JSON error body would otherwise decode to Cost: 0 and make a
+// broken remote look like the cheapest source in the plan. Endpoints
+// predating the rows field report rows = cost; either way the cost
+// carries RemoteCostOverhead on top.
+func (c *Client) Estimate(q source.SubQuery, numParams int) (rows, cost int) {
 	body, err := json.Marshal(EstimateRequest{
 		Language:  string(q.Language),
 		Text:      q.Text,
 		NumParams: numParams,
 	})
 	if err != nil {
-		return -1
+		return -1, -1
 	}
 	resp, err := c.http.Post(c.baseURL+"/estimate", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return -1
+		return -1, -1
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return -1
+		return -1, -1
 	}
 	var er EstimateResponse
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&er); err != nil {
-		return -1
+		return -1, -1
 	}
 	if er.Error != "" {
-		return -1
+		return -1, -1
 	}
-	return er.Cost
+	rows, cost = er.Cost, er.Cost
+	if er.Rows != nil {
+		rows = *er.Rows
+	}
+	if rows < 0 || cost < 0 {
+		return -1, -1
+	}
+	return rows, cost + RemoteCostOverhead
 }
 
 // Digest implements digest.Digester: it fetches the remote endpoint's

@@ -14,6 +14,13 @@
 // flushed lazily). POST /admin/invalidate force-expires the per-source
 // probe caches for sources that mutated underneath the mediator.
 //
+// Queries are cancellable: the request context flows through
+// core.Instance.ExecuteContext into every probe, so a disconnected
+// client or an expired deadline aborts in-flight remote sub-queries.
+// Coalesced executions are cancelled only when the LAST interested
+// request goes away (the flight counts its waiters) — a leader's
+// disconnect never poisons its followers.
+//
 // Routes:
 //
 //	POST   /cmq               execute a CMQ (JSON {"query": "..."} or raw
@@ -33,6 +40,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -94,6 +102,11 @@ type Stats struct {
 	// the deltaApplies / fullRecomputes counters and the last apply
 	// duration (ns).
 	Saturation core.SaturationStats `json:"saturation"`
+
+	// ProbeBatchSizes reports the current adaptive bind-join batch size
+	// per source URI, when the server runs with a core.BatchTuner
+	// (Options.Exec.Tuner).
+	ProbeBatchSizes map[string]int `json:"probeBatchSizes,omitempty"`
 }
 
 // QueryRequest is the JSON body of POST /cmq. With Explain set the
@@ -175,10 +188,39 @@ type Server struct {
 }
 
 // flightCall is one in-progress execution identical queries wait on.
+// waiters counts the requests still interested in the result (the
+// leader included); when the last one's context ends, cancel aborts
+// the leader's execution — one surviving waiter keeps the in-flight
+// probes alive, so a leader's disconnect never poisons its followers.
+// waiters is guarded by the server mutex: the drop to zero and the
+// flight's removal from the inflight map happen atomically, so a
+// request can never join a flight that is already being cancelled.
 type flightCall struct {
-	done chan struct{}
-	res  *core.QueryResult
-	err  error
+	done    chan struct{}
+	res     *core.QueryResult
+	err     error
+	waiters int // guarded by Server.mu
+	cancel  context.CancelFunc
+}
+
+// watchFlight registers ctx against the flight under key: when it
+// ends, the flight's waiter count drops, and the last drop removes the
+// flight from the inflight map (so later identical requests lead a
+// fresh execution instead of inheriting a cancelled one) and cancels
+// the execution. The returned stop function releases the registration.
+func (s *Server) watchFlight(ctx context.Context, key string, call *flightCall) (stop func() bool) {
+	return context.AfterFunc(ctx, func() {
+		s.mu.Lock()
+		call.waiters--
+		last := call.waiters == 0
+		if last && s.inflight[key] == call {
+			delete(s.inflight, key)
+		}
+		s.mu.Unlock()
+		if last {
+			call.cancel()
+		}
+	})
 }
 
 // New builds a Server over the instance. Unless probe caching is
@@ -218,7 +260,7 @@ func (s *Server) Stats() Stats {
 		entries = s.cache.Len()
 	}
 	s.mu.Unlock()
-	return Stats{
+	st := Stats{
 		Requests:           s.requests.Load(),
 		CacheHits:          s.hits.Load(),
 		CacheMisses:        s.misses.Load(),
@@ -233,6 +275,10 @@ func (s *Server) Stats() Stats {
 		ProbeInvalidations: s.probeInvalidations.Load(),
 		Saturation:         s.in.SaturationStats(),
 	}
+	if s.opts.Exec.Tuner != nil {
+		st.ProbeBatchSizes = s.opts.Exec.Tuner.Sizes()
+	}
+	return st
 }
 
 // Handler returns the service's HTTP routes.
@@ -426,7 +472,7 @@ func (s *Server) handleCMQ(w http.ResponseWriter, r *http.Request) {
 	}
 	s.misses.Add(1)
 
-	res, cached, err := s.execute(key, epoch, q)
+	res, cached, err := s.execute(r.Context(), key, epoch, q)
 	if err != nil {
 		s.errors.Add(1)
 		writeJSON(w, http.StatusUnprocessableEntity, QueryResponse{Error: err.Error()})
@@ -466,13 +512,20 @@ func (s *Server) generationKey(canonical string) (string, uint64) {
 // caller for a key executes; identical concurrent callers wait and
 // share the leader's result (cached=true for them — they shipped no
 // sub-queries of their own). With result caching disabled the guard is
-// off too: every request executes for itself. epoch is the generation
-// the key belongs to: a leader finishing after a newer generation
-// flushed skips the Put — its old-epoch key could never be read again
-// and would only waste LRU slots.
-func (s *Server) execute(key string, epoch uint64, q *core.CMQ) (res *core.QueryResult, cached bool, err error) {
+// off too: every request executes for itself, directly under its own
+// request context. epoch is the generation the key belongs to: a
+// leader finishing after a newer generation flushed skips the Put —
+// its old-epoch key could never be read again and would only waste
+// LRU slots.
+//
+// Cancellation: the leader executes under a context detached from its
+// own request but cancelled as soon as the LAST interested request
+// (leader or coalesced follower) goes away — a disconnected leader
+// whose followers still wait must not abort their shared execution,
+// while a query nobody waits for anymore must stop probing remotes.
+func (s *Server) execute(ctx context.Context, key string, epoch uint64, q *core.CMQ) (res *core.QueryResult, cached bool, err error) {
 	if s.cache == nil {
-		res, err = s.in.ExecuteOpts(q, s.opts.Exec)
+		res, err = s.in.ExecuteContext(ctx, q, s.opts.Exec)
 		if err == nil {
 			s.subQueries.Add(int64(res.Stats.SubQueries))
 			s.batchProbes.Add(int64(res.Stats.BatchProbes))
@@ -489,23 +542,38 @@ func (s *Server) execute(key string, epoch uint64, q *core.CMQ) (res *core.Query
 		return res, true, nil
 	}
 	if call, ok := s.inflight[key]; ok {
+		// The entry being present implies waiters > 0: the drop to zero
+		// removes it under this same mutex, so this join cannot revive a
+		// flight that is already being cancelled.
+		call.waiters++
 		s.mu.Unlock()
 		s.coalesced.Add(1)
+		stop := s.watchFlight(ctx, key, call)
+		defer stop()
 		<-call.done
 		return call.res, true, call.err
 	}
-	call := &flightCall{done: make(chan struct{})}
+	fctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	call := &flightCall{done: make(chan struct{}), cancel: cancel, waiters: 1}
 	s.inflight[key] = call
 	s.mu.Unlock()
+	stop := s.watchFlight(ctx, key, call)
 
-	call.res, call.err = s.in.ExecuteOpts(q, s.opts.Exec)
+	call.res, call.err = s.in.ExecuteContext(fctx, q, s.opts.Exec)
+	stop()
+	cancel()
 	if call.err == nil {
 		s.subQueries.Add(int64(call.res.Stats.SubQueries))
 		s.batchProbes.Add(int64(call.res.Stats.BatchProbes))
 	}
 
 	s.mu.Lock()
-	delete(s.inflight, key)
+	// The last-waiter path may have removed the flight already — and a
+	// NEW leader may have claimed the key since — so only delete our own
+	// entry.
+	if s.inflight[key] == call {
+		delete(s.inflight, key)
+	}
 	if call.err == nil && epoch == s.gen {
 		s.cache.Put(key, call.res)
 	}

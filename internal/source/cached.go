@@ -1,6 +1,7 @@
 package source
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -40,7 +41,7 @@ type Cached struct {
 	mu        sync.Mutex
 	gen       uint64 // bumped by Invalidate; fills from an older gen are discarded
 	cache     *lru.Cache[cacheEntry]
-	estimates *lru.Cache[int]
+	estimates *lru.Cache[estimateEntry]
 	stats     CacheStats
 }
 
@@ -48,6 +49,11 @@ type Cached struct {
 type cacheEntry struct {
 	res *Result
 	at  time.Time
+}
+
+// estimateEntry is one memoized (rows, cost) estimate.
+type estimateEntry struct {
+	rows, cost int
 }
 
 // DefaultCacheSize bounds a Cached decorator when the caller passes a
@@ -64,7 +70,7 @@ func NewCached(inner DataSource, maxEntries int) *Cached {
 		inner:     inner,
 		now:       time.Now,
 		cache:     lru.New[cacheEntry](maxEntries),
-		estimates: lru.New[int](maxEntries),
+		estimates: lru.New[estimateEntry](maxEntries),
 	}
 }
 
@@ -92,28 +98,35 @@ func (c *Cached) Model() Model { return c.inner.Model() }
 // Languages implements DataSource.
 func (c *Cached) Languages() []Language { return c.inner.Languages() }
 
-// EstimateCost implements DataSource, memoizing the inner estimate:
-// planning calls it per atom on every query, and for a remote source
-// each call is an HTTP round trip. Unknown estimates (negative) are
-// not cached so a recovering remote can start answering.
+// EstimateCost implements DataSource through the memoized Estimate.
 func (c *Cached) EstimateCost(q SubQuery, numParams int) int {
+	rows, _ := c.Estimate(q, numParams)
+	return rows
+}
+
+// Estimate implements Estimator, memoizing the inner (rows, cost)
+// estimate: planning calls it per atom on every query, and for a
+// remote source each call is an HTTP round trip. Unknown estimates
+// (negative rows) are not cached so a recovering remote can start
+// answering.
+func (c *Cached) Estimate(q SubQuery, numParams int) (rows, cost int) {
 	key := cacheKey(c.inner.URI(), q, nil) + "|" + strconv.Itoa(numParams)
 	c.mu.Lock()
-	if cost, ok := c.estimates.Get(key); ok {
+	if e, ok := c.estimates.Get(key); ok {
 		c.mu.Unlock()
-		return cost
+		return e.rows, e.cost
 	}
 	gen := c.gen
 	c.mu.Unlock()
-	cost := c.inner.EstimateCost(q, numParams)
-	if cost >= 0 {
+	rows, cost = EstimateOf(c.inner, q, numParams)
+	if rows >= 0 {
 		c.mu.Lock()
 		if c.gen == gen {
-			c.estimates.Put(key, cost)
+			c.estimates.Put(key, estimateEntry{rows: rows, cost: cost})
 		}
 		c.mu.Unlock()
 	}
-	return cost
+	return rows, cost
 }
 
 // Invalidate implements Invalidator: it drops every memoized sub-query
@@ -182,6 +195,14 @@ func (c *Cached) store(key string, res *Result) {
 // success, stores the result (evicting the least recently used entry
 // when full). Errors are never cached.
 func (c *Cached) Execute(q SubQuery, params []value.Value) (*Result, error) {
+	return c.ExecuteContext(context.Background(), q, params)
+}
+
+// ExecuteContext implements ContextExecutor: hits answer from memory
+// regardless of the context; misses forward it to the inner source so
+// a cancelled query aborts the in-flight fill (cancellation errors
+// are never cached — they are errors like any other).
+func (c *Cached) ExecuteContext(ctx context.Context, q SubQuery, params []value.Value) (*Result, error) {
 	key := cacheKey(c.inner.URI(), q, params)
 
 	c.mu.Lock()
@@ -194,7 +215,7 @@ func (c *Cached) Execute(q SubQuery, params []value.Value) (*Result, error) {
 
 	// Execute outside the lock; concurrent misses on the same key may
 	// race to fill, which is harmless (last writer wins).
-	res, err := c.inner.Execute(q, params)
+	res, err := ExecuteWith(ctx, c.inner, q, params)
 	if err != nil {
 		return nil, err
 	}
@@ -219,6 +240,11 @@ func (c *Cached) Execute(q SubQuery, params []value.Value) (*Result, error) {
 // this sub-query) ErrBatchUnsupported propagates; the executor then
 // probes per tuple through Execute, which still serves the hits.
 func (c *Cached) ExecuteBatch(q SubQuery, paramSets []value.Row) ([]*Result, error) {
+	return c.ExecuteBatchContext(context.Background(), q, paramSets)
+}
+
+// ExecuteBatchContext implements ContextBatchProber; see ExecuteBatch.
+func (c *Cached) ExecuteBatchContext(ctx context.Context, q SubQuery, paramSets []value.Row) ([]*Result, error) {
 	bp, batchable := c.inner.(BatchProber)
 	if !batchable {
 		return nil, ErrBatchUnsupported
@@ -255,7 +281,7 @@ func (c *Cached) ExecuteBatch(q SubQuery, paramSets []value.Row) ([]*Result, err
 	// inner source rejects the shape (ErrBatchUnsupported) the caller
 	// re-probes every tuple through Execute, which does its own
 	// counting — counting here too would tally each logical probe twice.
-	results, err := bp.ExecuteBatch(q, misses)
+	results, err := ExecuteBatchWith(ctx, bp, q, misses)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,55 @@
+package source
+
+import (
+	"context"
+
+	"tatooine/internal/value"
+)
+
+// ContextExecutor is the optional capability of a DataSource whose
+// sub-query evaluation can be bound to a context: cancelling the
+// context aborts the in-flight evaluation (for a federation client,
+// the underlying HTTP request) instead of letting it run to
+// completion with nobody waiting for the answer. In-process sources
+// generally answer too fast to bother; the capability matters for
+// anything that crosses the network.
+type ContextExecutor interface {
+	DataSource
+	// ExecuteContext is Execute bound to ctx.
+	ExecuteContext(ctx context.Context, q SubQuery, params []value.Value) (*Result, error)
+}
+
+// ContextBatchProber is ContextExecutor's batched sibling: a
+// BatchProber whose batch dispatch can be cancelled mid-flight.
+type ContextBatchProber interface {
+	BatchProber
+	// ExecuteBatchContext is ExecuteBatch bound to ctx.
+	ExecuteBatchContext(ctx context.Context, q SubQuery, paramSets []value.Row) ([]*Result, error)
+}
+
+// ExecuteWith evaluates q against s under ctx: an already-cancelled
+// context refuses the dispatch outright, a ContextExecutor gets the
+// context threaded through (so cancellation reaches the wire), and a
+// plain source executes as before — it cannot be interrupted, but the
+// pre-dispatch check still stops a cancelled query from fanning out
+// further probes.
+func ExecuteWith(ctx context.Context, s DataSource, q SubQuery, params []value.Value) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if ce, ok := s.(ContextExecutor); ok {
+		return ce.ExecuteContext(ctx, q, params)
+	}
+	return s.Execute(q, params)
+}
+
+// ExecuteBatchWith is ExecuteWith for batched probes.
+func ExecuteBatchWith(ctx context.Context, bp BatchProber, q SubQuery, paramSets []value.Row) ([]*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if cb, ok := bp.(ContextBatchProber); ok {
+		return cb.ExecuteBatchContext(ctx, q, paramSets)
+	}
+	return bp.ExecuteBatch(q, paramSets)
+}

@@ -85,9 +85,17 @@ func (s *DocSource) ExecuteBatch(q SubQuery, paramSets []value.Row) ([]*Result, 
 // literal values use exact document frequencies; parameterized or
 // analyzed conditions fall back to corpus-size heuristics.
 func (s *DocSource) EstimateCost(q SubQuery, numParams int) int {
+	rows, _ := s.Estimate(q, numParams)
+	return rows
+}
+
+// Estimate implements Estimator: rows from the frequency heuristics
+// below, cost adds one posting-list probe per condition — the index
+// answers from postings, it never scans the corpus.
+func (s *DocSource) Estimate(q SubQuery, numParams int) (rows, cost int) {
 	tq, err := fulltext.ParseTextQuery(q.Text)
 	if err != nil {
-		return -1
+		return -1, -1
 	}
 	est := s.ix.Count()
 	for _, c := range tq.Conds {
@@ -114,5 +122,5 @@ func (s *DocSource) EstimateCost(q SubQuery, numParams int) int {
 	if est < 1 {
 		est = 1
 	}
-	return est
+	return est, est + len(tq.Conds)
 }

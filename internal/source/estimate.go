@@ -1,0 +1,30 @@
+package source
+
+// Estimator is the optional capability of a DataSource that can
+// produce a two-dimensional cost estimate for a sub-query: the
+// expected result cardinality (rows) and an abstract total execution
+// effort (cost — access work plus rows produced, in comparable units
+// across sources; remote sources add their round-trip overhead).
+// The planner orders atoms by rows (selectivity-first) and uses cost
+// to break ties and to render plans; sources that only implement the
+// single-int EstimateCost keep working through EstimateOf's default
+// adapter.
+type Estimator interface {
+	DataSource
+	// Estimate returns the expected result cardinality and the total
+	// execution cost of q with numParams bound parameters. Negative
+	// values mean unknown.
+	Estimate(q SubQuery, numParams int) (rows, cost int)
+}
+
+// EstimateOf returns s's (rows, cost) estimate. Sources implementing
+// Estimator answer directly; everything else goes through the default
+// adapter — rows = cost = EstimateCost — so pre-Estimator sources keep
+// participating in planning unchanged.
+func EstimateOf(s DataSource, q SubQuery, numParams int) (rows, cost int) {
+	if e, ok := s.(Estimator); ok {
+		return e.Estimate(q, numParams)
+	}
+	c := s.EstimateCost(q, numParams)
+	return c, c
+}

@@ -193,9 +193,18 @@ func (s *RDFSource) ExecuteBatch(q SubQuery, paramSets []value.Row) ([]*Result, 
 // EstimateCost implements DataSource: the minimum pattern cardinality
 // of the BGP (a cheap, index-backed upper bound on the first join step).
 func (s *RDFSource) EstimateCost(q SubQuery, numParams int) int {
+	rows, _ := s.Estimate(q, numParams)
+	return rows
+}
+
+// Estimate implements Estimator: rows is the minimum pattern
+// cardinality (the seed of the BGP join), cost adds one index probe
+// per pattern — an in-memory graph's whole effort is walking its
+// pattern indexes.
+func (s *RDFSource) Estimate(q SubQuery, numParams int) (rows, cost int) {
 	bgp, err := rdf.ParseBGP(q.Text, s.prefixes)
 	if err != nil || len(bgp.Patterns) == 0 {
-		return -1
+		return -1, -1
 	}
 	best := -1
 	for _, p := range bgp.Patterns {
@@ -214,5 +223,5 @@ func (s *RDFSource) EstimateCost(q SubQuery, numParams int) int {
 			best = c
 		}
 	}
-	return best
+	return best, best + len(bgp.Patterns)
 }

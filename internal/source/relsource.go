@@ -216,13 +216,24 @@ func joinAnd(conjuncts []sqlparse.Expr) sqlparse.Expr {
 // join multiplies by joined table sizes; predicates with parameters
 // divide by a default selectivity factor of 10).
 func (s *RelSource) EstimateCost(q SubQuery, numParams int) int {
+	rows, _ := s.Estimate(q, numParams)
+	return rows
+}
+
+// Estimate implements Estimator: rows is the selectivity-discounted
+// result cardinality (the quantity bind joins and intermediate
+// relations grow with), cost adds the scan work — the rows the engine
+// must walk before predicates discard them — so a highly selective
+// predicate over a huge table is cheap to *join with* but not free to
+// *run*.
+func (s *RelSource) Estimate(q SubQuery, numParams int) (rows, cost int) {
 	stmt, err := sqlparse.ParseSelect(q.Text)
 	if err != nil {
-		return -1
+		return -1, -1
 	}
 	t := s.db.Table(stmt.From.Name)
 	if t == nil {
-		return -1
+		return -1, -1
 	}
 	est := t.RowCount()
 	for _, j := range stmt.Joins {
@@ -233,6 +244,7 @@ func (s *RelSource) EstimateCost(q SubQuery, numParams int) int {
 			}
 		}
 	}
+	scanned := est
 	if stmt.Where != nil {
 		sel := selectivityFactor(stmt.Where)
 		est /= sel
@@ -243,7 +255,7 @@ func (s *RelSource) EstimateCost(q SubQuery, numParams int) int {
 	if stmt.Limit >= 0 && stmt.Limit < est {
 		est = stmt.Limit
 	}
-	return est
+	return est, scanned + est
 }
 
 // selectivityFactor estimates how much a predicate divides cardinality:

@@ -71,9 +71,18 @@ func (s *XMLSource) Execute(q SubQuery, params []value.Value) (*Result, error) {
 // EstimateCost implements DataSource: document count scaled by a
 // per-predicate selectivity factor.
 func (s *XMLSource) EstimateCost(q SubQuery, numParams int) int {
+	rows, _ := s.Estimate(q, numParams)
+	return rows
+}
+
+// Estimate implements Estimator: rows is the predicate-discounted
+// document count; cost stays at the full store size because the path
+// evaluator walks every document regardless of how few survive the
+// predicates.
+func (s *XMLSource) Estimate(q SubQuery, numParams int) (rows, cost int) {
 	tq, err := xmlstore.ParseTextQuery(q.Text)
 	if err != nil {
-		return -1
+		return -1, -1
 	}
 	est := s.store.Count()
 	for _, step := range tq.Path.Steps {
@@ -84,5 +93,5 @@ func (s *XMLSource) EstimateCost(q SubQuery, numParams int) int {
 	if est < 1 {
 		est = 1
 	}
-	return est
+	return est, s.store.Count() + est
 }
