@@ -179,6 +179,8 @@ func cmdServe(ds *datagen.Dataset, args []string) error {
 		"adapt per-source probe batch size from observed round-trip latency (within [16, 256])")
 	waveBarrier := fs.Bool("wave-barrier", false,
 		"schedule atoms in barrier-synchronized waves instead of the pipelined operator DAG (ablation)")
+	materialized := fs.Bool("materialized", false,
+		"materialize every node result before joining instead of streaming tuples through the DAG (ablation; also disables NDJSON row streaming)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -191,10 +193,11 @@ func cmdServe(ds *datagen.Dataset, args []string) error {
 		return err
 	}
 	exec := core.ExecOptions{
-		Parallel:    true,
-		MaxFanout:   *fanout,
-		ProbeBatch:  *probeBatch,
-		WaveBarrier: *waveBarrier,
+		Parallel:     true,
+		MaxFanout:    *fanout,
+		ProbeBatch:   *probeBatch,
+		WaveBarrier:  *waveBarrier,
+		Materialized: *materialized,
 	}
 	if *adaptiveBatch {
 		exec.Tuner = core.NewBatchTuner()

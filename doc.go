@@ -201,4 +201,53 @@
 // coalesced followers. ExecOptions.MaxFanout defaults to a
 // GOMAXPROCS-derived bound (DefaultMaxFanout, clamped to [8, 64]);
 // "tatooine serve -fanout" overrides it.
+//
+// # Tuple-level streaming execution
+//
+// On the default DAG path, results stream wire-to-wire instead of
+// materializing between operators. Every DAG node publishes rows
+// progressively as its probe batches land (internal/core/stream.go): a
+// downstream bind join consumes its dependency through a cursor and
+// launches its first probe batch as soon as the first upstream rows
+// exist, and the most expensive terminal node feeds the root join
+// through a bounded channel of row batches — so the first result rows
+// reach the client after roughly one probe round trip, while the rest
+// of the fan-out is still in flight. Instance.ExecuteStream exposes
+// the incremental result (StreamingResult.NextBatch / Close);
+// ExecuteContext drains the same pipeline, so both APIs return
+// identical row multisets (pinned by a randomized property test).
+// Blocking operators (ORDER BY, aggregation) still consume their full
+// input before the first row; everything else — projection, DISTINCT,
+// LIMIT — passes rows through.
+//
+// Early termination flows upstream: a LIMIT that reaches its bound (a
+// LIMIT without DISTINCT/ORDER BY/aggregates is additionally pushed
+// below the projection) closes the stream, which cancels the
+// per-query context and with it every in-flight probe and
+// federation.Client round trip — LIMIT 1 over a large federated join
+// pays for a handful of probes, not all of them. Abandoning a
+// StreamingResult mid-drain (Close) cancels the same way; no executor
+// goroutine outlives the result.
+//
+// POST /cmq streams over HTTP when the client asks for it — Accept:
+// application/x-ndjson, or {"stream": true} in the JSON body. The
+// response is NDJSON (server.StreamRecord), one JSON object per line:
+// a {"cols": [...]} header, one {"row": [...]} record per result row
+// (flushed batch by batch as the executor produces them), and a
+// {"stats": {...}, "cached": bool} trailer with the final ExecStats. A
+// failure after rows are on the wire — the 200 status is long since
+// sent — terminates the stream with an {"error": "..."} record
+// instead of the trailer; rows already delivered stand. Client
+// disconnects cancel the pipeline through the request context, and
+// GET /stats exposes streamed / inFlightStreams counters (the gauge
+// returning to zero is the no-leak check). Streamed responses bypass
+// the single-flight guard and are not cached; cache hits produced by
+// the JSON path replay in the same NDJSON framing.
+//
+// ExecOptions.Materialized ("tatooine serve -materialized") disables
+// tuple streaming for ablation: every node materializes before its
+// consumers start, and /cmq answers from the old buffered path.
+// BenchmarkTimeToFirstRow measures the difference on a
+// latency-injected federated join: streamed time-to-first-row is ≥3x
+// lower, with full-drain throughput unchanged.
 package tatooine

@@ -8,10 +8,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
+	"time"
 
 	"tatooine/internal/core"
 	"tatooine/internal/datagen"
@@ -75,4 +77,49 @@ ORDER BY ?val DESC
 	for _, row := range res.Rows {
 		fmt.Printf("  %-10s %-28s %-12s %v\n", row[0], row[1], row[2], row[3])
 	}
+
+	// Streaming execution: the same pipeline, consumed incrementally.
+	// Rows arrive batch by batch while upstream probes are still in
+	// flight, so the first rows land after roughly one remote round
+	// trip instead of after the whole federated fan-out. Over HTTP the
+	// equivalent is POST /cmq with Accept: application/x-ndjson (or
+	// {"stream": true}): a {"cols": [...]} header, one {"row": [...]}
+	// record per row flushed as batches land, and a {"stats": ...}
+	// trailer — or a terminal {"error": ...} record if a remote dies
+	// mid-stream. "tatooine serve -materialized" disables streaming for
+	// ablation: same rows, but nothing is sent before everything is
+	// computed. Note the ORDER BY above would block until the full
+	// result exists, so the streamed query drops it.
+	q, _, err := core.ParseCMQ(`
+QUERY q(?region, ?src, ?ind, ?val)
+FROM <sql://insee> OUT(?region, ?src) { SELECT region, uri FROM live_endpoints }
+FROM ?src OUT(?ind, ?val) { SELECT indicator, val FROM stats }
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	sr, err := in.ExecuteStream(context.Background(), q, core.ExecOptions{Parallel: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sr.Close()
+	rows, batches := 0, 0
+	for {
+		batch, err := sr.NextBatch()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(batch) == 0 {
+			break
+		}
+		if batches == 0 {
+			fmt.Printf("\nstreamed: first %d rows after %v (probes still in flight)\n",
+				len(batch), time.Since(start).Round(time.Millisecond))
+		}
+		batches++
+		rows += len(batch)
+	}
+	fmt.Printf("streamed: all %d rows in %d batches after %v\n",
+		rows, batches, time.Since(start).Round(time.Millisecond))
 }

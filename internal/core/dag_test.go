@@ -109,6 +109,7 @@ func TestDAGMatchesWaveBarrierProperty(t *testing.T) {
 				{"dag-parallel", ExecOptions{Parallel: true}},
 				{"dag-sequential", ExecOptions{Parallel: false}},
 				{"dag-materialized", ExecOptions{Parallel: true, MaterializeFinal: true}},
+				{"dag-full-materialized", ExecOptions{Parallel: true, Materialized: true}},
 				{"wave-parallel", ExecOptions{WaveBarrier: true, Parallel: true}},
 			} {
 				res, err := in.ExecuteOpts(q, cfg.opts)

@@ -47,6 +47,12 @@ type ExecOptions struct {
 	// straight into finish() (ablation/testing knob; results are
 	// identical either way).
 	MaterializeFinal bool
+	// Materialized disables tuple-level streaming ("tatooine serve
+	// -materialized", ablation): every DAG node materializes its full
+	// relation before dependents start, the pre-streaming behavior.
+	// Row multisets are identical either way; only time-to-first-row
+	// and early-termination behavior differ.
+	Materialized bool
 }
 
 // DefaultProbeBatch is the bind-join batch size when ExecOptions leaves
@@ -119,6 +125,23 @@ func (in *Instance) ExecuteOpts(q *CMQ, opts ExecOptions) (*QueryResult, error) 
 // scheduled nodes from launching, refuses further probe fan-out, and
 // aborts in-flight federation round trips mid-request.
 func (in *Instance) ExecuteContext(ctx context.Context, q *CMQ, opts ExecOptions) (*QueryResult, error) {
+	ex, err := in.newExecutor(ctx, q, opts)
+	if err != nil {
+		return nil, err
+	}
+	if streamEligible(ex.opts) {
+		sr, err := ex.runDAGStream()
+		if err != nil {
+			return nil, err
+		}
+		return sr.drain()
+	}
+	return ex.runMaterialized()
+}
+
+// newExecutor normalizes the options, plans the query and wires an
+// executor — the shared front half of ExecuteContext and ExecuteStream.
+func (in *Instance) newExecutor(ctx context.Context, q *CMQ, opts ExecOptions) (*executor, error) {
 	if opts.MaxFanout <= 0 {
 		opts.MaxFanout = DefaultMaxFanout()
 	}
@@ -129,10 +152,18 @@ func (in *Instance) ExecuteContext(ctx context.Context, q *CMQ, opts ExecOptions
 	if err != nil {
 		return nil, err
 	}
-	ex := &executor{in: in, q: q, plan: plan, opts: opts, ctx: ctx,
-		nodeRows: make([]int, len(plan.Steps))}
+	return &executor{in: in, q: q, plan: plan, opts: opts, ctx: ctx,
+		nodeRows: make([]int, len(plan.Steps))}, nil
+}
+
+// runMaterialized is the pre-streaming execution path (and the
+// sequential / wave-barrier / ExecOptions.Materialized one): every DAG
+// node materializes its relation before dependents start, and the root
+// join drains into finish before anything is returned.
+func (ex *executor) runMaterialized() (*QueryResult, error) {
 	var it Iterator
-	if opts.WaveBarrier {
+	var err error
+	if ex.opts.WaveBarrier {
 		it, err = ex.runWaves()
 	} else {
 		it, err = ex.runDAG()
@@ -144,13 +175,22 @@ func (in *Instance) ExecuteContext(ctx context.Context, q *CMQ, opts ExecOptions
 	if err != nil {
 		return nil, err
 	}
-	ex.stats.Waves = plan.NumWaves()
-	for i, s := range plan.Steps {
+	return &QueryResult{Cols: out.Cols, Rows: out.Rows, Stats: ex.finalStats(), Plan: ex.plan}, nil
+}
+
+// finalStats assembles the per-node estimate-vs-actual report into the
+// accumulated counters. Call once, after every node finished.
+func (ex *executor) finalStats() ExecStats {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	ex.stats.Waves = ex.plan.NumWaves()
+	ex.stats.Nodes = nil
+	for i, s := range ex.plan.Steps {
 		ex.stats.Nodes = append(ex.stats.Nodes, NodeStats{
 			Atom: s.AtomIndex, EstRows: s.EstRows, EstCost: s.EstCost, Rows: ex.nodeRows[i],
 		})
 	}
-	return &QueryResult{Cols: out.Cols, Rows: out.Rows, Stats: ex.stats, Plan: plan}, nil
+	return ex.stats
 }
 
 type executor struct {
@@ -566,6 +606,92 @@ type paramTuple struct {
 	params value.Row
 }
 
+// bindSpec is the column plumbing of one bind join, computed once from
+// the atom and the outer input's columns and shared by the
+// materialized and streaming paths: which outer positions feed the
+// sub-query parameters, what the output columns are, and how a probe
+// result filters back into output rows.
+type bindSpec struct {
+	ins      []string // parameter variable names, in InVars order
+	inPos    []int    // their positions in the outer input
+	cols     []string // output columns: ins, then outs not among ins
+	outKeep  []int    // positions in the sub-result to append
+	outCheck []struct{ resPos, insPos int }
+	outs     []string
+	atom     Atom
+}
+
+// newBindSpec resolves the atom's InVars against the outer columns and
+// lays out the output relation. Output columns: InVars first, then
+// OutVars not already among the InVars (overlaps are equality-checked
+// instead of duplicated).
+func newBindSpec(a Atom, outs []string, outerCols []string) (*bindSpec, error) {
+	sp := &bindSpec{atom: a, outs: outs}
+	sp.ins = make([]string, len(a.Sub.InVars))
+	sp.inPos = make([]int, len(sp.ins))
+	for i, iv := range a.Sub.InVars {
+		sp.ins[i] = strings.TrimPrefix(iv, "?")
+		p, ok := indexOf(outerCols, sp.ins[i])
+		if !ok {
+			return nil, fmt.Errorf("core: bind-join variable ?%s not in intermediate relation", sp.ins[i])
+		}
+		sp.inPos[i] = p
+	}
+	sp.cols = append([]string(nil), sp.ins...)
+	for i, o := range outs {
+		if j, dup := indexOf(sp.ins, o); dup {
+			sp.outCheck = append(sp.outCheck, struct{ resPos, insPos int }{i, j})
+			continue
+		}
+		sp.cols = append(sp.cols, o)
+		sp.outKeep = append(sp.outKeep, i)
+	}
+	return sp, nil
+}
+
+// extract pulls one outer row's parameter tuple; ok=false skips the
+// row (a NULL never binds a parameter).
+func (sp *bindSpec) extract(row value.Row) (paramTuple, bool) {
+	params := make(value.Row, len(sp.inPos))
+	for i, p := range sp.inPos {
+		if row[p].IsNull() {
+			return paramTuple{}, false
+		}
+		params[i] = row[p]
+	}
+	return paramTuple{params.Key(), params}, true
+}
+
+// filterRows turns one tuple's sub-result into output rows: the
+// overlap columns are equality-checked against the tuple, the rest
+// appended after the tuple's parameter values.
+func (sp *bindSpec) filterRows(t paramTuple, res *source.Result) ([]value.Row, error) {
+	if len(res.Cols) != len(sp.outs) {
+		return nil, fmt.Errorf("core: atom %s returned %d columns for %d OUT variables",
+			sp.atom.Designator(), len(res.Cols), len(sp.outs))
+	}
+	var local []value.Row
+	for _, r := range res.Rows {
+		ok := true
+		for _, ch := range sp.outCheck {
+			if !value.Equal(r[ch.resPos], t.params[ch.insPos]) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		row := make(value.Row, 0, len(sp.cols))
+		row = append(row, t.params...)
+		for _, p := range sp.outKeep {
+			row = append(row, r[p])
+		}
+		local = append(local, row)
+	}
+	return local, nil
+}
+
 // bindJoin executes the atom once per distinct combination of its
 // InVars values in rel, pushing the values as sub-query parameters, and
 // returns the relation (InVars ∪ OutVars). When the source supports
@@ -580,15 +706,9 @@ func (ex *executor) bindJoin(src source.DataSource, a Atom, outs []string, rel *
 	if rel == nil {
 		return nil, fmt.Errorf("core: bind join for atom %s has no outer bindings", a.Designator())
 	}
-	ins := make([]string, len(a.Sub.InVars))
-	inPos := make([]int, len(ins))
-	for i, iv := range a.Sub.InVars {
-		ins[i] = strings.TrimPrefix(iv, "?")
-		p := rel.colIndex(ins[i])
-		if p < 0 {
-			return nil, fmt.Errorf("core: bind-join variable ?%s not in intermediate relation", ins[i])
-		}
-		inPos[i] = p
+	sp, err := newBindSpec(a, outs, rel.Cols)
+	if err != nil {
+		return nil, err
 	}
 	srcPos := -1
 	if srcURI != "" {
@@ -602,72 +722,20 @@ func (ex *executor) bindJoin(src source.DataSource, a Atom, outs []string, rel *
 		if srcPos >= 0 && row[srcPos].Str() != srcURI {
 			continue
 		}
-		params := make(value.Row, len(inPos))
-		skip := false
-		for i, p := range inPos {
-			if row[p].IsNull() {
-				skip = true
-				break
-			}
-			params[i] = row[p]
-		}
-		if skip {
+		t, ok := sp.extract(row)
+		if !ok {
 			continue
 		}
-		k := params.Key()
-		if _, dup := seen[k]; dup {
+		if _, dup := seen[t.key]; dup {
 			continue
 		}
-		seen[k] = struct{}{}
-		tuples = append(tuples, paramTuple{k, params})
+		seen[t.key] = struct{}{}
+		tuples = append(tuples, t)
 	}
 
-	// Output columns: InVars first, then OutVars not already among the
-	// InVars (overlaps are equality-checked instead of duplicated).
-	cols := append([]string(nil), ins...)
-	var outKeep []int // positions in the sub-result to append
-	var outCheck []struct{ resPos, insPos int }
-	for i, o := range outs {
-		if j, dup := indexOf(ins, o); dup {
-			outCheck = append(outCheck, struct{ resPos, insPos int }{i, j})
-			continue
-		}
-		cols = append(cols, o)
-		outKeep = append(outKeep, i)
-	}
-
-	out := &Relation{Cols: cols}
+	filterRows := sp.filterRows
+	out := &Relation{Cols: sp.cols}
 	var outMu sync.Mutex
-
-	// filterRows turns one tuple's sub-result into output rows: the
-	// overlap columns are equality-checked against the tuple, the rest
-	// appended after the tuple's parameter values.
-	filterRows := func(t paramTuple, res *source.Result) ([]value.Row, error) {
-		if len(res.Cols) != len(outs) {
-			return nil, fmt.Errorf("core: atom %s returned %d columns for %d OUT variables",
-				a.Designator(), len(res.Cols), len(outs))
-		}
-		var local []value.Row
-		for _, r := range res.Rows {
-			ok := true
-			for _, ch := range outCheck {
-				if !value.Equal(r[ch.resPos], t.params[ch.insPos]) {
-					ok = false
-					break
-				}
-			}
-			if !ok {
-				continue
-			}
-			row := make(value.Row, 0, len(cols))
-			row = append(row, t.params...)
-			for _, p := range outKeep {
-				row = append(row, r[p])
-			}
-			local = append(local, row)
-		}
-		return local, nil
-	}
 
 	probe := func(t paramTuple) error {
 		res, err := source.ExecuteWith(ex.ctx, src, a.Sub, t.params)
@@ -786,13 +854,31 @@ func (ex *executor) runJobs(jobs []func() error) error {
 }
 
 // batchProbe ships one chunk of parameter tuples as a single batched
-// sub-query and merges the per-tuple results. unsupported=true reports
-// the source rejected this sub-query's shape (ErrBatchUnsupported);
-// the caller then reprobes the chunk's tuples individually. Successful
-// round trips feed the adaptive tuner when one is configured.
+// sub-query and appends the merged per-tuple results to out.
+// unsupported=true reports the source rejected this sub-query's shape
+// (ErrBatchUnsupported); the caller then reprobes the chunk's tuples
+// individually.
 func (ex *executor) batchProbe(bp source.BatchProber, a Atom, chunk []paramTuple,
 	filterRows func(paramTuple, *source.Result) ([]value.Row, error),
 	out *Relation, outMu *sync.Mutex) (unsupported bool, _ error) {
+
+	merged, unsupported, err := ex.batchProbeRows(bp, a, chunk, filterRows)
+	if err != nil || unsupported {
+		return unsupported, err
+	}
+	outMu.Lock()
+	out.Rows = append(out.Rows, merged...)
+	outMu.Unlock()
+	return false, nil
+}
+
+// batchProbeRows ships one chunk of parameter tuples as a single
+// batched sub-query and returns the merged per-tuple result rows —
+// the transport shared by the materialized and streaming bind joins.
+// Successful round trips feed the adaptive tuner when one is
+// configured.
+func (ex *executor) batchProbeRows(bp source.BatchProber, a Atom, chunk []paramTuple,
+	filterRows func(paramTuple, *source.Result) ([]value.Row, error)) (_ []value.Row, unsupported bool, _ error) {
 
 	sets := make([]value.Row, len(chunk))
 	for i, t := range chunk {
@@ -802,27 +888,27 @@ func (ex *executor) batchProbe(bp source.BatchProber, a Atom, chunk []paramTuple
 	results, err := source.ExecuteBatchWith(ex.ctx, bp, a.Sub, sets)
 	if err != nil {
 		if errors.Is(err, source.ErrBatchUnsupported) {
-			return true, nil
+			return nil, true, nil
 		}
-		return false, err
+		return nil, false, err
 	}
 	if ex.opts.Tuner != nil {
 		ex.opts.Tuner.Observe(bp.URI(), time.Since(start))
 	}
 	if len(results) != len(chunk) {
-		return false, fmt.Errorf("core: atom %s: batched probe returned %d results for %d tuples",
+		return nil, false, fmt.Errorf("core: atom %s: batched probe returned %d results for %d tuples",
 			a.Designator(), len(results), len(chunk))
 	}
 	rows := 0
 	var merged []value.Row
 	for i, res := range results {
 		if res == nil {
-			return false, fmt.Errorf("core: atom %s: batched probe returned a nil result", a.Designator())
+			return nil, false, fmt.Errorf("core: atom %s: batched probe returned a nil result", a.Designator())
 		}
 		rows += len(res.Rows)
 		local, err := filterRows(chunk[i], res)
 		if err != nil {
-			return false, err
+			return nil, false, err
 		}
 		merged = append(merged, local...)
 	}
@@ -831,10 +917,7 @@ func (ex *executor) batchProbe(bp source.BatchProber, a Atom, chunk []paramTuple
 	ex.stats.BatchProbes++
 	ex.stats.RowsFetched += rows
 	ex.mu.Unlock()
-	outMu.Lock()
-	out.Rows = append(out.Rows, merged...)
-	outMu.Unlock()
-	return false, nil
+	return merged, false, nil
 }
 
 // atomRelation renames a source result's columns to the atom's OUT
@@ -880,11 +963,18 @@ func atomRelation(res *source.Result, outs []string) (*Relation, error) {
 	return out, nil
 }
 
-// finish applies head projection (or grouped aggregation), distinct,
-// order and limit, consuming the body pipeline without materializing
-// it first.
-func (ex *executor) finish(input Iterator) (*Relation, error) {
+// finishIter chains the finishing operators — head projection (or
+// grouped aggregation), distinct, order, limit — over the body
+// pipeline. When the query is non-distinct, unordered and
+// non-aggregating, the limit pushes BELOW the projection: the bound
+// cuts the body pipeline (and, streaming, cancels upstream probes)
+// before any per-row projection work, not after.
+func (ex *executor) finishIter(input Iterator) Iterator {
 	it := input
+	pushLimit := ex.q.Limit > 0 && !ex.q.Distinct && ex.q.OrderBy == "" && len(ex.q.HeadItems) == 0
+	if pushLimit {
+		it = NewLimit(it, ex.q.Limit)
+	}
 	if len(ex.q.HeadItems) > 0 {
 		it = NewAggregate(it, ex.q.GroupBy, ex.q.HeadItems)
 	} else {
@@ -900,8 +990,14 @@ func (ex *executor) finish(input Iterator) (*Relation, error) {
 	if ex.q.OrderBy != "" {
 		it = NewSort(it, ex.q.OrderBy, ex.q.OrderDesc)
 	}
-	if ex.q.Limit > 0 {
+	if ex.q.Limit > 0 && !pushLimit {
 		it = NewLimit(it, ex.q.Limit)
 	}
-	return Materialize(it)
+	return it
+}
+
+// finish applies the finishing operators, consuming the body pipeline
+// without materializing it first.
+func (ex *executor) finish(input Iterator) (*Relation, error) {
+	return Materialize(ex.finishIter(input))
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -37,31 +38,60 @@ func (r *Relation) colIndex(name string) int {
 	return -1
 }
 
-// Materialize drains an iterator into a Relation.
+// Materialize drains an iterator into a Relation. A Close error on a
+// cleanly drained input surfaces (a streaming input may only learn of
+// an upstream failure when it releases its resources); after an Open
+// or Next error the Close error is secondary and the original wins.
 func Materialize(it Iterator) (*Relation, error) {
 	if err := it.Open(); err != nil {
+		it.Close()
 		return nil, err
 	}
-	defer it.Close()
 	out := &Relation{Cols: it.Cols()}
 	for {
 		row, ok, err := it.Next()
 		if err != nil {
+			it.Close()
 			return nil, err
 		}
 		if !ok {
+			if err := it.Close(); err != nil {
+				return nil, err
+			}
 			return out, nil
 		}
 		out.Rows = append(out.Rows, row)
 	}
 }
 
+// bufferedIterator is the optional capability of iterators that can
+// report whether a row is ready without blocking. The streaming
+// executor uses it to flush partial batches — a probe dispatch or a
+// wire write — when the input would otherwise stall, instead of
+// holding early rows hostage to a full batch.
+type bufferedIterator interface {
+	// Buffered reports (best effort) whether Next returns without
+	// blocking on an upstream channel.
+	Buffered() bool
+}
+
+// iterBuffered reports whether it can serve a Next without blocking.
+// Iterators without the capability are fully materialized and never
+// block.
+func iterBuffered(it Iterator) bool {
+	if b, ok := it.(bufferedIterator); ok {
+		return b.Buffered()
+	}
+	return true
+}
+
 // ---------- scan ----------
 
 // ScanIterator iterates a materialized relation.
 type ScanIterator struct {
-	rel *Relation
-	pos int
+	rel    *Relation
+	pos    int
+	closed bool
 }
 
 // NewScan returns an iterator over rel.
@@ -69,10 +99,15 @@ func NewScan(rel *Relation) *ScanIterator { return &ScanIterator{rel: rel} }
 
 func (s *ScanIterator) Cols() []string { return s.rel.Cols }
 func (s *ScanIterator) Open() error    { s.pos = 0; return nil }
-func (s *ScanIterator) Close() error   { return nil }
+
+// Close is idempotent; a closed scan stops yielding rows.
+func (s *ScanIterator) Close() error {
+	s.closed = true
+	return nil
+}
 
 func (s *ScanIterator) Next() (value.Row, bool, error) {
-	if s.pos >= len(s.rel.Rows) {
+	if s.closed || s.pos >= len(s.rel.Rows) {
 		return nil, false, nil
 	}
 	row := s.rel.Rows[s.pos]
@@ -98,6 +133,7 @@ type HashJoinIterator struct {
 	cur         value.Row   // current left row
 	matches     []value.Row // pending right matches for cur
 	mi          int
+	closed      bool
 }
 
 // NewHashJoin builds a natural-join iterator over the inputs.
@@ -229,13 +265,23 @@ func (h *HashJoinIterator) combine(l, r value.Row) value.Row {
 	return out
 }
 
+// Close closes both inputs exactly once, combining their errors
+// (errors.Join) so a failure in either child surfaces instead of one
+// masking the other. Repeated calls are no-ops returning nil.
 func (h *HashJoinIterator) Close() error {
-	lerr := h.left.Close()
-	rerr := h.right.Close()
-	if lerr != nil {
-		return lerr
+	if h.closed {
+		return nil
 	}
-	return rerr
+	h.closed = true
+	return errors.Join(h.left.Close(), h.right.Close())
+}
+
+// Buffered reports whether Next would return without blocking: either
+// matches for the current left row remain, or the streaming left side
+// has a row ready. Best effort — a buffered left row may still join to
+// nothing.
+func (h *HashJoinIterator) Buffered() bool {
+	return h.mi < len(h.matches) || iterBuffered(h.left)
 }
 
 // ---------- project ----------
@@ -281,6 +327,10 @@ func (p *ProjectIterator) Next() (value.Row, bool, error) {
 
 func (p *ProjectIterator) Close() error { return p.in.Close() }
 
+// Buffered reports whether the input has a row ready (projection is
+// row-at-a-time, so it adds no buffering of its own).
+func (p *ProjectIterator) Buffered() bool { return iterBuffered(p.in) }
+
 // ---------- select (filter) ----------
 
 // SelectIterator keeps rows satisfying a predicate.
@@ -297,6 +347,9 @@ func NewSelect(in Iterator, pred func(cols []string, row value.Row) (bool, error
 func (s *SelectIterator) Cols() []string { return s.in.Cols() }
 func (s *SelectIterator) Open() error    { return s.in.Open() }
 func (s *SelectIterator) Close() error   { return s.in.Close() }
+
+// Buffered is best effort: a ready input row may yet be filtered out.
+func (s *SelectIterator) Buffered() bool { return iterBuffered(s.in) }
 
 func (s *SelectIterator) Next() (value.Row, bool, error) {
 	for {
@@ -333,6 +386,9 @@ func (d *DistinctIterator) Open() error {
 }
 
 func (d *DistinctIterator) Close() error { return d.in.Close() }
+
+// Buffered is best effort: a ready input row may be a duplicate.
+func (d *DistinctIterator) Buffered() bool { return iterBuffered(d.in) }
 
 func (d *DistinctIterator) Next() (value.Row, bool, error) {
 	for {
@@ -423,6 +479,12 @@ func NewLimit(in Iterator, n int) *LimitIterator { return &LimitIterator{in: in,
 func (l *LimitIterator) Cols() []string { return l.in.Cols() }
 func (l *LimitIterator) Open() error    { l.seen = 0; return l.in.Open() }
 func (l *LimitIterator) Close() error   { return l.in.Close() }
+
+// Buffered reports whether Next returns without blocking — trivially
+// true once the bound is reached (exhaustion is immediate).
+func (l *LimitIterator) Buffered() bool {
+	return (l.n > 0 && l.seen >= l.n) || iterBuffered(l.in)
+}
 
 func (l *LimitIterator) Next() (value.Row, bool, error) {
 	if l.n > 0 && l.seen >= l.n {

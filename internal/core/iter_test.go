@@ -1,6 +1,8 @@
 package core
 
 import (
+	"errors"
+	"strings"
 	"testing"
 
 	"tatooine/internal/value"
@@ -173,5 +175,80 @@ func TestIteratorComposition(t *testing.T) {
 	}
 	if len(got.Rows) != 2 || got.Rows[0][0].Int() != 1 || got.Rows[1][0].Int() != 2 {
 		t.Errorf("pipeline: %+v", got.Rows)
+	}
+}
+
+// closeTrackIterator wraps an iterator, counting Close calls and
+// optionally failing them — for pinning Close idempotence and error
+// propagation through composed iterators.
+type closeTrackIterator struct {
+	Iterator
+	closes   int
+	closeErr error
+}
+
+func (c *closeTrackIterator) Close() error {
+	c.closes++
+	if err := c.Iterator.Close(); err != nil {
+		return err
+	}
+	return c.closeErr
+}
+
+func TestScanCloseIdempotent(t *testing.T) {
+	s := NewScan(rel([]string{"a"}, []any{"x"}, []any{"y"}))
+	if err := s.Open(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Next(); !ok {
+		t.Fatal("expected a row before Close")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, ok, err := s.Next(); ok || err != nil {
+		t.Fatalf("Next after Close = ok=%v err=%v, want exhausted", ok, err)
+	}
+}
+
+func TestHashJoinCloseIdempotentAndPropagates(t *testing.T) {
+	left := &closeTrackIterator{
+		Iterator: NewScan(rel([]string{"a"}, []any{"x"})),
+		closeErr: errors.New("left: flush failed"),
+	}
+	right := &closeTrackIterator{
+		Iterator: NewScan(rel([]string{"a"}, []any{"x"})),
+		closeErr: errors.New("right: flush failed"),
+	}
+	j := NewHashJoin(left, right)
+	if err := j.Open(); err != nil {
+		t.Fatal(err)
+	}
+	err := j.Close()
+	if err == nil || !strings.Contains(err.Error(), "left: flush failed") ||
+		!strings.Contains(err.Error(), "right: flush failed") {
+		t.Fatalf("Close = %v, want both child errors surfaced", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if left.closes != 1 || right.closes != 1 {
+		t.Fatalf("children closed %d/%d times, want exactly once", left.closes, right.closes)
+	}
+}
+
+func TestMaterializeSurfacesCloseError(t *testing.T) {
+	it := &closeTrackIterator{
+		Iterator: NewScan(rel([]string{"a"}, []any{"x"})),
+		closeErr: errors.New("close: flush failed"),
+	}
+	if _, err := Materialize(it); err == nil || !strings.Contains(err.Error(), "flush failed") {
+		t.Fatalf("Materialize = %v, want the Close error surfaced", err)
+	}
+	if it.closes != 1 {
+		t.Fatalf("closed %d times, want once", it.closes)
 	}
 }

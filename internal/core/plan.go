@@ -62,6 +62,40 @@ func (p *Plan) NumWaves() int {
 	return n
 }
 
+// Dependents returns, per step position, the positions of the steps
+// that consume its output — the reverse of PlanStep.Deps.
+func (p *Plan) Dependents() [][]int {
+	deps := make([][]int, len(p.Steps))
+	for i, s := range p.Steps {
+		for _, d := range s.Deps {
+			deps[d] = append(deps[d], i)
+		}
+	}
+	return deps
+}
+
+// StreamSink picks the node whose output the streaming executor sends
+// straight into the root join's probe side (everything else becomes a
+// hash-build input). It must be a node nothing depends on — otherwise
+// its consumers would deadlock against the bounded sink channel — and
+// among those the most expensive one wins: the slowest drain is the
+// one worth overlapping with the client-facing stream. At least one
+// sink always exists (the last step: dependents only point forward).
+func (p *Plan) StreamSink() int {
+	deps := p.Dependents()
+	sink := len(p.Steps) - 1
+	bestCost := -1 << 30
+	for i := range p.Steps {
+		if len(deps[i]) > 0 {
+			continue
+		}
+		if c := p.Steps[i].EstCost; c >= bestCost {
+			sink, bestCost = i, c
+		}
+	}
+	return sink
+}
+
 // Explain renders the plan for humans: one line per DAG node with its
 // estimated rows/cost, dependency edges and dependency depth (wave).
 func (p *Plan) Explain(q *CMQ) string {

@@ -1,0 +1,314 @@
+package core
+
+import (
+	"context"
+	"sync"
+
+	"tatooine/internal/value"
+)
+
+// BatchStream is a bounded channel of row batches with an error/done
+// side-band — the tuple-granularity handoff of the streaming executor.
+// The producer Sends batches and Closes with its terminal error; the
+// consumer Recvs until the channel drains, then reads Err. Either side
+// can end the flow early: the consumer Cancels (a LIMIT reached its
+// bound, a client disconnected) and every pending Send returns false,
+// so the producer unwinds instead of blocking on a channel nobody
+// reads; the producer's context cancelling unblocks Send the same way.
+type BatchStream struct {
+	cols []string
+	ch   chan []value.Row
+	done chan struct{} // closed by Cancel: the consumer is gone
+
+	closeOnce  sync.Once
+	cancelOnce sync.Once
+
+	mu  sync.Mutex
+	err error
+}
+
+// NewBatchStream builds a stream carrying rows with the given columns,
+// buffering up to capacity batches before Send blocks (backpressure).
+func NewBatchStream(cols []string, capacity int) *BatchStream {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &BatchStream{
+		cols: cols,
+		ch:   make(chan []value.Row, capacity),
+		done: make(chan struct{}),
+	}
+}
+
+// Cols returns the column names of every batch.
+func (s *BatchStream) Cols() []string { return s.cols }
+
+// Send delivers one batch, blocking while the channel is full. It
+// reports false when the consumer cancelled the stream or ctx ended —
+// the producer should stop producing.
+func (s *BatchStream) Send(ctx context.Context, batch []value.Row) bool {
+	if len(batch) == 0 {
+		return true
+	}
+	select {
+	case s.ch <- batch:
+		return true
+	case <-s.done:
+		return false
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// Close ends the stream with err as its terminal status (nil for a
+// clean end of input). The error is published before the channel
+// closes, so a consumer that sees the channel drained reads it safely.
+// Close is idempotent; only the first call's error sticks.
+func (s *BatchStream) Close(err error) {
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		s.err = err
+		s.mu.Unlock()
+		close(s.ch)
+	})
+}
+
+// Recv returns the next batch; ok=false means the stream closed and
+// Err carries its terminal status.
+func (s *BatchStream) Recv() ([]value.Row, bool) {
+	batch, ok := <-s.ch
+	return batch, ok
+}
+
+// Err returns the terminal error set by Close. Only meaningful after
+// Recv reported ok=false.
+func (s *BatchStream) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Cancel tells the producer the consumer will read no further batches.
+// Idempotent; safe to call concurrently with Send and Close.
+func (s *BatchStream) Cancel() { s.cancelOnce.Do(func() { close(s.done) }) }
+
+// buffered reports whether a Recv would return without blocking. Best
+// effort: a closed-but-drained channel reads as not buffered.
+func (s *BatchStream) buffered() bool { return len(s.ch) > 0 }
+
+// nodeBuffer is the progressive result of one streaming DAG node that
+// other nodes consume: rows append as probe batches land, each append
+// waking the blocked cursors, and close publishes completion (or the
+// node's error). Unlike BatchStream it never blocks the producer and
+// supports any number of independent readers — a node's output can
+// feed several downstream bind joins AND the root join's build side.
+// Memory-wise it holds exactly what the materialize-then-join executor
+// held: one relation per node.
+type nodeBuffer struct {
+	cols []string
+
+	mu   sync.Mutex
+	rows []value.Row
+	done bool
+	err  error
+	wake chan struct{} // closed and replaced on every append/close (broadcast)
+}
+
+func newNodeBuffer(cols []string) *nodeBuffer {
+	return &nodeBuffer{cols: cols, wake: make(chan struct{})}
+}
+
+// emit appends rows and wakes every waiting cursor.
+func (b *nodeBuffer) emit(rows []value.Row) {
+	if len(rows) == 0 {
+		return
+	}
+	b.mu.Lock()
+	b.rows = append(b.rows, rows...)
+	b.broadcastLocked()
+	b.mu.Unlock()
+}
+
+// close marks the buffer complete with the node's terminal error.
+// Only the first call's status sticks.
+func (b *nodeBuffer) close(err error) {
+	b.mu.Lock()
+	if !b.done {
+		b.done = true
+		b.err = err
+		b.broadcastLocked()
+	}
+	b.mu.Unlock()
+}
+
+func (b *nodeBuffer) broadcastLocked() {
+	close(b.wake)
+	b.wake = make(chan struct{})
+}
+
+// cursor returns an independent reader positioned at the first row.
+func (b *nodeBuffer) cursor(ctx context.Context) *bufCursor {
+	return &bufCursor{buf: b, ctx: ctx}
+}
+
+// waitRelation blocks until the buffer completes and returns its rows
+// as a relation — for consumers that genuinely need the whole input
+// (dynamic source resolution) rather than a stream.
+func (b *nodeBuffer) waitRelation(ctx context.Context) (*Relation, error) {
+	for {
+		b.mu.Lock()
+		if b.done {
+			rel, err := &Relation{Cols: b.cols, Rows: b.rows}, b.err
+			b.mu.Unlock()
+			if err != nil {
+				return nil, err
+			}
+			return rel, nil
+		}
+		wake := b.wake
+		b.mu.Unlock()
+		select {
+		case <-wake:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// bufCursor reads a nodeBuffer in arrival-order chunks, blocking when
+// it has consumed everything emitted so far and the buffer is still
+// open. Each cursor is single-consumer; a buffer can have many.
+type bufCursor struct {
+	buf *nodeBuffer
+	ctx context.Context
+	pos int
+}
+
+// next returns the rows emitted since the previous call. done=true
+// means the buffer completed (err is its terminal status) or ctx ended.
+func (c *bufCursor) next() (chunk []value.Row, done bool, err error) {
+	for {
+		c.buf.mu.Lock()
+		if c.pos < len(c.buf.rows) {
+			chunk = c.buf.rows[c.pos:len(c.buf.rows):len(c.buf.rows)]
+			c.pos = len(c.buf.rows)
+			c.buf.mu.Unlock()
+			return chunk, false, nil
+		}
+		if c.buf.done {
+			err = c.buf.err
+			c.buf.mu.Unlock()
+			return nil, true, err
+		}
+		wake := c.buf.wake
+		c.buf.mu.Unlock()
+		select {
+		case <-wake:
+		case <-c.ctx.Done():
+			return nil, true, c.ctx.Err()
+		}
+	}
+}
+
+// buffered reports whether next would return rows without blocking.
+func (c *bufCursor) buffered() bool {
+	c.buf.mu.Lock()
+	defer c.buf.mu.Unlock()
+	return c.pos < len(c.buf.rows)
+}
+
+// ---------- stream/cursor iterator adapters ----------
+
+// streamIterator adapts a BatchStream to the Iterator interface, so
+// the sink node's live output slots straight into the hash-join /
+// finishing pipeline. Close cancels the stream, which is what carries
+// a downstream LIMIT's early termination back to the producer.
+type streamIterator struct {
+	s    *BatchStream
+	cur  []value.Row
+	pos  int
+	done bool
+}
+
+func newStreamIterator(s *BatchStream) *streamIterator { return &streamIterator{s: s} }
+
+func (it *streamIterator) Cols() []string { return it.s.Cols() }
+func (it *streamIterator) Open() error    { return nil }
+
+func (it *streamIterator) Next() (value.Row, bool, error) {
+	for {
+		if it.pos < len(it.cur) {
+			row := it.cur[it.pos]
+			it.pos++
+			return row, true, nil
+		}
+		if it.done {
+			return nil, false, nil
+		}
+		batch, ok := it.s.Recv()
+		if !ok {
+			it.done = true
+			if err := it.s.Err(); err != nil {
+				return nil, false, err
+			}
+			return nil, false, nil
+		}
+		it.cur, it.pos = batch, 0
+	}
+}
+
+func (it *streamIterator) Close() error {
+	it.s.Cancel()
+	return nil
+}
+
+// Buffered reports whether Next would return without blocking.
+func (it *streamIterator) Buffered() bool {
+	return it.done || it.pos < len(it.cur) || it.s.buffered()
+}
+
+// cursorIterator adapts a bufCursor to the Iterator interface: a
+// downstream bind join consumes its dependency's progressive output
+// through one of these, launching probes as soon as rows land instead
+// of waiting for the node to materialize.
+type cursorIterator struct {
+	c    *bufCursor
+	cur  []value.Row
+	pos  int
+	done bool
+}
+
+func newCursorIterator(c *bufCursor) *cursorIterator { return &cursorIterator{c: c} }
+
+func (it *cursorIterator) Cols() []string { return it.c.buf.cols }
+func (it *cursorIterator) Open() error    { return nil }
+
+func (it *cursorIterator) Next() (value.Row, bool, error) {
+	for {
+		if it.pos < len(it.cur) {
+			row := it.cur[it.pos]
+			it.pos++
+			return row, true, nil
+		}
+		if it.done {
+			return nil, false, nil
+		}
+		chunk, done, err := it.c.next()
+		if err != nil {
+			it.done = true
+			return nil, false, err
+		}
+		if done {
+			it.done = true
+			return nil, false, nil
+		}
+		it.cur, it.pos = chunk, 0
+	}
+}
+
+func (it *cursorIterator) Close() error { return nil }
+
+// Buffered reports whether Next would return without blocking.
+func (it *cursorIterator) Buffered() bool {
+	return it.done || it.pos < len(it.cur) || it.c.buffered()
+}

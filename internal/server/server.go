@@ -91,6 +91,8 @@ type Stats struct {
 	Errors             int64  `json:"errors"`             // parse or execution failures
 	SubQueries         int64  `json:"subQueries"`         // native sub-queries across all executions
 	BatchProbes        int64  `json:"batchProbes"`        // batched bind-join dispatches across all executions
+	Streamed           int64  `json:"streamed"`           // POST /cmq requests answered as NDJSON streams
+	InFlightStreams    int64  `json:"inFlightStreams"`    // NDJSON streams currently open (a leak shows here)
 	CacheEntries       int    `json:"cacheEntries"`       // current result-cache occupancy
 	Epoch              uint64 `json:"epoch"`              // instance mutation epoch
 	Mutations          int64  `json:"mutations"`          // mutation requests applied over HTTP
@@ -112,10 +114,13 @@ type Stats struct {
 // QueryRequest is the JSON body of POST /cmq. With Explain set the
 // query is planned but not executed: the response carries the rendered
 // plan plus the per-atom batched-vs-per-probe decisions instead of
-// rows.
+// rows. With Stream set (equivalently: an Accept header asking for
+// application/x-ndjson) the response streams as NDJSON records — see
+// StreamRecord — with rows flushed as the executor produces them.
 type QueryRequest struct {
 	Query   string `json:"query"`
 	Explain bool   `json:"explain,omitempty"`
+	Stream  bool   `json:"stream,omitempty"`
 }
 
 // QueryResponse is the JSON reply of POST /cmq.
@@ -185,6 +190,7 @@ type Server struct {
 
 	requests, hits, misses, coalesced, errors, subQueries, batchProbes atomic.Int64
 	mutations, invalidations, probeInvalidations                       atomic.Int64
+	streamed, inFlightStreams                                          atomic.Int64
 }
 
 // flightCall is one in-progress execution identical queries wait on.
@@ -268,6 +274,8 @@ func (s *Server) Stats() Stats {
 		Errors:             s.errors.Load(),
 		SubQueries:         s.subQueries.Load(),
 		BatchProbes:        s.batchProbes.Load(),
+		Streamed:           s.streamed.Load(),
+		InFlightStreams:    s.inFlightStreams.Load(),
 		CacheEntries:       entries,
 		Epoch:              s.in.Epoch(),
 		Mutations:          s.mutations.Load(),
@@ -433,7 +441,7 @@ func (s *Server) handleInvalidate(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleCMQ(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
-	text, explain, err := readQuery(r)
+	text, explain, stream, err := readQuery(r)
 	if err != nil {
 		s.errors.Add(1)
 		writeJSON(w, http.StatusBadRequest, QueryResponse{Error: err.Error()})
@@ -459,6 +467,11 @@ func (s *Server) handleCMQ(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		writeJSON(w, http.StatusOK, QueryResponse{Explain: info})
+		return
+	}
+
+	if stream || wantsNDJSON(r) {
+		s.handleStreamCMQ(w, r, q)
 		return
 	}
 
@@ -610,29 +623,30 @@ func readBody(r *http.Request, max int64) ([]byte, bool, error) {
 	return body, err == nil && mt == "application/json", nil
 }
 
-// readQuery extracts the CMQ text (and the explain flag) from the
-// request body: a JSON {"query": "...", "explain": bool} envelope when
-// Content-Type is application/json, otherwise the raw body.
-func readQuery(r *http.Request) (string, bool, error) {
+// readQuery extracts the CMQ text (and the explain/stream flags) from
+// the request body: a JSON {"query": "...", "explain": bool, "stream":
+// bool} envelope when Content-Type is application/json, otherwise the
+// raw body.
+func readQuery(r *http.Request) (text string, explain, stream bool, err error) {
 	body, isJSON, err := readBody(r, maxQueryBytes)
 	if err != nil {
-		return "", false, err
+		return "", false, false, err
 	}
 	if isJSON {
 		var req QueryRequest
 		if err := json.Unmarshal(body, &req); err != nil {
-			return "", false, fmt.Errorf("server: bad JSON body: %w", err)
+			return "", false, false, fmt.Errorf("server: bad JSON body: %w", err)
 		}
 		if strings.TrimSpace(req.Query) == "" {
-			return "", false, fmt.Errorf("server: empty query")
+			return "", false, false, fmt.Errorf("server: empty query")
 		}
-		return req.Query, req.Explain, nil
+		return req.Query, req.Explain, req.Stream, nil
 	}
-	text := string(body)
+	text = string(body)
 	if strings.TrimSpace(text) == "" {
-		return "", false, fmt.Errorf("server: empty query")
+		return "", false, false, fmt.Errorf("server: empty query")
 	}
-	return text, false, nil
+	return text, false, false, nil
 }
 
 func writeJSON(w http.ResponseWriter, status int, body any) {

@@ -1,0 +1,152 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+
+	"tatooine/internal/core"
+	"tatooine/internal/value"
+)
+
+// StreamRecord is one line of a streamed POST /cmq response
+// (Content-Type application/x-ndjson): exactly one JSON object per
+// line, exactly one of the fields below populated per record. The
+// sequence on the wire is
+//
+//	{"cols": [...]}                 header: result column names
+//	{"row": [...]}                  one record per result row, flushed
+//	                                in executor batches as they land
+//	{"stats": {...}, "cached": b}   trailer: final execution counters
+//
+// and a failure after the header — the status line is long since on
+// the wire — ends the stream with a terminal
+//
+//	{"error": "..."}
+//
+// record instead of the trailer; rows already delivered stand (they
+// are correct, just incomplete). Errors detected before execution
+// starts (parse, planning) are still ordinary JSON 4xx responses.
+type StreamRecord struct {
+	Cols   []string        `json:"cols,omitempty"`
+	Row    value.Row       `json:"row,omitempty"`
+	Stats  *core.ExecStats `json:"stats,omitempty"`
+	Cached *bool           `json:"cached,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// wantsNDJSON reports whether the request negotiated a streamed
+// response through its Accept header.
+func wantsNDJSON(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
+}
+
+// handleStreamCMQ answers POST /cmq as an NDJSON stream: rows go out
+// as the executor produces them (first rows at first-probe latency,
+// while upstream bind joins are still probing), the client
+// disconnecting cancels the whole pipeline through the request
+// context, and a LIMIT satisfied early stops upstream probes the same
+// way. A result-cache hit replays the cached rows in the same framing,
+// so clients speak one protocol; a miss executes directly under the
+// request context — streamed executions are not coalesced and their
+// results are not cached (the rows leave as they arrive; buffering
+// them for the cache would reintroduce materialization).
+func (s *Server) handleStreamCMQ(w http.ResponseWriter, r *http.Request, q *core.CMQ) {
+	s.streamed.Add(1)
+	s.inFlightStreams.Add(1)
+	defer s.inFlightStreams.Add(-1)
+
+	key, _ := s.generationKey(q.CanonicalKey())
+	if res, ok := s.cacheGet(key); ok {
+		s.hits.Add(1)
+		sw := newStreamWriter(w)
+		sw.header(res.Cols)
+		for i := 0; i < len(res.Rows); i += core.StreamBatchRows {
+			end := min(i+core.StreamBatchRows, len(res.Rows))
+			sw.rows(res.Rows[i:end])
+		}
+		// A cache hit executed nothing: zeroed stats, like the JSON path.
+		sw.trailer(&core.ExecStats{}, true)
+		return
+	}
+	s.misses.Add(1)
+
+	sr, err := s.in.ExecuteStream(r.Context(), q, s.opts.Exec)
+	if err != nil {
+		// Nothing is on the wire yet: planning errors stay ordinary JSON.
+		s.errors.Add(1)
+		writeJSON(w, http.StatusUnprocessableEntity, QueryResponse{Error: err.Error()})
+		return
+	}
+	defer sr.Close()
+
+	sw := newStreamWriter(w)
+	sw.header(sr.Cols)
+	for {
+		batch, err := sr.NextBatch()
+		if err != nil {
+			s.errors.Add(1)
+			sw.fail(err)
+			return
+		}
+		if len(batch) == 0 {
+			break
+		}
+		sw.rows(batch)
+	}
+	stats := sr.Stats()
+	s.subQueries.Add(int64(stats.SubQueries))
+	s.batchProbes.Add(int64(stats.BatchProbes))
+	sw.trailer(&stats, false)
+}
+
+// streamWriter frames StreamRecords onto the wire, flushing after
+// every call so each executor batch reaches the client immediately
+// instead of sitting in the ResponseWriter's buffer until the handler
+// returns.
+type streamWriter struct {
+	w   http.ResponseWriter
+	f   http.Flusher
+	enc *json.Encoder
+}
+
+func newStreamWriter(w http.ResponseWriter) *streamWriter {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	f, _ := w.(http.Flusher)
+	return &streamWriter{w: w, f: f, enc: json.NewEncoder(w)}
+}
+
+func (sw *streamWriter) flush() {
+	if sw.f != nil {
+		sw.f.Flush()
+	}
+}
+
+func (sw *streamWriter) header(cols []string) {
+	if cols == nil {
+		cols = []string{}
+	}
+	_ = sw.enc.Encode(StreamRecord{Cols: cols})
+	sw.flush()
+}
+
+func (sw *streamWriter) rows(rows []value.Row) {
+	for _, row := range rows {
+		if row == nil {
+			row = value.Row{}
+		}
+		_ = sw.enc.Encode(StreamRecord{Row: row})
+	}
+	sw.flush()
+}
+
+func (sw *streamWriter) trailer(stats *core.ExecStats, cached bool) {
+	_ = sw.enc.Encode(StreamRecord{Stats: stats, Cached: &cached})
+	sw.flush()
+}
+
+func (sw *streamWriter) fail(err error) {
+	_ = sw.enc.Encode(StreamRecord{Error: err.Error()})
+	sw.flush()
+}
