@@ -181,6 +181,8 @@ func cmdServe(ds *datagen.Dataset, args []string) error {
 		"schedule atoms in barrier-synchronized waves instead of the pipelined operator DAG (ablation)")
 	materialized := fs.Bool("materialized", false,
 		"materialize every node result before joining instead of streaming tuples through the DAG (ablation; also disables NDJSON row streaming)")
+	digestPlanning := fs.Bool("digest-planning", true,
+		"refine planner row estimates with per-source digest statistics and prune bind-join probes the digests exclude (false = source estimates only, no semi-join pruning; ablation)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -193,11 +195,12 @@ func cmdServe(ds *datagen.Dataset, args []string) error {
 		return err
 	}
 	exec := core.ExecOptions{
-		Parallel:     true,
-		MaxFanout:    *fanout,
-		ProbeBatch:   *probeBatch,
-		WaveBarrier:  *waveBarrier,
-		Materialized: *materialized,
+		Parallel:         true,
+		MaxFanout:        *fanout,
+		ProbeBatch:       *probeBatch,
+		WaveBarrier:      *waveBarrier,
+		Materialized:     *materialized,
+		NoDigestPlanning: !*digestPlanning,
 	}
 	if *adaptiveBatch {
 		exec.Tuner = core.NewBatchTuner()

@@ -37,6 +37,12 @@ type ExecOptions struct {
 	// NaiveOrder disables selectivity-based ordering (ablation E6):
 	// atoms run one per wave in declaration order.
 	NaiveOrder bool
+	// NoDigestPlanning disables digest-driven planning and semi-join
+	// pruning ("tatooine serve -digest-planning=false", ablation): atom
+	// row estimates fall back to the sources' own guesses, bind joins
+	// probe every distinct outer binding, and no Bloom filters ship with
+	// batched probes. Results are identical either way.
+	NoDigestPlanning bool
 	// WaveBarrier restores the pre-DAG scheduler for ablation: steps
 	// are grouped by dependency depth and every step of depth d+1 waits
 	// for the *slowest* step of depth d, even when its own inputs were
@@ -91,6 +97,10 @@ type ExecStats struct {
 	BindJoins   int // atoms executed as bind joins
 	BatchProbes int // batched bind-join dispatches (each also counts one SubQuery)
 	Dynamic     int // distinct dynamically-resolved sources contacted
+	// PrunedProbes counts distinct bind-join parameter tuples skipped
+	// because the target's digest proved they cannot match — probes that
+	// paid no round trip at all (digest semi-join pruning).
+	PrunedProbes int
 
 	// Nodes lists per-DAG-node estimated vs actual rows, in schedule
 	// order.
@@ -148,7 +158,7 @@ func (in *Instance) newExecutor(ctx context.Context, q *CMQ, opts ExecOptions) (
 	if opts.ProbeBatch == 0 {
 		opts.ProbeBatch = DefaultProbeBatch
 	}
-	plan, err := in.planQuery(ctx, q, opts.NaiveOrder)
+	plan, err := in.planQuery(ctx, q, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -667,6 +677,11 @@ func (sp *bindSpec) extract(row value.Row) (paramTuple, bool) {
 // appended after the tuple's parameter values.
 func (sp *bindSpec) filterRows(t paramTuple, res *source.Result) ([]value.Row, error) {
 	if len(res.Cols) != len(sp.outs) {
+		if len(res.Cols) == 0 && len(res.Rows) == 0 {
+			// A schema-less empty result: how a federation endpoint answers
+			// a probe it pruned server-side against its digest.
+			return nil, nil
+		}
 		return nil, fmt.Errorf("core: atom %s returned %d columns for %d OUT variables",
 			sp.atom.Designator(), len(res.Cols), len(sp.outs))
 	}
@@ -731,6 +746,29 @@ func (ex *executor) bindJoin(src source.DataSource, a Atom, outs []string, rel *
 		}
 		seen[t.key] = struct{}{}
 		tuples = append(tuples, t)
+	}
+
+	// Digest semi-join pruning: bindings the source's digest proves
+	// absent are dropped before any round trip, and the per-position
+	// Bloom filters ride along with the sub-query so batch-capable
+	// federation endpoints can prune server-side as well.
+	if m := ex.probePruner(src, a); m != nil {
+		kept := make([]paramTuple, 0, len(tuples))
+		pruned := 0
+		for _, t := range tuples {
+			if m.MayMatch(t.params) {
+				kept = append(kept, t)
+			} else {
+				pruned++
+			}
+		}
+		if pruned > 0 {
+			tuples = kept
+			ex.mu.Lock()
+			ex.stats.PrunedProbes += pruned
+			ex.mu.Unlock()
+		}
+		a.Sub.Prune = m.Filters()
 	}
 
 	filterRows := sp.filterRows
@@ -880,6 +918,12 @@ func (ex *executor) batchProbe(bp source.BatchProber, a Atom, chunk []paramTuple
 func (ex *executor) batchProbeRows(bp source.BatchProber, a Atom, chunk []paramTuple,
 	filterRows func(paramTuple, *source.Result) ([]value.Row, error)) (_ []value.Row, unsupported bool, _ error) {
 
+	if len(chunk) == 0 {
+		// A fully-pruned chunk never reaches the wire, so there is no
+		// round trip to make and no RTT signal for the tuner to learn
+		// from.
+		return nil, false, nil
+	}
 	sets := make([]value.Row, len(chunk))
 	for i, t := range chunk {
 		sets[i] = t.params

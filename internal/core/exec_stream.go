@@ -525,6 +525,15 @@ func (ex *executor) streamBindJoin(src source.DataSource, a Atom, outs []string,
 		return err
 	}
 
+	// Digest semi-join pruning, as in the materialized bindJoin: tuples
+	// the digest excludes never enter a chunk (so fully-pruned chunks
+	// never dispatch), and the Bloom filters ship with batched probes
+	// for server-side pruning.
+	pruner := ex.probePruner(src, a)
+	if pruner != nil {
+		a.Sub.Prune = pruner.Filters()
+	}
+
 	// chunk is the dispatch granularity: the adaptive/configured batch
 	// size for batch-capable sources, a single tuple otherwise.
 	chunk := 1
@@ -614,7 +623,8 @@ func (ex *executor) streamBindJoin(src source.DataSource, a Atom, outs []string,
 
 	seen := make(map[string]struct{})
 	var pending []paramTuple
-	total := 0 // distinct tuples so far; a lone tuple ships per-tuple like the materialized path
+	total := 0  // distinct surviving tuples so far; a lone tuple ships per-tuple like the materialized path
+	pruned := 0 // distinct tuples the digest excluded
 	aborted := false
 	flush := func(partial bool) bool {
 		for len(pending) > 0 && (partial || len(pending) >= chunk) {
@@ -666,8 +676,17 @@ func (ex *executor) streamBindJoin(src source.DataSource, a Atom, outs []string,
 			continue
 		}
 		seen[t.key] = struct{}{}
+		if pruner != nil && !pruner.MayMatch(t.params) {
+			pruned++
+			continue
+		}
 		pending = append(pending, t)
 		total++
+	}
+	if pruned > 0 {
+		ex.mu.Lock()
+		ex.stats.PrunedProbes += pruned
+		ex.mu.Unlock()
 	}
 	if !aborted {
 		flush(true)

@@ -22,6 +22,9 @@ type AtomExplain struct {
 	Batched    bool   `json:"batched"`        // probes would ship as batches
 	BatchSize  int    `json:"batchSize,omitempty"`
 	Reason     string `json:"reason"` // why (not) batched
+	// Pruning reports, for bind joins, whether digest semi-join pruning
+	// would apply (and why not when it wouldn't).
+	Pruning string `json:"pruning,omitempty"`
 }
 
 // ExplainInfo is the plan-only answer to an explain request: the
@@ -40,7 +43,7 @@ func (in *Instance) ExplainQuery(q *CMQ, opts ExecOptions) (*ExplainInfo, error)
 	if opts.ProbeBatch == 0 {
 		opts.ProbeBatch = DefaultProbeBatch
 	}
-	plan, err := in.planQuery(context.Background(), q, opts.NaiveOrder)
+	plan, err := in.planQuery(context.Background(), q, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -81,6 +84,22 @@ func (in *Instance) ExplainQuery(q *CMQ, opts ExecOptions) (*ExplainInfo, error)
 				ae.Reason = "source supports batched probes; tuples ship in batches of " + strconv.Itoa(opts.ProbeBatch)
 			} else {
 				ae.Reason = "source lacks the BatchProber capability; probes ship per tuple"
+			}
+		}
+		if s.BindJoin {
+			switch {
+			case opts.NoDigestPlanning:
+				ae.Pruning = "digest planning disabled (-digest-planning=false); every distinct binding probes"
+			case s.Dynamic:
+				ae.Pruning = "dynamic source: pruning decided per discovered source at run time"
+			default:
+				if src, err := in.atomExplainSource(a, q.Prefixes); err == nil {
+					if m := in.atomPruner(src, a, q.Prefixes); m != nil {
+						ae.Pruning = "digest covers the parameter positions; bindings the digest excludes are skipped before probing"
+					} else {
+						ae.Pruning = "no prunable digest statistics for this sub-query shape; every distinct binding probes"
+					}
+				}
 			}
 		}
 		info.Atoms = append(info.Atoms, ae)

@@ -51,6 +51,11 @@ type Instance struct {
 	// the engine).
 	fullRecomputes int64
 	lastSatApply   time.Duration
+
+	// dig caches per-source digests for digest-driven planning and
+	// bind-join semi-join pruning, epoch-validated like every other
+	// derived cache.
+	dig digestCatalog
 }
 
 // InstanceOption configures an Instance.

@@ -131,16 +131,20 @@ func (p *Plan) Explain(q *CMQ) string {
 // what is already scheduled — connected atoms narrow the intermediate
 // result where disconnected ones cross-product it — and among those
 // picks the smallest estimated row count (unknown estimates last,
-// estimated cost breaking ties). naiveOrder disables all of it (one
-// atom per wave, declaration order, a sequential dependency chain) for
-// ablation studies.
+// estimated cost breaking ties). Row estimates are tightened with the
+// sources' digest statistics (exact counts, histograms — see
+// internal/digest.RefineEstimate) unless opts.NoDigestPlanning; the
+// source's own estimate remains the fallback and the upper bound.
+// opts.NaiveOrder disables ordering entirely (one atom per wave,
+// declaration order, a sequential dependency chain) for ablation
+// studies.
 //
 // ctx bounds the estimation phase: remote sources answer estimates
 // over HTTP (sequentially, one per atom), so a dead request must stop
 // consulting them instead of paying up to one client timeout per
 // remaining atom. An estimate cut short degrades to unknown; a context
 // found dead between atoms aborts the plan.
-func (in *Instance) planQuery(ctx context.Context, q *CMQ, naiveOrder bool) (*Plan, error) {
+func (in *Instance) planQuery(ctx context.Context, q *CMQ, opts ExecOptions) (*Plan, error) {
 	if err := q.Validate(in.prefixesFor(q.Prefixes)); err != nil {
 		return nil, err
 	}
@@ -165,6 +169,9 @@ func (in *Instance) planQuery(ctx context.Context, q *CMQ, naiveOrder bool) (*Pl
 			return nil, err
 		}
 		rows[i], costs[i] = in.estimateAtom(a, q.Prefixes)
+		if !opts.NoDigestPlanning {
+			rows[i] = in.refineAtomRows(a, q.Prefixes, rows[i])
+		}
 	}
 
 	plan := &Plan{outs: outs}
@@ -198,7 +205,7 @@ func (in *Instance) planQuery(ctx context.Context, q *CMQ, naiveOrder bool) (*Pl
 		}
 
 		var pick int
-		if naiveOrder {
+		if opts.NaiveOrder {
 			sort.Ints(runnable)
 			pick = runnable[0]
 		} else {
@@ -215,7 +222,7 @@ func (in *Instance) planQuery(ctx context.Context, q *CMQ, naiveOrder bool) (*Pl
 		}
 		pos := len(plan.Steps)
 		switch {
-		case naiveOrder:
+		case opts.NaiveOrder:
 			// Declaration order, one atom per wave, each step gated on
 			// every previous one: the fully sequential ablation baseline.
 			step.Wave = pos

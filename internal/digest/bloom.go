@@ -11,6 +11,7 @@ package digest
 import (
 	"hash/fnv"
 	"math"
+	"math/bits"
 )
 
 // Bloom is a fixed-size Bloom filter over strings.
@@ -81,8 +82,13 @@ func (b *Bloom) Add(s string) {
 }
 
 // MayContain reports whether s may have been added (false positives
-// possible, false negatives impossible).
+// possible, false negatives impossible). A filter decoded from an
+// unknown wire version has k == 0 and answers true for everything —
+// the fail-open degradation cross-version peers rely on.
 func (b *Bloom) MayContain(s string) bool {
+	if b.k == 0 || b.m == 0 {
+		return true
+	}
 	h1, h2 := hash2(s)
 	for i := 0; i < b.k; i++ {
 		pos := (h1 + uint64(i)*h2) % b.m
@@ -92,6 +98,11 @@ func (b *Bloom) MayContain(s string) bool {
 	}
 	return true
 }
+
+// MayContainKey implements the probe-filter contract used by semi-join
+// pruning (source.ProbeFilter): the key is a pre-normalized digest key
+// (see ProbeKey), tested directly against the filter.
+func (b *Bloom) MayContainKey(key string) bool { return b.MayContain(key) }
 
 // Bits returns the filter's bit capacity.
 func (b *Bloom) Bits() uint64 { return b.m }
@@ -109,4 +120,34 @@ func (b *Bloom) EstimatedFPR() float64 {
 		return 0
 	}
 	return math.Pow(1-math.Exp(-float64(b.k)*float64(b.nAdded)/float64(b.m)), float64(b.k))
+}
+
+// EstimatedDistinct estimates how many *distinct* keys were inserted
+// from the filter's fill ratio: with X of m bits set after n distinct
+// insertions under k hashes, E[X/m] = 1 - e^{-kn/m}, so
+// n ≈ -(m/k)·ln(1 - X/m). Saturated filters (X == m) fall back to the
+// insertion count, which over-counts duplicates but bounds the answer.
+func (b *Bloom) EstimatedDistinct() int {
+	if b.k == 0 || b.m == 0 || b.nAdded == 0 {
+		return b.nAdded
+	}
+	var set int
+	for _, w := range b.bits {
+		set += bits.OnesCount64(w)
+	}
+	if set == 0 {
+		return 0
+	}
+	if uint64(set) >= b.m {
+		return b.nAdded
+	}
+	n := -(float64(b.m) / float64(b.k)) * math.Log(1-float64(set)/float64(b.m))
+	est := int(math.Round(n))
+	if est < 1 {
+		est = 1
+	}
+	if est > b.nAdded {
+		est = b.nAdded
+	}
+	return est
 }

@@ -1,0 +1,185 @@
+package digest
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"tatooine/internal/source"
+	"tatooine/internal/value"
+)
+
+func probeSub(text string, inVars ...string) source.SubQuery {
+	return source.SubQuery{Language: source.LangSQL, Text: text, InVars: inVars}
+}
+
+func TestParamMatcherSQLEquality(t *testing.T) {
+	d := BuildRelational("sql://insee", relFixture(t), DefaultBudget())
+	m := NewParamMatcher(d, probeSub("SELECT name FROM departements WHERE code = ?", "code"), nil)
+	if m == nil {
+		t.Fatal("equality on a digested column must be prunable")
+	}
+	if !m.MayMatch(value.Row{value.NewString("75")}) {
+		t.Error("present key pruned — a false negative loses rows")
+	}
+	if m.MayMatch(value.Row{value.NewString("00")}) {
+		t.Error("provably absent key not pruned")
+	}
+	// Values that never enter a digest must never be pruned.
+	if !m.MayMatch(value.Row{value.NewNull()}) {
+		t.Error("NULL binding pruned; NULLs are not digested")
+	}
+}
+
+func TestParamMatcherRefusals(t *testing.T) {
+	d := BuildRelational("sql://insee", relFixture(t), DefaultBudget())
+	for name, q := range map[string]source.SubQuery{
+		// An aggregate yields a row even over an empty match: skipping
+		// the probe would change results.
+		"aggregate": probeSub("SELECT COUNT(*) FROM departements WHERE code = ?", "code"),
+		// No digested equality target for the parameter.
+		"range param":   probeSub("SELECT name FROM departements WHERE population > ?", "p"),
+		"unknown table": probeSub("SELECT x FROM nowhere WHERE x = ?", "x"),
+		"no params":     probeSub("SELECT name FROM departements"),
+	} {
+		if m := NewParamMatcher(d, q, nil); m != nil {
+			t.Errorf("%s: matcher %+v, want nil (probe everything)", name, m)
+		}
+	}
+}
+
+func TestParamMatcherForeignVersionNil(t *testing.T) {
+	d := BuildRelational("sql://insee", relFixture(t), DefaultBudget())
+	raw, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	m["v"] = 999
+	raw, err = json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var foreign Digest
+	if err := json.Unmarshal(raw, &foreign); err != nil {
+		t.Fatal(err)
+	}
+	q := probeSub("SELECT name FROM departements WHERE code = ?", "code")
+	if pm := NewParamMatcher(&foreign, q, nil); pm != nil {
+		t.Error("foreign-version digest produced a matcher; cross-version pruning is unsafe")
+	}
+}
+
+func TestParamMatcherFilters(t *testing.T) {
+	d := BuildRelational("sql://insee", relFixture(t), DefaultBudget())
+	m := NewParamMatcher(d, probeSub("SELECT name FROM departements WHERE code = ?", "code"), nil)
+	fs := m.Filters()
+	if len(fs) != 1 || fs[0] == nil {
+		t.Fatalf("filters: %+v, want one per parameter position", fs)
+	}
+	if !fs[0].MayContainKey(Normalize("75")) {
+		t.Error("wire filter excludes a present key")
+	}
+	if fs[0].MayContainKey(Normalize("code-definitely-not-present")) {
+		t.Error("wire filter admits an absent key (flaky only if the Bloom false-positives; seed data is tiny)")
+	}
+}
+
+func TestRefineEstimateSQL(t *testing.T) {
+	d := BuildRelational("sql://insee", relFixture(t), DefaultBudget())
+	cases := []struct {
+		name string
+		text string
+		rows int
+		ok   bool
+	}{
+		// 2 rows, 2 distinct codes: one row per key.
+		{"present literal", "SELECT name FROM departements WHERE code = '75'", 1, true},
+		// Membership proves absence: exactly zero.
+		{"absent literal", "SELECT name FROM departements WHERE code = 'zz'", 0, true},
+		// Parameter equality: per-key expectation without a concrete key.
+		{"param equality", "SELECT name FROM departements WHERE code = ?", 1, true},
+		// LIMIT caps the refined estimate.
+		{"limit cap", "SELECT name FROM departements WHERE population > 0 LIMIT 1", 1, true},
+		// Shapes the digest cannot speak to keep the flat estimate.
+		{"no where", "SELECT name FROM departements", 0, false},
+		{"aggregate", "SELECT COUNT(*) FROM departements WHERE code = '75'", 0, false},
+	}
+	for _, c := range cases {
+		rows, ok := RefineEstimate(d, probeSub(c.text, "p"), nil)
+		if ok != c.ok || (ok && rows != c.rows) {
+			t.Errorf("%s: (%d, %v), want (%d, %v)", c.name, rows, ok, c.rows, c.ok)
+		}
+	}
+}
+
+func TestOverlapEstimateEdgeCases(t *testing.T) {
+	b := DefaultBudget()
+	empty := NewValueSet(b)
+	empty.Seal()
+	full := NewValueSet(b)
+	for i := 0; i < 10; i++ {
+		full.Add(value.NewString(fmt.Sprintf("v-%d", i)))
+	}
+	full.Seal()
+	if got := OverlapEstimate(nil, full); got != 0 {
+		t.Errorf("nil a: %f", got)
+	}
+	if got := OverlapEstimate(full, nil); got != 0 {
+		t.Errorf("nil b: %f", got)
+	}
+	if got := OverlapEstimate(empty, full); got != 0 {
+		t.Errorf("empty a: %f", got)
+	}
+	half := NewValueSet(b)
+	for i := 5; i < 15; i++ {
+		half.Add(value.NewString(fmt.Sprintf("v-%d", i)))
+	}
+	half.Seal()
+	got := OverlapEstimate(full, half)
+	if got < 0.3 || got > 0.7 {
+		t.Errorf("half overlap: %f, want ~0.5", got)
+	}
+	if got < 0 || got > 1 {
+		t.Errorf("overlap out of [0,1]: %f", got)
+	}
+}
+
+// FuzzBloomMayContain pins the property semi-join pruning depends on:
+// a Bloom filter NEVER reports false negatives. Any value Added must
+// test positive afterwards — including after a JSON wire round trip —
+// or pruning would silently drop result rows.
+func FuzzBloomMayContain(f *testing.F) {
+	f.Add("75", "92", "zz")
+	f.Add("", "a", "a")
+	f.Add("Hauts-de-Seine", "\x00\xff", "émile")
+	f.Add("dup", "dup", "dup")
+	f.Fuzz(func(t *testing.T, a, b, c string) {
+		bl := NewBloom(4, 0.01)
+		for _, s := range []string{a, b, c} {
+			bl.Add(s)
+		}
+		raw, err := json.Marshal(bl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var decoded Bloom
+		if err := json.Unmarshal(raw, &decoded); err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range []string{a, b, c} {
+			if !bl.MayContain(s) {
+				t.Fatalf("false negative for %q", s)
+			}
+			if !bl.MayContainKey(s) {
+				t.Fatalf("MayContainKey false negative for %q", s)
+			}
+			if !decoded.MayContain(s) {
+				t.Fatalf("false negative for %q after wire round trip", s)
+			}
+		}
+	})
+}

@@ -11,8 +11,21 @@ import (
 // mediators, so every component (Bloom filter bits included) has a
 // JSON encoding. Decoded digests answer Lookup/MayContain/Original
 // exactly like locally built ones.
+//
+// Every encoded digest and bloom carries a version field ("v"). A
+// mediator that decodes a digest from a peer speaking a different
+// version keeps it for keyword search but refuses to prune with it
+// (Digest.PruneCapable), and a bloom decoded at an unknown version
+// degrades to a filter whose MayContain always answers true — older
+// peers therefore lose the optimization, never answers.
+
+// WireVersion is the digest wire-format version this build speaks.
+// Bump it whenever hash functions, normalization, or bit layout
+// change in a way that would make cross-version membership tests lie.
+const WireVersion = 1
 
 type wireBloom struct {
+	V      int    `json:"v"`
 	M      uint64 `json:"m"`
 	K      int    `json:"k"`
 	Added  int    `json:"added"`
@@ -48,6 +61,7 @@ type wireNode struct {
 }
 
 type wireDigest struct {
+	V      int        `json:"v"`
 	Source string     `json:"source"`
 	Nodes  []wireNode `json:"nodes"`
 	Edges  []Edge     `json:"edges"`
@@ -60,6 +74,7 @@ func (b *Bloom) MarshalJSON() ([]byte, error) {
 		binary.LittleEndian.PutUint64(raw[i*8:], w)
 	}
 	return json.Marshal(wireBloom{
+		V:      WireVersion,
 		M:      b.m,
 		K:      b.k,
 		Added:  b.nAdded,
@@ -67,11 +82,18 @@ func (b *Bloom) MarshalJSON() ([]byte, error) {
 	})
 }
 
-// UnmarshalJSON implements json.Unmarshaler for Bloom.
+// UnmarshalJSON implements json.Unmarshaler for Bloom. A bloom encoded
+// at a different wire version decodes to a pass-through filter (every
+// MayContain answers true): membership bits hashed under another
+// scheme must never be trusted to say "absent".
 func (b *Bloom) UnmarshalJSON(data []byte) error {
 	var w wireBloom
 	if err := json.Unmarshal(data, &w); err != nil {
 		return err
+	}
+	if w.V != WireVersion {
+		*b = Bloom{bits: make([]uint64, 1), m: 64, k: 0, nAdded: w.Added}
+		return nil
 	}
 	raw, err := base64.StdEncoding.DecodeString(w.Bits64)
 	if err != nil {
@@ -112,6 +134,7 @@ func (vs *ValueSet) toWire() *wireValueSet {
 			binary.LittleEndian.PutUint64(raw[i*8:], word)
 		}
 		w.Bloom = &wireBloom{
+			V:      WireVersion,
 			M:      vs.bloom.m,
 			K:      vs.bloom.k,
 			Added:  vs.bloom.nAdded,
@@ -169,9 +192,11 @@ func valueSetFromWire(w *wireValueSet) (*ValueSet, error) {
 	return vs, nil
 }
 
-// MarshalJSON implements json.Marshaler for Digest.
+// MarshalJSON implements json.Marshaler for Digest. The current
+// WireVersion is always stamped: locally built digests are by
+// definition this build's format.
 func (d *Digest) MarshalJSON() ([]byte, error) {
-	w := wireDigest{Source: d.Source, Edges: d.Edges}
+	w := wireDigest{V: WireVersion, Source: d.Source, Edges: d.Edges}
 	for _, n := range d.NodeList() {
 		w.Nodes = append(w.Nodes, wireNode{
 			ID:       n.ID,
@@ -185,12 +210,16 @@ func (d *Digest) MarshalJSON() ([]byte, error) {
 	return json.Marshal(w)
 }
 
-// UnmarshalJSON implements json.Unmarshaler for Digest.
+// UnmarshalJSON implements json.Unmarshaler for Digest. A digest from
+// a peer speaking another wire version still decodes (keyword lookup
+// stays useful) but records the foreign version so PruneCapable — and
+// with it semi-join pruning and estimate refinement — refuses it.
 func (d *Digest) UnmarshalJSON(data []byte) error {
 	var w wireDigest
 	if err := json.Unmarshal(data, &w); err != nil {
 		return err
 	}
+	d.Version = w.V
 	d.Source = w.Source
 	d.Edges = w.Edges
 	d.Nodes = make(map[string]*Node, len(w.Nodes))

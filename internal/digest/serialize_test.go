@@ -34,11 +34,94 @@ func TestBloomJSONRoundTrip(t *testing.T) {
 
 func TestBloomUnmarshalErrors(t *testing.T) {
 	var b Bloom
-	if err := json.Unmarshal([]byte(`{"m":128,"k":4,"bits":"!!!"}`), &b); err == nil {
+	if err := json.Unmarshal([]byte(`{"v":1,"m":128,"k":4,"bits":"!!!"}`), &b); err == nil {
 		t.Error("bad base64 accepted")
 	}
-	if err := json.Unmarshal([]byte(`{"m":99999,"k":4,"bits":"AAAA"}`), &b); err == nil {
+	if err := json.Unmarshal([]byte(`{"v":1,"m":99999,"k":4,"bits":"AAAA"}`), &b); err == nil {
 		t.Error("inconsistent bit length accepted")
+	}
+}
+
+func TestBloomWireVersionStamped(t *testing.T) {
+	b := NewBloom(10, 0.01)
+	b.Add("x")
+	data, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w struct {
+		V int `json:"v"`
+	}
+	if err := json.Unmarshal(data, &w); err != nil {
+		t.Fatal(err)
+	}
+	if w.V != WireVersion {
+		t.Fatalf("marshaled bloom carries v=%d, want %d", w.V, WireVersion)
+	}
+}
+
+// A bloom from a peer speaking a different wire version (including the
+// pre-versioning v=0 era) must degrade to a pass-through filter: its
+// bit layout cannot be trusted, and a misread filter could prune
+// bindings that actually match. Pass-through answers true for every
+// key — no pruning, never mis-pruning.
+func TestBloomCrossVersionDecodesPassThrough(t *testing.T) {
+	payloads := map[string]string{
+		"pre-versioning (no v field)": `{"m":128,"k":4,"bits":"AAAAAAAAAAAAAAAAAAAAAAAAAA==","added":7}`,
+		"future version":              `{"v":999,"m":128,"k":4,"bits":"!!! not even base64","added":3}`,
+	}
+	for name, payload := range payloads {
+		var b Bloom
+		if err := json.Unmarshal([]byte(payload), &b); err != nil {
+			t.Fatalf("%s: cross-version bloom should degrade, not error: %v", name, err)
+		}
+		for _, key := range []string{"anything", "at", "all", ""} {
+			if !b.MayContain(key) {
+				t.Fatalf("%s: degraded bloom answered false for %q — could mis-prune", name, key)
+			}
+			if !b.MayContainKey(key) {
+				t.Fatalf("%s: degraded bloom MayContainKey answered false for %q", name, key)
+			}
+		}
+	}
+}
+
+// A digest decoded from a foreign wire version keeps its payload
+// usable for keyword lookups (blooms degrade per node) but reports
+// itself prune-incapable, so the planner never builds a semi-join
+// pruner from it.
+func TestDigestCrossVersionNotPruneCapable(t *testing.T) {
+	d := BuildRelational("sql://insee", relFixture(t), DefaultBudget())
+	data, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(data, &probe); err != nil {
+		t.Fatal(err)
+	}
+	probe["v"] = json.RawMessage(`999`)
+	foreign, err := json.Marshal(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Digest
+	if err := json.Unmarshal(foreign, &back); err != nil {
+		t.Fatalf("foreign-version digest should decode: %v", err)
+	}
+	if back.PruneCapable() {
+		t.Fatal("foreign-version digest claims prune capability")
+	}
+
+	var same Digest
+	if err := json.Unmarshal(data, &same); err != nil {
+		t.Fatal(err)
+	}
+	if !same.PruneCapable() {
+		t.Fatal("current-version digest lost prune capability in transit")
+	}
+	if (*Digest)(nil).PruneCapable() {
+		t.Fatal("nil digest claims prune capability")
 	}
 }
 

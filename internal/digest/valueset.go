@@ -232,6 +232,26 @@ func (vs *ValueSet) Original(keyword string) (string, bool) {
 // Count returns the number of values added.
 func (vs *ValueSet) Count() int { return vs.count }
 
+// DistinctEstimate estimates the number of distinct values: exact when
+// the exact set survived the budget, otherwise recovered from the
+// Bloom filter's fill ratio. Zero only for an empty set.
+func (vs *ValueSet) DistinctEstimate() int {
+	if vs.count == 0 {
+		return 0
+	}
+	if vs.exact != nil {
+		return len(vs.exact)
+	}
+	// Pre-Seal, the tracked distinct map is still authoritative.
+	if vs.distinct != nil {
+		return len(vs.distinct)
+	}
+	if est := vs.bloom.EstimatedDistinct(); est > 0 {
+		return est
+	}
+	return 1
+}
+
 // Samples returns up to SampleSize normalized distinct values.
 func (vs *ValueSet) Samples() []string { return vs.samples }
 

@@ -1,0 +1,164 @@
+package federation
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"tatooine/internal/digest"
+	"tatooine/internal/source"
+	"tatooine/internal/value"
+)
+
+// countingBatchSource forwards to an inner batch-capable source and
+// records how many parameter tuples actually reach it, so tests can
+// measure what server-side pruning saved.
+type countingBatchSource struct {
+	source.DataSource
+	mu     sync.Mutex
+	tuples int
+}
+
+func (s *countingBatchSource) ExecuteBatch(q source.SubQuery, paramSets []value.Row) ([]*source.Result, error) {
+	s.mu.Lock()
+	s.tuples += len(paramSets)
+	s.mu.Unlock()
+	return s.DataSource.(source.BatchProber).ExecuteBatch(q, paramSets)
+}
+
+func (s *countingBatchSource) probed() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tuples
+}
+
+// TestBatchEndpointPrunesWithBloom ships a bind-join batch whose
+// request carries a bloom filter over the parameter position: the
+// endpoint must answer excluded tuples as empty results without
+// executing them, and keep the surviving results position-aligned.
+func TestBatchEndpointPrunesWithBloom(t *testing.T) {
+	_, db := servedRelSource(t)
+	inner := &countingBatchSource{DataSource: source.NewRelSource("sql://insee", db)}
+	srv := httptest.NewServer(Handler(inner))
+	t.Cleanup(srv.Close)
+	c, err := Dial(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := digest.NewBloom(8, 0.01)
+	b.Add(digest.Normalize("75"))
+	b.Add(digest.Normalize("92"))
+	q := batchQuery
+	q.Prune = []source.ProbeFilter{b}
+
+	sets := codes("75", "00", "92", "nope")
+	results, err := c.ExecuteBatch(q, sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(sets) {
+		t.Fatalf("results: %d, want %d (position alignment)", len(results), len(sets))
+	}
+	if inner.probed() != 2 {
+		t.Fatalf("source probed %d tuples, want 2 (bloom excludes '00' and 'nope')", inner.probed())
+	}
+	if results[0].Len() != 1 || results[0].Rows[0][0].Str() != "Paris" {
+		t.Errorf("surviving tuple 0 misaligned: %+v", results[0])
+	}
+	if results[2].Len() != 1 || results[2].Rows[0][0].Str() != "Hauts-de-Seine" {
+		t.Errorf("surviving tuple 2 misaligned: %+v", results[2])
+	}
+	for _, i := range []int{1, 3} {
+		if results[i].Len() != 0 {
+			t.Errorf("pruned tuple %d returned rows: %+v", i, results[i])
+		}
+	}
+}
+
+// TestBatchEndpointAllPruned covers the degenerate batch: every tuple
+// excluded, nothing executes, every answer is empty.
+func TestBatchEndpointAllPruned(t *testing.T) {
+	_, db := servedRelSource(t)
+	inner := &countingBatchSource{DataSource: source.NewRelSource("sql://insee", db)}
+	srv := httptest.NewServer(Handler(inner))
+	t.Cleanup(srv.Close)
+	c, err := Dial(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := digest.NewBloom(8, 0.01)
+	b.Add(digest.Normalize("75"))
+	q := batchQuery
+	q.Prune = []source.ProbeFilter{b}
+	results, err := c.ExecuteBatch(q, codes("00", "nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inner.probed() != 0 {
+		t.Fatalf("source probed %d tuples, want 0", inner.probed())
+	}
+	if len(results) != 2 || results[0].Len() != 0 || results[1].Len() != 0 {
+		t.Fatalf("all-pruned results: %+v", results)
+	}
+}
+
+// TestBatchEndpointForeignVersionBloomIsPassThrough pins the
+// cross-version safety property: a bloom from a different wire version
+// decodes as a filter that never excludes, so a mixed-version
+// federation degrades to no pruning instead of losing rows.
+func TestBatchEndpointForeignVersionBloomIsPassThrough(t *testing.T) {
+	_, db := servedRelSource(t)
+	inner := &countingBatchSource{DataSource: source.NewRelSource("sql://insee", db)}
+	srv := httptest.NewServer(Handler(inner))
+	t.Cleanup(srv.Close)
+	c, err := Dial(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A hypothetical future encoding this version cannot interpret.
+	var foreign digest.Bloom
+	if err := json.Unmarshal([]byte(`{"v":999,"m":64,"k":9,"added":2,"bits":"opaque-future-format"}`), &foreign); err != nil {
+		t.Fatalf("foreign bloom must decode as pass-through, got %v", err)
+	}
+	q := batchQuery
+	q.Prune = []source.ProbeFilter{&foreign}
+	sets := codes("75", "00")
+	results, err := c.ExecuteBatch(q, sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inner.probed() != len(sets) {
+		t.Fatalf("foreign-version bloom pruned: %d tuples probed, want %d", inner.probed(), len(sets))
+	}
+	if results[0].Len() != 1 {
+		t.Errorf("matching tuple lost under pass-through bloom: %+v", results[0])
+	}
+}
+
+// TestBatchEndpointNilFilterSkipsPosition checks a nil entry in the
+// prune list means "no statistics for this position" — nothing is
+// excluded by it.
+func TestBatchEndpointNilFilterSkipsPosition(t *testing.T) {
+	_, db := servedRelSource(t)
+	inner := &countingBatchSource{DataSource: source.NewRelSource("sql://insee", db)}
+	srv := httptest.NewServer(Handler(inner))
+	t.Cleanup(srv.Close)
+	c, err := Dial(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := batchQuery
+	q.Prune = []source.ProbeFilter{nil}
+	results, err := c.ExecuteBatch(q, codes("75", "00"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inner.probed() != 2 {
+		t.Fatalf("nil filter pruned: %d tuples probed, want 2", inner.probed())
+	}
+	if len(results) != 2 {
+		t.Fatalf("results: %d", len(results))
+	}
+}

@@ -109,6 +109,18 @@ type Stats struct {
 	// per source URI, when the server runs with a core.BatchTuner
 	// (Options.Exec.Tuner).
 	ProbeBatchSizes map[string]int `json:"probeBatchSizes,omitempty"`
+
+	// Digest reports digest-driven planning and semi-join pruning: how
+	// many per-source digests were built or fetched, how many planner /
+	// pruner lookups the catalog answered from memory, and how many
+	// bind-join probes digest filters pruned before any round trip.
+	Digest DigestBlock `json:"digest"`
+}
+
+// DigestBlock is the /stats digest section.
+type DigestBlock struct {
+	core.DigestStats
+	PrunedProbes int64 `json:"prunedProbes"`
 }
 
 // QueryRequest is the JSON body of POST /cmq. With Explain set the
@@ -191,6 +203,7 @@ type Server struct {
 	requests, hits, misses, coalesced, errors, subQueries, batchProbes atomic.Int64
 	mutations, invalidations, probeInvalidations                       atomic.Int64
 	streamed, inFlightStreams                                          atomic.Int64
+	prunedProbes                                                       atomic.Int64
 }
 
 // flightCall is one in-progress execution identical queries wait on.
@@ -282,6 +295,10 @@ func (s *Server) Stats() Stats {
 		Invalidations:      s.invalidations.Load(),
 		ProbeInvalidations: s.probeInvalidations.Load(),
 		Saturation:         s.in.SaturationStats(),
+		Digest: DigestBlock{
+			DigestStats:  s.in.DigestStats(),
+			PrunedProbes: s.prunedProbes.Load(),
+		},
 	}
 	if s.opts.Exec.Tuner != nil {
 		st.ProbeBatchSizes = s.opts.Exec.Tuner.Sizes()
@@ -542,6 +559,7 @@ func (s *Server) execute(ctx context.Context, key string, epoch uint64, q *core.
 		if err == nil {
 			s.subQueries.Add(int64(res.Stats.SubQueries))
 			s.batchProbes.Add(int64(res.Stats.BatchProbes))
+			s.prunedProbes.Add(int64(res.Stats.PrunedProbes))
 		}
 		return res, false, err
 	}
@@ -578,6 +596,7 @@ func (s *Server) execute(ctx context.Context, key string, epoch uint64, q *core.
 	if call.err == nil {
 		s.subQueries.Add(int64(call.res.Stats.SubQueries))
 		s.batchProbes.Add(int64(call.res.Stats.BatchProbes))
+		s.prunedProbes.Add(int64(call.res.Stats.PrunedProbes))
 	}
 
 	s.mu.Lock()

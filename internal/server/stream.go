@@ -97,6 +97,7 @@ func (s *Server) handleStreamCMQ(w http.ResponseWriter, r *http.Request, q *core
 	stats := sr.Stats()
 	s.subQueries.Add(int64(stats.SubQueries))
 	s.batchProbes.Add(int64(stats.BatchProbes))
+	s.prunedProbes.Add(int64(stats.PrunedProbes))
 	sw.trailer(&stats, false)
 }
 

@@ -428,3 +428,101 @@ func TestInvalidateCoversInFlightProbe(t *testing.T) {
 		t.Errorf("post-invalidate probe served the discarded fill: %d inner calls", b.calls())
 	}
 }
+
+func TestCachedMemoizeDigest(t *testing.T) {
+	f := &fakeSource{}
+	c := source.NewCached(f, 8)
+
+	fills := 0
+	fill := func() (any, error) {
+		fills++
+		return fmt.Sprintf("digest-%d", fills), nil
+	}
+
+	d1, err := c.MemoizeDigest("b/8192", fill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := c.MemoizeDigest("b/8192", fill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fills != 1 {
+		t.Fatalf("fill ran %d times, want 1", fills)
+	}
+	if d1 != d2 {
+		t.Fatalf("memoized digest changed between calls: %v vs %v", d1, d2)
+	}
+	// A different budget key is a different digest.
+	if _, err := c.MemoizeDigest("b/64", fill); err != nil {
+		t.Fatal(err)
+	}
+	if fills != 2 {
+		t.Fatalf("fill ran %d times after second key, want 2", fills)
+	}
+	st := c.Stats()
+	if st.DigestFetches != 2 || st.DigestHits != 1 {
+		t.Fatalf("DigestFetches/DigestHits = %d/%d, want 2/1", st.DigestFetches, st.DigestHits)
+	}
+
+	// Invalidate (the mutation-epoch hook) drops the memo: the next call
+	// refills instead of serving a stale digest.
+	c.Invalidate()
+	if _, err := c.MemoizeDigest("b/8192", fill); err != nil {
+		t.Fatal(err)
+	}
+	if fills != 3 {
+		t.Fatalf("fill ran %d times after Invalidate, want 3", fills)
+	}
+}
+
+func TestCachedMemoizeDigestErrorNotMemoized(t *testing.T) {
+	c := source.NewCached(&fakeSource{}, 8)
+	calls := 0
+	failing := func() (any, error) {
+		calls++
+		if calls == 1 {
+			return nil, fmt.Errorf("digest: remote down")
+		}
+		return "ok", nil
+	}
+	if _, err := c.MemoizeDigest("k", failing); err == nil {
+		t.Fatal("expected the first fill's error")
+	}
+	d, err := c.MemoizeDigest("k", failing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != "ok" {
+		t.Fatalf("second fill returned %v, want ok (errors must not be memoized)", d)
+	}
+	if st := c.Stats(); st.DigestFetches != 1 {
+		t.Fatalf("DigestFetches = %d, want 1 (failed fill must not count)", st.DigestFetches)
+	}
+}
+
+func TestCachedMemoizeDigestInvalidateDuringFill(t *testing.T) {
+	c := source.NewCached(&fakeSource{}, 8)
+	// A fill that races an Invalidate: the caller still gets the digest,
+	// but it must not be kept (it may predate the mutation).
+	d, err := c.MemoizeDigest("k", func() (any, error) {
+		c.Invalidate()
+		return "stale", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != "stale" {
+		t.Fatalf("fill result = %v, want stale", d)
+	}
+	refilled := false
+	if _, err := c.MemoizeDigest("k", func() (any, error) {
+		refilled = true
+		return "fresh", nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !refilled {
+		t.Fatal("digest filled during an Invalidate was kept; stale statistics could mis-prune")
+	}
+}
