@@ -26,12 +26,13 @@ race:
 
 # Record the perf trajectory: run the experiment benchmarks (root
 # package, E1–E12 + serve/saturation/bind-join/pipelined) with
-# allocation counts and write the results as test2json events to
-# BENCH_7.json, so numbers are diffable across PRs. Raise BENCHTIME
+# allocation counts, including the storage-engine pair WarmBoot /
+# PointLookupDisk, and write the results as test2json events to
+# BENCH_8.json, so numbers are diffable across PRs. Raise BENCHTIME
 # (e.g. BENCHTIME=2s) for stabler timings.
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) -benchmem -json ./ > BENCH_7.json
-	@grep -o '"Output":"Benchmark[^"]*' BENCH_7.json | sed 's/"Output":"//;s/\\t/ /g;s/\\n//' || true
+	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) -benchmem -json ./ > BENCH_8.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_8.json | sed 's/"Output":"//;s/\\t/ /g;s/\\n//' || true
 
 # Compile and run every benchmark exactly once (no timing): a benchmark
 # that stops building or panics fails verify instead of rotting silently.

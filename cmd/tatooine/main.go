@@ -28,10 +28,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"tatooine/internal/analytics"
@@ -163,6 +166,8 @@ func cmdQuery(in *core.Instance, args []string, explainOnly bool) error {
 func cmdServe(ds *datagen.Dataset, args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
+	dataDir := fs.String("data-dir", "",
+		"persist the custom graph, its saturation and the mutation epoch in this directory (paged B-tree store + WAL); a restart warm-boots from the stored state instead of re-seeding (empty = in-memory)")
 	deltaSat := fs.Bool("delta-saturation", true,
 		"maintain G∞ incrementally under mutations (false = full recompute per epoch move, for ablation)")
 	resultCache := fs.Int("result-cache", server.DefaultResultCacheSize,
@@ -190,9 +195,25 @@ func cmdServe(ds *datagen.Dataset, args []string) error {
 	if !*deltaSat {
 		satOpt = core.WithFullResaturation()
 	}
-	in, err := ds.Instance(satOpt)
-	if err != nil {
-		return err
+	var in *core.Instance
+	var err error
+	if *dataDir != "" {
+		var warm bool
+		in, warm, err = ds.PersistentInstance(*dataDir, satOpt)
+		if err != nil {
+			return err
+		}
+		boot := "seeded fresh store"
+		if warm {
+			boot = "warm boot from stored state"
+		}
+		fmt.Fprintf(os.Stderr, "persistent instance at %s: %s (epoch %d, G=%d triples)\n",
+			*dataDir, boot, in.Epoch(), in.Graph().Size())
+	} else {
+		in, err = ds.Instance(satOpt)
+		if err != nil {
+			return err
+		}
 	}
 	exec := core.ExecOptions{
 		Parallel:         true,
@@ -214,7 +235,36 @@ func cmdServe(ds *datagen.Dataset, args []string) error {
 	fmt.Fprintf(os.Stderr, "mediator service listening on %s\n", *addr)
 	fmt.Fprintln(os.Stderr, "  query:  POST /cmq · GET /stats · GET /healthz")
 	fmt.Fprintln(os.Stderr, "  mutate: POST|DELETE /graph · POST /sources · DELETE /sources/{uri} · POST /admin/invalidate")
-	return server.NewHTTPServer(*addr, srv.Handler()).ListenAndServe()
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests and
+	// close the instance — for a persistent one that commits pending
+	// state and folds the WAL into the main file, so the next boot
+	// replays nothing.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	httpSrv := server.NewHTTPServer(*addr, srv.Handler())
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		in.Close()
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "shutting down: draining requests…")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "shutdown:", err)
+	}
+	if err := in.Close(); err != nil {
+		return fmt.Errorf("closing instance: %w", err)
+	}
+	if in.Persistent() {
+		fmt.Fprintln(os.Stderr, "store checkpointed and closed")
+	}
+	return nil
 }
 
 func cmdKeyword(in *core.Instance, keywords []string) error {

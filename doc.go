@@ -310,4 +310,54 @@
 // BenchmarkSemiJoinPruning measures a low-match-rate federated join
 // (256 outer bindings, 16 matching): ≥5x fewer probes on the wire and
 // ≥2x lower wall clock than the ablation.
+//
+// # Persistent storage engine
+//
+// The mediator's own state — the custom graph G, its materialized
+// saturation G∞, the mutation epoch and registered-source metadata —
+// can live on disk instead of in process memory. The stack is built
+// from scratch, bottom-up:
+//
+//   - internal/pager: a page file (4 KiB pages) behind a clock
+//     (second-chance) cache, fronted by a redo-only write-ahead log.
+//     Commit appends the dirty pages plus a CRC-guarded commit frame
+//     and fsyncs once; crash recovery replays committed frames and
+//     discards a torn tail; Checkpoint folds the WAL back into the
+//     main file. Path "" runs the same pager purely in memory.
+//   - internal/btree: order-N B-trees over pager pages — insert,
+//     delete, point lookup and ordered range cursors.
+//   - internal/store: named keyspaces (one B-tree each) over one
+//     shared pager, so a single Commit covers every keyspace touched
+//     by a mutation — store.Store is the engine boundary the layers
+//     above program against.
+//
+// rdf.Graph and relstore.Table are backend-split: the default
+// in-memory backends (nested triple maps; row slices + hash indexes)
+// are bit-for-bit the pre-engine behavior, while rdf.OpenGraph and
+// relstore.OpenDatabase mount the same APIs on store keyspaces — SPO /
+// POS / OSP triple permutations as 12-byte composite keys, dictionary
+// write-through, binary-encoded rows with persisted secondary indexes
+// and primary keys. Equivalence tests drive both backends through
+// identical randomized operation sequences and compare every answer.
+//
+// core.Open(dir) opens a persistent Instance: each mutation commits
+// graph pages, saturation pages, epoch and catalog in ONE WAL
+// transaction, so a crash between commits rolls the whole instance
+// back to the last committed mutation — epoch, G and G∞ can never
+// diverge (a SIGKILL crash-recovery test pins exactly this). Reopening
+// is a warm boot: the stored G∞ is adopted as-is (reason.Adopt, zero
+// recomputes) and incremental maintenance resumes where it left off.
+// Instance.Store() exposes the backing store so embedding applications
+// co-locate their relational state in the same transactions.
+//
+// "tatooine serve -data-dir <dir>" runs the mediator persistently: a
+// fresh directory is seeded from the generated dataset, a restart
+// warm-boots from the stored state, SIGINT/SIGTERM drains in-flight
+// requests and checkpoints the WAL on the way down, and GET /stats
+// grows a "store" block (pages, cacheHits / cacheMisses, walBytes,
+// commits, checkpoints). Without the flag everything runs in memory,
+// byte-identical to the pre-engine behavior. BenchmarkWarmBoot
+// measures adopt-vs-resaturate on reopen and BenchmarkPointLookupDisk
+// the disk-backed triple probe against the in-memory baseline; see
+// examples/persistent for the end-to-end walkthrough.
 package tatooine

@@ -9,6 +9,7 @@ import (
 	"tatooine/internal/rdf"
 	"tatooine/internal/reason"
 	"tatooine/internal/source"
+	"tatooine/internal/store"
 )
 
 // Instance is a mixed instance I = (G, D): the custom
@@ -56,6 +57,13 @@ type Instance struct {
 	// bind-join semi-join pruning, epoch-validated like every other
 	// derived cache.
 	dig digestCatalog
+
+	// Persistence (nil/zero for in-memory instances; see persist.go).
+	// satGen and stErr are guarded by satMu.
+	st     store.Store
+	cat    store.KV
+	satGen uint64
+	stErr  error
 }
 
 // InstanceOption configures an Instance.
@@ -141,13 +149,14 @@ func (in *Instance) bump() uint64 { return in.epoch.Add(1) }
 func (in *Instance) AddTriples(ts []rdf.Triple) int {
 	in.satMu.Lock()
 	added := in.graph.AddBatch(ts)
-	if len(added) > 0 && in.engine != nil {
-		in.engine.ApplyInsert(added)
+	if len(added) > 0 {
+		if in.engine != nil {
+			in.engine.ApplyInsert(added)
+		}
+		in.bump()
+		in.persistLocked()
 	}
 	in.satMu.Unlock()
-	if len(added) > 0 {
-		in.bump()
-	}
 	return len(added)
 }
 
@@ -157,13 +166,14 @@ func (in *Instance) AddTriples(ts []rdf.Triple) int {
 func (in *Instance) RemoveTriples(ts []rdf.Triple) int {
 	in.satMu.Lock()
 	removed := in.graph.RemoveBatch(ts)
-	if len(removed) > 0 && in.engine != nil {
-		in.engine.ApplyDelete(removed)
+	if len(removed) > 0 {
+		if in.engine != nil {
+			in.engine.ApplyDelete(removed)
+		}
+		in.bump()
+		in.persistLocked()
 	}
 	in.satMu.Unlock()
-	if len(removed) > 0 {
-		in.bump()
-	}
 	return len(removed)
 }
 
@@ -176,6 +186,12 @@ func (in *Instance) AddSource(s source.DataSource) error {
 		return err
 	}
 	in.bump()
+	if in.st != nil {
+		in.satMu.Lock()
+		in.persistSourceLocked(s.URI(), s.Model().String(), false)
+		in.persistLocked()
+		in.satMu.Unlock()
+	}
 	return nil
 }
 
@@ -188,6 +204,12 @@ func (in *Instance) DropSource(uri string) bool {
 		return false
 	}
 	in.bump()
+	if in.st != nil {
+		in.satMu.Lock()
+		in.persistSourceLocked(uri, "", true)
+		in.persistLocked()
+		in.satMu.Unlock()
+	}
 	return true
 }
 
@@ -207,8 +229,10 @@ func (in *Instance) Invalidate() (epoch uint64, probeEntries int) {
 		in.engine.Rebuild()
 	}
 	in.satGraph = nil
+	epoch = in.bump()
+	in.persistLocked()
 	in.satMu.Unlock()
-	return in.bump(), probeEntries
+	return epoch, probeEntries
 }
 
 // InvalidateSource flushes the probe cache of a single source
@@ -274,7 +298,14 @@ func (in *Instance) queryGraph() *rdf.Graph {
 	defer in.satMu.Unlock()
 	if !in.fullSat {
 		if in.engine == nil {
-			in.engine = reason.New(in.graph, reason.Config{})
+			cfg := reason.Config{}
+			if in.st != nil {
+				cfg.SatFactory = in.satFactory
+			}
+			in.engine = reason.New(in.graph, cfg)
+			// The initial saturation is derived state, but committing it
+			// now is what makes the next boot warm (Adopt, no recompute).
+			in.persistLocked()
 		}
 		return in.engine.Graph()
 	}

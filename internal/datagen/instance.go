@@ -76,11 +76,49 @@ func Generate(cfg Config) (*Dataset, error) {
 // Extra options (e.g. core.WithSaturation for the serving path) are
 // applied on top of the standard prefixes.
 func (ds *Dataset) Instance(opts ...core.InstanceOption) (*core.Instance, error) {
-	opts = append([]core.InstanceOption{core.WithPrefixes(map[string]string{
+	in := core.NewInstance(ds.Graph, ds.instanceOptions(opts)...)
+	if err := ds.registerSources(in); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// PersistentInstance assembles the mixed instance on a durable store
+// rooted at dir (core.Open). A fresh directory is seeded with the
+// generated custom graph; a warm one adopts the stored graph, epoch
+// and saturation as-is, skipping the seed entirely. Live external
+// sources (full-text indexes, XML store, relational databases) are
+// in-process objects either way, so they are (re-)registered on every
+// boot; only the custom graph side persists. The returned warm flag
+// reports which path was taken.
+func (ds *Dataset) PersistentInstance(dir string, opts ...core.InstanceOption) (in *core.Instance, warm bool, err error) {
+	in, err = core.Open(dir, ds.instanceOptions(opts)...)
+	if err != nil {
+		return nil, false, err
+	}
+	warm = in.Epoch() > 0 || in.Graph().Size() > 0
+	if !warm {
+		in.AddTriples(ds.Graph.Triples())
+	}
+	if err := ds.registerSources(in); err != nil {
+		in.Close()
+		return nil, false, err
+	}
+	if err := in.StoreErr(); err != nil {
+		in.Close()
+		return nil, false, err
+	}
+	return in, warm, nil
+}
+
+func (ds *Dataset) instanceOptions(opts []core.InstanceOption) []core.InstanceOption {
+	return append([]core.InstanceOption{core.WithPrefixes(map[string]string{
 		"":    NS,
 		"pol": NSPol,
 	})}, opts...)
-	in := core.NewInstance(ds.Graph, opts...)
+}
+
+func (ds *Dataset) registerSources(in *core.Instance) error {
 	srcs := []source.DataSource{
 		source.NewDocSource(TweetsURI, ds.Tweets),
 		source.NewDocSource(FacebookURI, ds.Facebook),
@@ -92,10 +130,10 @@ func (ds *Dataset) Instance(opts ...core.InstanceOption) (*core.Instance, error)
 	}
 	for _, s := range srcs {
 		if err := in.AddSource(s); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return in, nil
+	return nil
 }
 
 // PartyOf returns the party and current of a Twitter screen name, as

@@ -1,0 +1,451 @@
+// Package pager implements the bottom layer of TATOOINE's storage
+// engine: a fixed-size-page file with a clock page cache and a redo-only
+// write-ahead log.
+//
+// The design follows the SQLite page model (PAPERS.md: abk171/gosqlite,
+// khandu-utkarsh/codecrafters-sqlite-go walk the original format): the
+// database file is an array of PageSize-byte pages addressed by PageID,
+// page 0 is the file header, and every higher-level structure (B-trees,
+// the store catalog) is built out of pages obtained from the pager.
+// Unlike those readers, this pager also writes:
+//
+//   - Mutations go through Mut/Allocate and accumulate as in-memory
+//     dirty copies; readers of the same pager see them immediately
+//     (there is a single writer generation — transaction isolation is
+//     provided by the locks of the structures above, not the pager).
+//
+//   - Commit appends the dirty pages to the WAL as checksummed frames
+//     followed by a commit frame, fsyncs the WAL, and only then
+//     publishes the pages to the cache. A crash before the commit
+//     frame reaches disk rolls the whole transaction back on replay; a
+//     crash after it replays the transaction completely — mutations
+//     are atomic and durable at commit granularity.
+//
+//   - Checkpoint copies the newest committed version of every
+//     WAL-resident page into the database file, fsyncs it, and resets
+//     the WAL. Reads resolve dirty → cache → WAL → database file, so
+//     checkpointing is purely a space/boot-time optimization.
+//
+// A pager opened with an empty path lives entirely in memory: no files,
+// no WAL, commits are immediate. The in-memory mode backs the default
+// store.Store so every structure above the pager is testable (and
+// usable) without touching disk.
+package pager
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// PageSize is the fixed page size in bytes.
+const PageSize = 4096
+
+// PageID addresses a page within the database file. Page 0 is the file
+// header and is never handed out by Allocate.
+type PageID uint32
+
+const dbMagic = "TATPG001"
+
+// headerSize is the used prefix of page 0: magic, page size, page count.
+const headerSize = 8 + 4 + 4
+
+// Options tune a Pager.
+type Options struct {
+	// CacheSize bounds the clock page cache, in pages. Zero means
+	// DefaultCacheSize; negative means unbounded (everything read stays
+	// cached — the in-memory mode).
+	CacheSize int
+	// NoSync skips fsync on commit/checkpoint. Crash durability is
+	// lost (torn tails are still detected); useful for benchmarks.
+	NoSync bool
+}
+
+// DefaultCacheSize is the page-cache capacity when Options.CacheSize is
+// zero: 4096 pages = 16 MiB.
+const DefaultCacheSize = 4096
+
+// Stats counts pager activity since open.
+type Stats struct {
+	Pages       int   `json:"pages"`       // allocated pages (incl. header)
+	CacheHits   int64 `json:"cacheHits"`   // reads served from cache or dirty set
+	CacheMisses int64 `json:"cacheMisses"` // reads that went to WAL or db file
+	WALBytes    int64 `json:"walBytes"`    // current WAL file length
+	Commits     int64 `json:"commits"`     // committed transactions
+	Checkpoints int64 `json:"checkpoints"` // completed checkpoints
+}
+
+// Pager is a page-granular storage manager. All methods are safe for
+// concurrent use; writers of the structures above must still serialize
+// themselves (the pager has one shared dirty set, not per-transaction
+// snapshots).
+type Pager struct {
+	mu   sync.Mutex
+	mem  bool
+	db   *os.File
+	wal  *wal
+	opts Options
+
+	pageCount          uint32
+	committedPageCount uint32            // pageCount as of the last Commit
+	dirty              map[PageID][]byte // mutated since last Commit
+	cache              *clockCache
+
+	hits, misses, commits, checkpoints int64
+}
+
+// Open opens (or creates) the page file at path and replays any
+// committed WAL tail next to it. An empty path opens a memory-only
+// pager.
+func Open(path string, opts Options) (*Pager, error) {
+	if opts.CacheSize == 0 {
+		opts.CacheSize = DefaultCacheSize
+	}
+	p := &Pager{
+		opts:  opts,
+		dirty: make(map[PageID][]byte),
+	}
+	if path == "" {
+		p.mem = true
+		p.cache = newClockCache(-1) // unbounded: the cache IS the storage
+		p.pageCount = 1             // reserve the header page
+		p.committedPageCount = 1
+		return p, nil
+	}
+	p.cache = newClockCache(opts.CacheSize)
+
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("pager: %w", err)
+	}
+	db, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pager: %w", err)
+	}
+	p.db = db
+	st, err := db.Stat()
+	if err != nil {
+		db.Close()
+		return nil, fmt.Errorf("pager: %w", err)
+	}
+	if st.Size() == 0 {
+		// Fresh file: write the header page.
+		hdr := make([]byte, PageSize)
+		copy(hdr, dbMagic)
+		binary.BigEndian.PutUint32(hdr[8:], PageSize)
+		binary.BigEndian.PutUint32(hdr[12:], 1)
+		if _, err := db.WriteAt(hdr, 0); err != nil {
+			db.Close()
+			return nil, fmt.Errorf("pager: init header: %w", err)
+		}
+		if !opts.NoSync {
+			if err := db.Sync(); err != nil {
+				db.Close()
+				return nil, fmt.Errorf("pager: init header: %w", err)
+			}
+		}
+	}
+
+	w, err := openWAL(path+"-wal", opts.NoSync)
+	if err != nil {
+		db.Close()
+		return nil, err
+	}
+	p.wal = w
+
+	hdr, err := p.readPage(0)
+	if err != nil {
+		p.closeFiles()
+		return nil, err
+	}
+	if string(hdr[:8]) != dbMagic {
+		p.closeFiles()
+		return nil, fmt.Errorf("pager: %s is not a tatooine page file", path)
+	}
+	if ps := binary.BigEndian.Uint32(hdr[8:]); ps != PageSize {
+		p.closeFiles()
+		return nil, fmt.Errorf("pager: %s has page size %d, want %d", path, ps, PageSize)
+	}
+	p.pageCount = binary.BigEndian.Uint32(hdr[12:])
+	p.committedPageCount = p.pageCount
+	return p, nil
+}
+
+func (p *Pager) closeFiles() {
+	if p.db != nil {
+		p.db.Close()
+	}
+	if p.wal != nil {
+		p.wal.close()
+	}
+}
+
+// Mem reports whether the pager is memory-only.
+func (p *Pager) Mem() bool { return p.mem }
+
+// PageCount returns the number of allocated pages, including header.
+func (p *Pager) PageCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return int(p.pageCount)
+}
+
+// View returns the current contents of the page. The returned slice is
+// shared with the pager and MUST NOT be modified or retained across
+// any pager write call; copy if needed.
+func (p *Pager) View(id PageID) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.viewLocked(id)
+}
+
+func (p *Pager) viewLocked(id PageID) ([]byte, error) {
+	if id >= PageID(p.pageCount) {
+		return nil, fmt.Errorf("pager: page %d out of range (have %d)", id, p.pageCount)
+	}
+	if d, ok := p.dirty[id]; ok {
+		p.hits++
+		return d, nil
+	}
+	if d, ok := p.cache.get(id); ok {
+		p.hits++
+		return d, nil
+	}
+	p.misses++
+	d, err := p.readPage(id)
+	if err != nil {
+		return nil, err
+	}
+	p.cache.put(id, d)
+	return d, nil
+}
+
+// readPage fetches a page from the WAL (newest committed frame) or the
+// database file. Memory pagers never reach here: every live page is in
+// the cache or dirty set.
+func (p *Pager) readPage(id PageID) ([]byte, error) {
+	if p.mem {
+		// An allocated-but-never-written page reads as zeroes.
+		return make([]byte, PageSize), nil
+	}
+	if d, ok, err := p.wal.readPage(id); err != nil {
+		return nil, err
+	} else if ok {
+		return d, nil
+	}
+	buf := make([]byte, PageSize)
+	n, err := p.db.ReadAt(buf, int64(id)*PageSize)
+	if err != nil && n != PageSize {
+		// Reading past EOF yields zeroes: the page was allocated in a
+		// committed transaction but checkpointed before being written,
+		// or the file simply hasn't grown yet.
+		for i := n; i < PageSize; i++ {
+			buf[i] = 0
+		}
+	}
+	return buf, nil
+}
+
+// Mut returns a writable copy of the page, registered in the current
+// transaction's dirty set. Successive Mut calls for the same page
+// return the same buffer.
+func (p *Pager) Mut(id PageID) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.mutLocked(id)
+}
+
+func (p *Pager) mutLocked(id PageID) ([]byte, error) {
+	if id >= PageID(p.pageCount) {
+		return nil, fmt.Errorf("pager: page %d out of range (have %d)", id, p.pageCount)
+	}
+	if d, ok := p.dirty[id]; ok {
+		return d, nil
+	}
+	cur, err := p.viewLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	d := make([]byte, PageSize)
+	copy(d, cur)
+	p.dirty[id] = d
+	return d, nil
+}
+
+// Allocate extends the file by one zeroed page and returns its id and
+// writable buffer (already in the dirty set).
+func (p *Pager) Allocate() (PageID, []byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	id := PageID(p.pageCount)
+	p.pageCount++
+	d := make([]byte, PageSize)
+	p.dirty[id] = d
+	// Keep the header's page count in sync within the same transaction.
+	hdr, err := p.mutLocked(0)
+	if err != nil {
+		return 0, nil, err
+	}
+	if !p.mem {
+		copy(hdr, dbMagic)
+		binary.BigEndian.PutUint32(hdr[8:], PageSize)
+	}
+	binary.BigEndian.PutUint32(hdr[12:], p.pageCount)
+	return id, d, nil
+}
+
+// Commit makes every mutation since the last Commit durable as one
+// atomic transaction and publishes the pages to the read path.
+func (p *Pager) Commit() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.dirty) == 0 {
+		return nil
+	}
+	if !p.mem {
+		if err := p.wal.commit(p.dirty); err != nil {
+			return err
+		}
+	}
+	for id, d := range p.dirty {
+		p.cache.put(id, d)
+		delete(p.dirty, id)
+	}
+	p.committedPageCount = p.pageCount
+	p.commits++
+	return nil
+}
+
+// Rollback discards every mutation since the last Commit. The page
+// count retreats with it: pages allocated by the aborted transaction
+// are reused by the next one.
+func (p *Pager) Rollback() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.dirty) == 0 {
+		return
+	}
+	p.dirty = make(map[PageID][]byte)
+	p.pageCount = p.committedPageCount
+}
+
+// Checkpoint copies every committed WAL page into the database file,
+// fsyncs it and resets the WAL. A crash during checkpointing is safe:
+// the WAL is only reset after the database file is durable, so replay
+// simply redoes the copy.
+func (p *Pager) Checkpoint() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.mem {
+		return nil
+	}
+	n, err := p.wal.checkpointInto(p.db, p.opts.NoSync)
+	if err != nil {
+		return err
+	}
+	if n > 0 {
+		p.checkpoints++
+	}
+	return nil
+}
+
+// WALSize returns the current WAL length in bytes (0 for memory pagers).
+func (p *Pager) WALSize() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.mem {
+		return 0
+	}
+	return p.wal.size()
+}
+
+// Stats snapshots the pager counters.
+func (p *Pager) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := Stats{
+		Pages:       int(p.pageCount),
+		CacheHits:   p.hits,
+		CacheMisses: p.misses,
+		Commits:     p.commits,
+		Checkpoints: p.checkpoints,
+	}
+	if !p.mem {
+		st.WALBytes = p.wal.size()
+	}
+	return st
+}
+
+// Close flushes (checkpoint) and closes the pager. Uncommitted
+// mutations are discarded — that is the crash the WAL protects against.
+func (p *Pager) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.mem {
+		return nil
+	}
+	_, err := p.wal.checkpointInto(p.db, p.opts.NoSync)
+	if cerr := p.db.Close(); err == nil {
+		err = cerr
+	}
+	if cerr := p.wal.close(); err == nil {
+		err = cerr
+	}
+	p.db, p.wal = nil, nil
+	return err
+}
+
+// clockCache is a clock (second-chance) page cache.
+type clockCache struct {
+	cap     int // negative: unbounded
+	entries map[PageID]*cacheEntry
+	ring    []*cacheEntry
+	hand    int
+}
+
+type cacheEntry struct {
+	id   PageID
+	data []byte
+	ref  bool
+}
+
+func newClockCache(capacity int) *clockCache {
+	return &clockCache{cap: capacity, entries: make(map[PageID]*cacheEntry)}
+}
+
+func (c *clockCache) get(id PageID) ([]byte, bool) {
+	e, ok := c.entries[id]
+	if !ok {
+		return nil, false
+	}
+	e.ref = true
+	return e.data, true
+}
+
+func (c *clockCache) put(id PageID, data []byte) {
+	if e, ok := c.entries[id]; ok {
+		e.data, e.ref = data, true
+		return
+	}
+	e := &cacheEntry{id: id, data: data, ref: true}
+	if c.cap < 0 || len(c.ring) < c.cap {
+		c.entries[id] = e
+		c.ring = append(c.ring, e)
+		return
+	}
+	// Advance the hand, giving referenced pages a second chance.
+	for {
+		victim := c.ring[c.hand]
+		if victim.ref {
+			victim.ref = false
+			c.hand = (c.hand + 1) % len(c.ring)
+			continue
+		}
+		delete(c.entries, victim.id)
+		c.ring[c.hand] = e
+		c.entries[id] = e
+		c.hand = (c.hand + 1) % len(c.ring)
+		return
+	}
+}

@@ -1,0 +1,319 @@
+package pager
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func tmpDB(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "test.db")
+}
+
+func TestMemRoundTrip(t *testing.T) {
+	p, err := Open("", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, page, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(page, "hello")
+	if err := p.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.View(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[:5]) != "hello" {
+		t.Fatalf("got %q", got[:5])
+	}
+}
+
+func TestCommitDurableAcrossReopen(t *testing.T) {
+	path := tmpDB(t)
+	p, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, page, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(page, "persisted")
+	if err := p.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// No checkpoint, no Close: simulate a crash by just reopening. The
+	// committed page must come back from the WAL.
+	p2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if got := p2.PageCount(); got != int(id)+1 {
+		t.Fatalf("page count = %d, want %d", got, id+1)
+	}
+	d, err := p2.View(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(d[:9]) != "persisted" {
+		t.Fatalf("got %q", d[:9])
+	}
+}
+
+func TestUncommittedRollsBackOnReopen(t *testing.T) {
+	path := tmpDB(t)
+	p, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, page, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(page, "committed")
+	if err := p.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate without committing: must vanish on reopen.
+	mut, err := p.Mut(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(mut, "uncommitted")
+	if _, _, err := p.Allocate(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	d, err := p2.View(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(d[:9]) != "committed" {
+		t.Fatalf("got %q, want the committed image", d[:11])
+	}
+	if got := p2.PageCount(); got != int(id)+1 {
+		t.Fatalf("page count = %d, want %d (uncommitted allocation must roll back)", got, id+1)
+	}
+}
+
+func TestTornWALTailIgnored(t *testing.T) {
+	path := tmpDB(t)
+	p, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, page, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(page, "good")
+	if err := p.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: a page frame with no commit frame,
+	// then garbage.
+	f, err := os.OpenFile(path+"-wal", os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := make([]byte, 4+PageSize+4)
+	binary.BigEndian.PutUint32(frame, uint32(id))
+	copy(frame[4:], bytes.Repeat([]byte("evil"), 1024))
+	if _, err := f.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("torn-tail-garbage")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	p2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	d, err := p2.View(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(d[:4]) != "good" {
+		t.Fatalf("got %q, torn tail must not replay", d[:4])
+	}
+}
+
+func TestCheckpointMovesPagesToDB(t *testing.T) {
+	path := tmpDB(t)
+	p, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, page, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(page, "checkpointed")
+	if err := p.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Checkpoints != 1 {
+		t.Fatalf("checkpoints = %d, want 1", st.Checkpoints)
+	}
+	if st.WALBytes != 8 {
+		t.Fatalf("wal bytes = %d, want header only (8)", st.WALBytes)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The page must now come from the database file.
+	p2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	d, err := p2.View(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(d[:12]) != "checkpointed" {
+		t.Fatalf("got %q", d[:12])
+	}
+}
+
+func TestRollbackDiscardsDirty(t *testing.T) {
+	p, err := Open("", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, page, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(page, "keep")
+	if err := p.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	mut, err := p.Mut(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(mut, "drop")
+	if _, _, err := p.Allocate(); err != nil {
+		t.Fatal(err)
+	}
+	p.Rollback()
+	d, err := p.View(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(d[:4]) != "keep" {
+		t.Fatalf("got %q after rollback", d[:4])
+	}
+	if p.PageCount() != int(id)+1 {
+		t.Fatalf("page count = %d after rollback, want %d", p.PageCount(), id+1)
+	}
+	// The rolled-back page id must be reusable.
+	id2, _, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 != id+1 {
+		t.Fatalf("allocate after rollback = %d, want %d", id2, id+1)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	path := tmpDB(t)
+	p, err := Open(path, Options{CacheSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	var ids []PageID
+	for i := 0; i < 16; i++ {
+		id, page, err := p.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		page[0] = byte(i)
+		ids = append(ids, id)
+	}
+	if err := p.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		d, err := p.View(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d[0] != byte(i) {
+			t.Fatalf("page %d: got %d want %d", id, d[0], i)
+		}
+	}
+	st := p.Stats()
+	if st.CacheMisses == 0 {
+		t.Fatal("expected cache misses with a 4-page cache over 16 pages")
+	}
+}
+
+// TestRepeatedOpenCloseCycles pins a recovery regression: reopening a
+// checkpointed WAL (header only, no committed frames) must keep the
+// header as the valid length — an early version truncated such a WAL
+// to zero bytes, so the next commit wrote frames where the header
+// belongs and the THIRD open failed with "bad header".
+func TestRepeatedOpenCloseCycles(t *testing.T) {
+	path := tmpDB(t)
+	var id PageID
+	for cycle := 0; cycle < 4; cycle++ {
+		p, err := Open(path, Options{})
+		if err != nil {
+			t.Fatalf("cycle %d: open: %v", cycle, err)
+		}
+		if cycle == 0 {
+			var page []byte
+			id, page, err = p.Allocate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			copy(page, "cycled")
+		} else {
+			d, err := p.View(id)
+			if err != nil {
+				t.Fatalf("cycle %d: view: %v", cycle, err)
+			}
+			if string(d[:6]) != "cycled" {
+				t.Fatalf("cycle %d: got %q", cycle, d[:6])
+			}
+			// Dirty the page again so every cycle commits fresh frames
+			// into the just-reopened WAL.
+			w, err := p.Mut(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			copy(w, "cycled")
+		}
+		if err := p.Commit(); err != nil {
+			t.Fatalf("cycle %d: commit: %v", cycle, err)
+		}
+		// Close checkpoints, leaving a header-only WAL behind.
+		if err := p.Close(); err != nil {
+			t.Fatalf("cycle %d: close: %v", cycle, err)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package pager
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+)
+
+// The WAL is a redo-only log: a header followed by frames. Each page
+// frame carries the after-image of one page; a commit frame seals the
+// frames since the previous commit into one atomic transaction.
+//
+//	header:      "TATWAL01"                                  (8 bytes)
+//	page frame:  pageID u32 | page[PageSize] | crc u32       (4+4096+4)
+//	commit frame: 0xFFFFFFFF | nPages u32    | crc u32       (4+4+4)
+//
+// The crc covers everything before it in the frame. Replay scans
+// sequentially, buffering page frames and publishing them to the page
+// index only when a valid commit frame arrives; a torn tail (short
+// frame, bad crc, or trailing uncommitted frames) is truncated away.
+const walMagic = "TATWAL01"
+
+const commitID = 0xFFFFFFFF
+
+type wal struct {
+	f      *os.File
+	length int64            // valid (committed) length
+	index  map[PageID]int64 // page -> offset of newest committed after-image
+	noSync bool
+}
+
+func openWAL(path string, noSync bool) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pager: wal: %w", err)
+	}
+	w := &wal{f: f, index: make(map[PageID]int64), noSync: noSync}
+	if err := w.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// replay scans the log, building the page index from committed
+// transactions, and truncates any torn tail.
+func (w *wal) replay() error {
+	st, err := w.f.Stat()
+	if err != nil {
+		return fmt.Errorf("pager: wal: %w", err)
+	}
+	if st.Size() == 0 {
+		if _, err := w.f.WriteAt([]byte(walMagic), 0); err != nil {
+			return fmt.Errorf("pager: wal: %w", err)
+		}
+		w.length = int64(len(walMagic))
+		return nil
+	}
+	hdr := make([]byte, len(walMagic))
+	if _, err := io.ReadFull(io.NewSectionReader(w.f, 0, int64(len(hdr))), hdr); err != nil || string(hdr) != walMagic {
+		return fmt.Errorf("pager: wal: bad header")
+	}
+	// The valid length is at least the header, even if no committed
+	// transaction follows — otherwise the torn-tail truncate below
+	// would chop the header off a checkpointed (header-only) WAL.
+	w.length = int64(len(walMagic))
+	off := int64(len(walMagic))
+	pending := make(map[PageID]int64)
+	var frame [4 + PageSize + 4]byte
+	for {
+		// Peek the frame id to distinguish page frames from commit frames.
+		var idbuf [4]byte
+		if _, err := w.f.ReadAt(idbuf[:], off); err != nil {
+			break // clean EOF or torn tail: stop
+		}
+		id := binary.BigEndian.Uint32(idbuf[:])
+		if id == commitID {
+			var cbuf [12]byte
+			if _, err := w.f.ReadAt(cbuf[:], off); err != nil {
+				break
+			}
+			if crc32.ChecksumIEEE(cbuf[:8]) != binary.BigEndian.Uint32(cbuf[8:]) {
+				break
+			}
+			for pid, poff := range pending {
+				w.index[pid] = poff
+				delete(pending, pid)
+			}
+			off += 12
+			w.length = off
+			continue
+		}
+		if _, err := w.f.ReadAt(frame[:], off); err != nil {
+			break
+		}
+		if crc32.ChecksumIEEE(frame[:4+PageSize]) != binary.BigEndian.Uint32(frame[4+PageSize:]) {
+			break
+		}
+		pending[PageID(id)] = off + 4 // offset of the page image
+		off += int64(len(frame))
+	}
+	// Drop anything past the last committed transaction (torn tail or
+	// frames whose commit never made it).
+	if err := w.f.Truncate(w.length); err != nil {
+		return fmt.Errorf("pager: wal: truncate torn tail: %w", err)
+	}
+	return nil
+}
+
+// readPage returns the newest committed after-image of the page, if the
+// WAL holds one.
+func (w *wal) readPage(id PageID) ([]byte, bool, error) {
+	off, ok := w.index[id]
+	if !ok {
+		return nil, false, nil
+	}
+	buf := make([]byte, PageSize)
+	if _, err := w.f.ReadAt(buf, off); err != nil {
+		return nil, false, fmt.Errorf("pager: wal read page %d: %w", id, err)
+	}
+	return buf, true, nil
+}
+
+// commit appends one transaction: a frame per dirty page plus a commit
+// frame, then fsyncs. Only after a successful fsync is the page index
+// updated, so a failed commit leaves the read path untouched.
+func (w *wal) commit(dirty map[PageID][]byte) error {
+	ids := make([]PageID, 0, len(dirty))
+	for id := range dirty {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	buf := make([]byte, 0, len(ids)*(4+PageSize+4)+12)
+	offsets := make(map[PageID]int64, len(ids))
+	var u32 [4]byte
+	for _, id := range ids {
+		binary.BigEndian.PutUint32(u32[:], uint32(id))
+		start := len(buf)
+		buf = append(buf, u32[:]...)
+		buf = append(buf, dirty[id]...)
+		binary.BigEndian.PutUint32(u32[:], crc32.ChecksumIEEE(buf[start:]))
+		buf = append(buf, u32[:]...)
+		offsets[id] = w.length + int64(start) + 4 // offset of the page image
+	}
+	var cframe [12]byte
+	binary.BigEndian.PutUint32(cframe[0:], commitID)
+	binary.BigEndian.PutUint32(cframe[4:], uint32(len(ids)))
+	binary.BigEndian.PutUint32(cframe[8:], crc32.ChecksumIEEE(cframe[:8]))
+	buf = append(buf, cframe[:]...)
+
+	if _, err := w.f.WriteAt(buf, w.length); err != nil {
+		return fmt.Errorf("pager: wal commit: %w", err)
+	}
+	if !w.noSync {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("pager: wal commit: %w", err)
+		}
+	}
+	w.length += int64(len(buf))
+	for id, o := range offsets {
+		w.index[id] = o
+	}
+	return nil
+}
+
+// checkpointInto copies the newest committed after-image of every
+// WAL-resident page into the database file, fsyncs it, then resets the
+// WAL. Returns the number of pages checkpointed.
+func (w *wal) checkpointInto(db *os.File, noSync bool) (int, error) {
+	if len(w.index) == 0 {
+		return 0, nil
+	}
+	n := 0
+	for id, off := range w.index {
+		buf := make([]byte, PageSize)
+		if _, err := w.f.ReadAt(buf, off); err != nil {
+			return n, fmt.Errorf("pager: checkpoint read page %d: %w", id, err)
+		}
+		if _, err := db.WriteAt(buf, int64(id)*PageSize); err != nil {
+			return n, fmt.Errorf("pager: checkpoint write page %d: %w", id, err)
+		}
+		n++
+	}
+	if !noSync {
+		if err := db.Sync(); err != nil {
+			return n, fmt.Errorf("pager: checkpoint: %w", err)
+		}
+	}
+	// The database file is durable; the WAL can restart. Order matters:
+	// truncating before the db fsync could lose committed pages.
+	if err := w.f.Truncate(int64(len(walMagic))); err != nil {
+		return n, fmt.Errorf("pager: checkpoint: %w", err)
+	}
+	w.length = int64(len(walMagic))
+	w.index = make(map[PageID]int64)
+	if !noSync {
+		if err := w.f.Sync(); err != nil {
+			return n, fmt.Errorf("pager: checkpoint: %w", err)
+		}
+	}
+	return n, nil
+}
+
+func (w *wal) size() int64 { return w.length }
+
+func (w *wal) close() error { return w.f.Close() }

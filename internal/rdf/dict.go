@@ -1,6 +1,13 @@
 package rdf
 
-import "sync"
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"sync"
+
+	"tatooine/internal/store"
+)
 
 // TermID is a dense dictionary identifier for a Term within one Graph.
 // IDs start at 1; 0 is reserved as "no term" / wildcard in index lookups.
@@ -11,15 +18,89 @@ const NoTerm TermID = 0
 
 // Dictionary interns Terms, assigning each distinct term a dense TermID.
 // It is safe for concurrent use.
+//
+// A dictionary may be bound to a store keyspace (openDictionary): the
+// full id→term mapping always lives in memory for map-speed lookups,
+// and each fresh Intern is written through to the keyspace so IDs are
+// stable across restarts. The keyspace records id(4,BE) → Term.Key().
 type Dictionary struct {
 	mu    sync.RWMutex
 	byKey map[string]TermID
 	terms []Term // terms[id-1] is the Term for id
+
+	kv       store.KV // nil for a purely in-memory dictionary
+	firstErr error
 }
 
-// NewDictionary returns an empty dictionary.
+// NewDictionary returns an empty in-memory dictionary.
 func NewDictionary() *Dictionary {
 	return &Dictionary{byKey: make(map[string]TermID)}
+}
+
+// openDictionary loads a dictionary from kv and binds it for
+// write-through. IDs in the keyspace must be dense starting at 1 —
+// they are scanned in key order (big-endian, so numeric order) and
+// rebuilt positionally.
+func openDictionary(kv store.KV) (*Dictionary, error) {
+	n := kv.Len()
+	d := &Dictionary{
+		byKey: make(map[string]TermID, n),
+		terms: make([]Term, 0, n),
+		kv:    kv,
+	}
+	var next TermID = 1
+	var loadErr error
+	err := kv.Scan(nil, func(k, v []byte) bool {
+		if len(k) != 4 {
+			loadErr = fmt.Errorf("rdf: dict: malformed id key (%d bytes)", len(k))
+			return false
+		}
+		id := TermID(binary.BigEndian.Uint32(k))
+		if id != next {
+			loadErr = fmt.Errorf("rdf: dict: non-dense ids (got %d, want %d)", id, next)
+			return false
+		}
+		key := string(v)
+		t, err := decodeTermKey(key)
+		if err != nil {
+			loadErr = err
+			return false
+		}
+		d.terms = append(d.terms, t)
+		d.byKey[key] = id
+		next++
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if loadErr != nil {
+		return nil, loadErr
+	}
+	return d, nil
+}
+
+// decodeTermKey inverts Term.Key(): "i<iri>", "b<label>",
+// "l<lang>\x00<datatype>\x00<value>".
+func decodeTermKey(key string) (Term, error) {
+	if key == "" {
+		return Term{}, fmt.Errorf("rdf: dict: empty term key")
+	}
+	rest := key[1:]
+	switch key[0] {
+	case 'i':
+		return NewIRI(rest), nil
+	case 'b':
+		return NewBlank(rest), nil
+	case 'l':
+		parts := strings.SplitN(rest, "\x00", 3)
+		if len(parts) != 3 {
+			return Term{}, fmt.Errorf("rdf: dict: malformed literal key %q", key)
+		}
+		return Term{Kind: Literal, Lang: parts[0], Datatype: parts[1], Value: parts[2]}, nil
+	default:
+		return Term{}, fmt.Errorf("rdf: dict: unknown term key kind %q", key[0])
+	}
 }
 
 // Intern returns the ID for t, assigning a fresh one if t is new.
@@ -39,7 +120,21 @@ func (d *Dictionary) Intern(t Term) TermID {
 	d.terms = append(d.terms, t)
 	id = TermID(len(d.terms))
 	d.byKey[key] = id
+	if d.kv != nil {
+		var k [4]byte
+		binary.BigEndian.PutUint32(k[:], uint32(id))
+		if _, err := d.kv.Put(k[:], []byte(key)); err != nil && d.firstErr == nil {
+			d.firstErr = err
+		}
+	}
 	return id
+}
+
+// storeErr returns the first write-through error, if any.
+func (d *Dictionary) storeErr() error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.firstErr
 }
 
 // Lookup returns the ID for t, or NoTerm if t was never interned.

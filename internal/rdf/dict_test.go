@@ -1,0 +1,160 @@
+package rdf
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"tatooine/internal/store"
+)
+
+func TestDictionaryInternLookupRoundTrip(t *testing.T) {
+	d := NewDictionary()
+	terms := []Term{
+		NewIRI("http://example.org/a"),
+		NewLiteral("plain"),
+		NewTypedLiteral("42", XSDInteger),
+		NewLangLiteral("bonjour", "fr"),
+		NewBlank("b0"),
+		NewLiteral(""), // empty lexical form is a valid literal
+	}
+	ids := make([]TermID, len(terms))
+	for i, tm := range terms {
+		ids[i] = d.Intern(tm)
+		if ids[i] == NoTerm {
+			t.Fatalf("intern(%v) returned NoTerm", tm)
+		}
+	}
+	for i, tm := range terms {
+		if got := d.Lookup(tm); got != ids[i] {
+			t.Fatalf("lookup(%v) = %d, want %d", tm, got, ids[i])
+		}
+		if got := d.Term(ids[i]); got != tm {
+			t.Fatalf("term(%d) = %v, want %v", ids[i], got, tm)
+		}
+		if again := d.Intern(tm); again != ids[i] {
+			t.Fatalf("re-intern(%v) = %d, want %d", tm, again, ids[i])
+		}
+	}
+	if d.Len() != len(terms) {
+		t.Fatalf("len = %d, want %d", d.Len(), len(terms))
+	}
+	if d.Lookup(NewIRI("never-seen")) != NoTerm {
+		t.Fatal("lookup of unseen term != NoTerm")
+	}
+	if !d.Term(NoTerm).IsZero() || !d.Term(TermID(999)).IsZero() {
+		t.Fatal("out-of-range Term() not zero")
+	}
+}
+
+// TestDictionaryConcurrentIntern hammers Intern from many goroutines
+// with overlapping term sets; run under -race this pins the
+// double-checked locking, and the assertions pin ID uniqueness.
+func TestDictionaryConcurrentIntern(t *testing.T) {
+	d := NewDictionary()
+	const workers = 8
+	const perWorker = 500
+	results := make([][]TermID, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ids := make([]TermID, perWorker)
+			for i := 0; i < perWorker; i++ {
+				// All workers intern the same 500 terms, racing on each.
+				ids[i] = d.Intern(NewIRI(fmt.Sprintf("http://example.org/t%d", i)))
+			}
+			results[w] = ids
+		}(w)
+	}
+	wg.Wait()
+	if d.Len() != perWorker {
+		t.Fatalf("len = %d, want %d (duplicate assignment under race)", d.Len(), perWorker)
+	}
+	for w := 1; w < workers; w++ {
+		for i := range results[0] {
+			if results[w][i] != results[0][i] {
+				t.Fatalf("worker %d term %d got id %d, worker 0 got %d",
+					w, i, results[w][i], results[0][i])
+			}
+		}
+	}
+}
+
+// TestDictionaryIDStabilityAcrossReopen pins the core warm-restart
+// invariant: a persisted dictionary reassigns the SAME TermID to every
+// term after reopen, so persisted triple keys stay valid.
+func TestDictionaryIDStabilityAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d.db")
+	st, err := store.Open(path, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv, err := st.Keyspace("dict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := openDictionary(kv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	terms := []Term{
+		NewIRI("http://example.org/a"),
+		NewLangLiteral("hûllo\x1fodd", "en-GB"),
+		NewTypedLiteral("2016-01-01T00:00:00Z", XSDDateTime),
+		NewBlank("gen7"),
+		NewLiteral("with\x00embedded-nul-free? no: datatype uses \\x00 separators"),
+	}
+	ids := make([]TermID, len(terms))
+	for i, tm := range terms {
+		ids[i] = d.Intern(tm)
+	}
+	if err := d.storeErr(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(path, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	kv2, err := st2.Keyspace("dict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := openDictionary(kv2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Len() != len(terms) {
+		t.Fatalf("reopened len = %d, want %d", d2.Len(), len(terms))
+	}
+	for i, tm := range terms {
+		if got := d2.Lookup(tm); got != ids[i] {
+			t.Fatalf("reopened lookup(%v) = %d, want %d", tm, got, ids[i])
+		}
+		if got := d2.Term(ids[i]); got != tm {
+			t.Fatalf("reopened term(%d) = %v, want %v", ids[i], got, tm)
+		}
+	}
+	// New terms continue the sequence, not restart it.
+	if id := d2.Intern(NewIRI("http://example.org/new")); id != TermID(len(terms)+1) {
+		t.Fatalf("post-reopen intern id = %d, want %d", id, len(terms)+1)
+	}
+}
+
+func TestDecodeTermKeyRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{"", "lnosep", "l\x00onesep", "zunknown"} {
+		if _, err := decodeTermKey(bad); err == nil {
+			t.Fatalf("decodeTermKey(%q) succeeded", bad)
+		}
+	}
+}

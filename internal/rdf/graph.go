@@ -3,75 +3,97 @@ package rdf
 import (
 	"sort"
 	"sync"
+
+	"tatooine/internal/store"
 )
 
-type termSet map[TermID]struct{}
-
-// index is a two-level nested map ending in a set, e.g. for the SPO index
-// idx[s][p] is the set of objects.
-type index map[TermID]map[TermID]termSet
-
-func (ix index) add(a, b, c TermID) bool {
-	m, ok := ix[a]
-	if !ok {
-		m = make(map[TermID]termSet)
-		ix[a] = m
-	}
-	s, ok := m[b]
-	if !ok {
-		s = make(termSet)
-		m[b] = s
-	}
-	if _, ok := s[c]; ok {
-		return false
-	}
-	s[c] = struct{}{}
-	return true
-}
-
-func (ix index) remove(a, b, c TermID) bool {
-	m, ok := ix[a]
-	if !ok {
-		return false
-	}
-	s, ok := m[b]
-	if !ok {
-		return false
-	}
-	if _, ok := s[c]; !ok {
-		return false
-	}
-	delete(s, c)
-	if len(s) == 0 {
-		delete(m, b)
-		if len(m) == 0 {
-			delete(ix, a)
-		}
-	}
-	return true
+// tripleBackend is the storage engine behind a Graph: the three
+// permutation indexes (SPO/POS/OSP) reduced to eight operations. The
+// default backend is nested in-memory maps (mapTriples); a store-backed
+// graph runs the same access paths over B-tree cursors (storeTriples).
+// All methods are called with the Graph's lock held (write lock for
+// add/remove, read lock otherwise), so implementations need no internal
+// locking.
+type tripleBackend interface {
+	add(s, p, o TermID) bool
+	remove(s, p, o TermID) bool
+	contains(s, p, o TermID) bool
+	// match calls fn for every triple matching the pattern (NoTerm is a
+	// wildcard in any position); iteration stops when fn returns false.
+	match(s, p, o TermID, fn func(s, p, o TermID) bool)
+	count(s, p, o TermID) int
+	size() int
+	// properties iterates the distinct predicate IDs in the graph.
+	properties(fn func(p TermID) bool)
+	// err returns the first storage error encountered, if any; the map
+	// backend always returns nil.
+	err() error
 }
 
 // Graph is a dictionary-encoded RDF triple store with SPO, POS and OSP
-// indexes, supporting pattern matching with any combination of bound
-// positions. It is safe for concurrent readers; writes take an exclusive
-// lock.
+// access paths, supporting pattern matching with any combination of
+// bound positions. It is safe for concurrent readers; writes take an
+// exclusive lock. The default graph lives in memory; OpenGraph puts the
+// same structure on a persistent store.Store.
 type Graph struct {
 	mu   sync.RWMutex
 	dict *Dictionary
-	spo  index
-	pos  index
-	osp  index
-	size int
+	be   tripleBackend
 }
 
-// NewGraph returns an empty graph with its own dictionary.
+// NewGraph returns an empty in-memory graph with its own dictionary.
 func NewGraph() *Graph {
 	return &Graph{
 		dict: NewDictionary(),
-		spo:  make(index),
-		pos:  make(index),
-		osp:  make(index),
+		be:   newMapTriples(),
 	}
+}
+
+// OpenGraph opens (or creates) a graph persisted in st under the given
+// keyspace prefix. The dictionary is loaded fully into memory — term
+// lookups stay map-speed — while triples are read through the store's
+// page cache. Writes become durable at the owning store's next Commit.
+func OpenGraph(st store.Store, prefix string) (*Graph, error) {
+	dictKV, err := st.Keyspace(prefix + "/dict")
+	if err != nil {
+		return nil, err
+	}
+	dict, err := openDictionary(dictKV)
+	if err != nil {
+		return nil, err
+	}
+	be, err := openStoreTriples(st, prefix)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{dict: dict, be: be}, nil
+}
+
+// OpenGraphSharedDict opens (or creates) a graph persisted in st under
+// prefix that interns terms through base's dictionary instead of
+// loading its own. Saturation generations use this: G∞ shares G's
+// terms almost entirely, so sharing the dictionary halves what a warm
+// boot has to load — and since dictionaries only ever grow, sharing
+// one across graphs is safe (it locks internally).
+func OpenGraphSharedDict(st store.Store, prefix string, base *Graph) (*Graph, error) {
+	be, err := openStoreTriples(st, prefix)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{dict: base.dict, be: be}, nil
+}
+
+// StoreErr returns the first storage error the graph's backend has
+// swallowed, or nil. The probe API (Contains, MatchIDs, ...) cannot
+// report errors, so a store-backed graph degrades to missing answers on
+// I/O failure; durable owners must check StoreErr before committing.
+func (g *Graph) StoreErr() error {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if err := g.dict.storeErr(); err != nil {
+		return err
+	}
+	return g.be.err()
 }
 
 // Dict exposes the graph's term dictionary.
@@ -81,7 +103,7 @@ func (g *Graph) Dict() *Dictionary { return g.dict }
 func (g *Graph) Size() int {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	return g.size
+	return g.be.size()
 }
 
 // Add inserts the triple and reports whether it was not already present.
@@ -93,7 +115,9 @@ func (g *Graph) Add(t Triple) bool {
 	s := g.dict.Intern(t.S)
 	p := g.dict.Intern(t.P)
 	o := g.dict.Intern(t.O)
-	return g.addIDs(s, p, o)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.be.add(s, p, o)
 }
 
 // AddAll inserts every triple in ts and returns how many were new. The
@@ -126,7 +150,7 @@ func (g *Graph) AddBatch(ts []Triple) []Triple {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	for _, e := range encs {
-		if g.addIDsLocked(e.s, e.p, e.o) {
+		if g.be.add(e.s, e.p, e.o) {
 			added = append(added, e.t)
 		}
 	}
@@ -155,41 +179,18 @@ func (g *Graph) RemoveBatch(ts []Triple) []Triple {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	for _, e := range encs {
-		if g.removeIDsLocked(e.s, e.p, e.o) {
+		if g.be.remove(e.s, e.p, e.o) {
 			removed = append(removed, e.t)
 		}
 	}
 	return removed
 }
 
+// addIDs inserts an already-encoded triple under the write lock.
 func (g *Graph) addIDs(s, p, o TermID) bool {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return g.addIDsLocked(s, p, o)
-}
-
-// addIDsLocked is the single index-maintenance point for insertion;
-// callers hold g.mu.
-func (g *Graph) addIDsLocked(s, p, o TermID) bool {
-	if !g.spo.add(s, p, o) {
-		return false
-	}
-	g.pos.add(p, o, s)
-	g.osp.add(o, s, p)
-	g.size++
-	return true
-}
-
-// removeIDsLocked is the single index-maintenance point for deletion;
-// callers hold g.mu.
-func (g *Graph) removeIDsLocked(s, p, o TermID) bool {
-	if !g.spo.remove(s, p, o) {
-		return false
-	}
-	g.pos.remove(p, o, s)
-	g.osp.remove(o, s, p)
-	g.size--
-	return true
+	return g.be.add(s, p, o)
 }
 
 // Remove deletes the triple and reports whether it was present.
@@ -202,7 +203,7 @@ func (g *Graph) Remove(t Triple) bool {
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return g.removeIDsLocked(s, p, o)
+	return g.be.remove(s, p, o)
 }
 
 // Contains reports whether the triple is present.
@@ -215,13 +216,7 @@ func (g *Graph) Contains(t Triple) bool {
 	}
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	if m, ok := g.spo[s]; ok {
-		if set, ok := m[p]; ok {
-			_, ok := set[o]
-			return ok
-		}
-	}
-	return false
+	return g.be.contains(s, p, o)
 }
 
 // MatchIDs calls fn for every stored triple matching the pattern, where
@@ -231,96 +226,7 @@ func (g *Graph) Contains(t Triple) bool {
 func (g *Graph) MatchIDs(s, p, o TermID, fn func(s, p, o TermID) bool) {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	g.matchLocked(s, p, o, fn)
-}
-
-func (g *Graph) matchLocked(s, p, o TermID, fn func(s, p, o TermID) bool) {
-	switch {
-	case s != NoTerm:
-		m, ok := g.spo[s]
-		if !ok {
-			return
-		}
-		if p != NoTerm {
-			set, ok := m[p]
-			if !ok {
-				return
-			}
-			if o != NoTerm {
-				if _, ok := set[o]; ok {
-					fn(s, p, o)
-				}
-				return
-			}
-			for oid := range set {
-				if !fn(s, p, oid) {
-					return
-				}
-			}
-			return
-		}
-		for pid, set := range m {
-			if o != NoTerm {
-				if _, ok := set[o]; ok {
-					if !fn(s, pid, o) {
-						return
-					}
-				}
-				continue
-			}
-			for oid := range set {
-				if !fn(s, pid, oid) {
-					return
-				}
-			}
-		}
-	case p != NoTerm:
-		m, ok := g.pos[p]
-		if !ok {
-			return
-		}
-		if o != NoTerm {
-			set, ok := m[o]
-			if !ok {
-				return
-			}
-			for sid := range set {
-				if !fn(sid, p, o) {
-					return
-				}
-			}
-			return
-		}
-		for oid, set := range m {
-			for sid := range set {
-				if !fn(sid, p, oid) {
-					return
-				}
-			}
-		}
-	case o != NoTerm:
-		m, ok := g.osp[o]
-		if !ok {
-			return
-		}
-		for sid, set := range m {
-			for pid := range set {
-				if !fn(sid, pid, o) {
-					return
-				}
-			}
-		}
-	default:
-		for sid, m := range g.spo {
-			for pid, set := range m {
-				for oid := range set {
-					if !fn(sid, pid, oid) {
-						return
-					}
-				}
-			}
-		}
-	}
+	g.be.match(s, p, o, fn)
 }
 
 // zeroAsWildcard maps a zero Term to NoTerm, otherwise looks it up. The
@@ -378,24 +284,7 @@ func (g *Graph) CountMatch(s, p, o Term) int {
 func (g *Graph) countIDs(s, p, o TermID) int {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	// Fast paths that avoid enumeration.
-	switch {
-	case s == NoTerm && p == NoTerm && o == NoTerm:
-		return g.size
-	case s != NoTerm && p != NoTerm && o == NoTerm:
-		if m, ok := g.spo[s]; ok {
-			return len(m[p])
-		}
-		return 0
-	case s == NoTerm && p != NoTerm && o != NoTerm:
-		if m, ok := g.pos[p]; ok {
-			return len(m[o])
-		}
-		return 0
-	}
-	n := 0
-	g.matchLocked(s, p, o, func(_, _, _ TermID) bool { n++; return true })
-	return n
+	return g.be.count(s, p, o)
 }
 
 // Triples returns every stored triple, sorted lexically by their
@@ -457,10 +346,11 @@ func (g *Graph) Objects(s, p Term) []Term {
 // Properties returns the distinct properties used in the graph.
 func (g *Graph) Properties() []Term {
 	g.mu.RLock()
-	ids := make([]TermID, 0, len(g.pos))
-	for p := range g.pos {
+	var ids []TermID
+	g.be.properties(func(p TermID) bool {
 		ids = append(ids, p)
-	}
+		return true
+	})
 	g.mu.RUnlock()
 	out := make([]Term, 0, len(ids))
 	for _, id := range ids {
@@ -470,19 +360,38 @@ func (g *Graph) Properties() []Term {
 	return out
 }
 
-// Clone returns a deep copy of the graph sharing no mutable state.
-func (g *Graph) Clone() *Graph {
-	out := NewGraph()
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	for s, m := range g.spo {
-		st := g.dict.Term(s)
-		for p, set := range m {
-			pt := g.dict.Term(p)
-			for o := range set {
-				out.Add(Triple{st, pt, g.dict.Term(o)})
-			}
+// CopyTo inserts every triple of g into dst. It is the bulk-load path
+// for migrating a graph between backends (e.g. seeding a store-backed
+// graph from an in-memory one).
+func (g *Graph) CopyTo(dst *Graph) {
+	const batch = 4096
+	buf := make([]Triple, 0, batch)
+	flush := func() {
+		if len(buf) > 0 {
+			dst.AddBatch(buf)
+			buf = buf[:0]
 		}
 	}
+	g.mu.RLock()
+	var all []Triple
+	g.be.match(NoTerm, NoTerm, NoTerm, func(s, p, o TermID) bool {
+		all = append(all, Triple{g.dict.Term(s), g.dict.Term(p), g.dict.Term(o)})
+		return true
+	})
+	g.mu.RUnlock()
+	for _, t := range all {
+		buf = append(buf, t)
+		if len(buf) == batch {
+			flush()
+		}
+	}
+	flush()
+}
+
+// Clone returns a deep in-memory copy of the graph sharing no mutable
+// state.
+func (g *Graph) Clone() *Graph {
+	out := NewGraph()
+	g.CopyTo(out)
 	return out
 }

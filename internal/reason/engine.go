@@ -64,6 +64,11 @@ type Config struct {
 	// recomputes from scratch. Zero means DefaultMaxDeleteFraction;
 	// values >= 1 never fall back on cone size.
 	MaxDeleteFraction float64
+	// SatFactory, when non-nil, supplies the empty graph a full rebuild
+	// saturates into — the hook a persistent instance uses to keep G∞ on
+	// durable storage (each rebuild gets a fresh store-backed graph).
+	// Nil means rebuilds clone the base into a new in-memory graph.
+	SatFactory func() *rdf.Graph
 }
 
 // Stats snapshots an engine's maintenance counters. It doubles as the
@@ -113,6 +118,18 @@ func New(base *rdf.Graph, cfg Config) *Engine {
 	return e
 }
 
+// Adopt builds an engine over base that takes ownership of an ALREADY
+// SATURATED graph instead of computing one — the warm-restart path: a
+// persistent instance reopens its stored G∞ and resumes incremental
+// maintenance with zero recompute. The caller asserts sat is the exact
+// saturation of base; nothing is verified.
+func Adopt(base, sat *rdf.Graph, cfg Config) *Engine {
+	if cfg.MaxDeleteFraction <= 0 {
+		cfg.MaxDeleteFraction = DefaultMaxDeleteFraction
+	}
+	return &Engine{base: base, sat: sat, cfg: cfg}
+}
+
 // Graph returns the maintained saturation G∞. Callers must treat it as
 // read-only; it remains valid (as a pre-rebuild snapshot) even if the
 // engine swaps it for a fresh one.
@@ -146,7 +163,14 @@ func (e *Engine) Rebuild() {
 
 func (e *Engine) rebuildLocked() {
 	start := time.Now()
-	e.sat = rdf.Saturate(e.base).Graph
+	if e.cfg.SatFactory != nil {
+		sat := e.cfg.SatFactory()
+		e.base.CopyTo(sat)
+		rdf.SaturateInPlace(sat)
+		e.sat = sat
+	} else {
+		e.sat = rdf.Saturate(e.base).Graph
+	}
 	e.fullRecomputes++
 	e.lastApply = time.Since(start)
 }

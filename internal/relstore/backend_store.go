@@ -1,0 +1,306 @@
+package relstore
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"tatooine/internal/store"
+	"tatooine/internal/value"
+)
+
+// storeTable is the B-tree-backed table backend. Rows live in a rows
+// keyspace keyed by dense 8-byte big-endian row ids; each hash index is
+// its own keyspace whose keys are a framed value key followed by the
+// row id (so equal-value rows are one prefix scan); the primary-key set
+// is a keyspace of PK value keys. Writes become durable at the owning
+// store's next Commit.
+type storeTable struct {
+	st     store.Store
+	prefix string
+	rows   store.KV
+	pk     store.KV
+	ixs    map[string]store.KV // column -> index keyspace
+	colIdx map[string]int
+	count  int
+	fe     error // first swallowed read error
+}
+
+func openStoreTable(st store.Store, prefix string, schema Schema, indexed []string) (*storeTable, error) {
+	rows, err := st.Keyspace(prefix + "/rows")
+	if err != nil {
+		return nil, err
+	}
+	pk, err := st.Keyspace(prefix + "/pk")
+	if err != nil {
+		return nil, err
+	}
+	b := &storeTable{
+		st:     st,
+		prefix: prefix,
+		rows:   rows,
+		pk:     pk,
+		ixs:    make(map[string]store.KV),
+		colIdx: make(map[string]int),
+		count:  rows.Len(),
+	}
+	for _, col := range indexed {
+		ci := schema.ColumnIndex(col)
+		if ci < 0 {
+			return nil, fmt.Errorf("relstore: table %s: catalog indexes unknown column %q", schema.Name, col)
+		}
+		kv, err := st.Keyspace(prefix + "/ix/" + strings.ToLower(col))
+		if err != nil {
+			return nil, err
+		}
+		b.ixs[schema.Columns[ci].Name] = kv
+		b.colIdx[schema.Columns[ci].Name] = ci
+	}
+	return b, nil
+}
+
+func (b *storeTable) fail(err error) {
+	if err != nil && b.fe == nil {
+		b.fe = err
+	}
+}
+
+func (b *storeTable) err() error { return b.fe }
+
+func (b *storeTable) rowCount() int { return b.count }
+
+func rowIDKey(id int) []byte {
+	var k [8]byte
+	binary.BigEndian.PutUint64(k[:], uint64(id))
+	return k[:]
+}
+
+// ixValPrefix encodes a value key for use as an index-scan prefix.
+// Short keys are length-framed verbatim (tag 0); long ones are replaced
+// by their SHA-256 (tag 1) so index keys stay within the store's inline
+// key budget. Both forms are self-delimiting, so appending the row id
+// keeps exact-match prefix scans sound.
+func ixValPrefix(valKey string) []byte {
+	if len(valKey) > 512 {
+		sum := sha256.Sum256([]byte(valKey))
+		out := make([]byte, 1+len(sum))
+		out[0] = 1
+		copy(out[1:], sum[:])
+		return out
+	}
+	out := make([]byte, 3, 3+len(valKey))
+	out[0] = 0
+	binary.BigEndian.PutUint16(out[1:], uint16(len(valKey)))
+	return append(out, valKey...)
+}
+
+func (b *storeTable) insert(row value.Row, pkKey string) error {
+	if pkKey != "" {
+		k := ixValPrefix(pkKey)
+		if _, dup, err := b.pk.Get(k); err != nil {
+			return err
+		} else if dup {
+			return fmt.Errorf("relstore: duplicate primary key %v", pkKey)
+		}
+		if _, err := b.pk.Put(k, nil); err != nil {
+			return err
+		}
+	}
+	id := b.count
+	if _, err := b.rows.Put(rowIDKey(id), encodeRow(row)); err != nil {
+		return err
+	}
+	for col, kv := range b.ixs {
+		key := append(ixValPrefix(row[b.colIdx[col]].Key()), rowIDKey(id)...)
+		if _, err := kv.Put(key, nil); err != nil {
+			return err
+		}
+	}
+	b.count++
+	return nil
+}
+
+func (b *storeTable) scan(fn func(row value.Row) bool) error {
+	var decErr error
+	err := b.rows.Scan(nil, func(_, v []byte) bool {
+		row, err := decodeRow(v)
+		if err != nil {
+			decErr = err
+			return false
+		}
+		return fn(row)
+	})
+	if err == nil {
+		err = decErr
+	}
+	b.fail(err)
+	return err
+}
+
+func (b *storeTable) createIndex(col string, ci int) error {
+	kv, err := b.st.Keyspace(b.prefix + "/ix/" + strings.ToLower(col))
+	if err != nil {
+		return err
+	}
+	// Rebuild from scratch: drop stale entries, then walk the rows.
+	var stale [][]byte
+	if err := kv.Scan(nil, func(k, _ []byte) bool {
+		stale = append(stale, append([]byte(nil), k...))
+		return true
+	}); err != nil {
+		return err
+	}
+	for _, k := range stale {
+		if _, err := kv.Delete(k); err != nil {
+			return err
+		}
+	}
+	id := 0
+	var insErr error
+	if err := b.rows.Scan(nil, func(_, v []byte) bool {
+		row, err := decodeRow(v)
+		if err != nil {
+			insErr = err
+			return false
+		}
+		key := append(ixValPrefix(row[ci].Key()), rowIDKey(id)...)
+		if _, err := kv.Put(key, nil); err != nil {
+			insErr = err
+			return false
+		}
+		id++
+		return true
+	}); err != nil {
+		return err
+	}
+	if insErr != nil {
+		return insErr
+	}
+	b.ixs[col] = kv
+	b.colIdx[col] = ci
+	return nil
+}
+
+func (b *storeTable) hasIndex(col string) bool {
+	_, ok := b.ixs[col]
+	return ok
+}
+
+func (b *storeTable) indexLookup(col string, k string) ([]value.Row, error) {
+	kv := b.ixs[col]
+	var ids []int
+	if err := kv.Scan(ixValPrefix(k), func(key, _ []byte) bool {
+		ids = append(ids, int(binary.BigEndian.Uint64(key[len(key)-8:])))
+		return true
+	}); err != nil {
+		b.fail(err)
+		return nil, err
+	}
+	sort.Ints(ids)
+	out := make([]value.Row, 0, len(ids))
+	for _, id := range ids {
+		v, ok, err := b.rows.Get(rowIDKey(id))
+		if err != nil {
+			b.fail(err)
+			return nil, err
+		}
+		if !ok {
+			err := fmt.Errorf("relstore: index %s points at missing row %d", col, id)
+			b.fail(err)
+			return nil, err
+		}
+		row, err := decodeRow(v)
+		if err != nil {
+			b.fail(err)
+			return nil, err
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// diskCatalog persists table schemas and indexed-column lists for a
+// store-backed database in a meta keyspace, so OpenDatabase can rebuild
+// the table set on a warm start.
+type diskCatalog struct {
+	st     store.Store
+	dbName string
+	meta   store.KV
+}
+
+type tableMeta struct {
+	Schema  Schema   `json:"schema"`
+	Indexes []string `json:"indexes,omitempty"`
+}
+
+func (c *diskCatalog) tablePrefix(name string) string {
+	return "rel/" + c.dbName + "/t/" + strings.ToLower(name)
+}
+
+func (c *diskCatalog) writeMeta(tm tableMeta) error {
+	buf, err := json.Marshal(tm)
+	if err != nil {
+		return err
+	}
+	_, err = c.meta.Put([]byte("schema/"+strings.ToLower(tm.Schema.Name)), buf)
+	return err
+}
+
+// createTable materializes a store-backed Table and records its schema
+// (with indexed columns) in the catalog.
+func (c *diskCatalog) createTable(schema Schema, indexed []string) (*Table, error) {
+	be, err := openStoreTable(c.st, c.tablePrefix(schema.Name), schema, indexed)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{schema: schema, be: be}
+	t.persistIndexes = func(cols []string) error {
+		return c.writeMeta(tableMeta{Schema: schema, Indexes: cols})
+	}
+	if err := c.writeMeta(tableMeta{Schema: schema, Indexes: indexed}); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// OpenDatabase opens (or creates) a database persisted in st. Table
+// schemas, rows and indexes are loaded from the store; changes become
+// durable at the store's next Commit.
+func OpenDatabase(st store.Store, name string) (*Database, error) {
+	meta, err := st.Keyspace("rel/" + name + "/meta")
+	if err != nil {
+		return nil, err
+	}
+	cat := &diskCatalog{st: st, dbName: name, meta: meta}
+	db := &Database{name: name, tables: make(map[string]*Table), disk: cat}
+	// Collect metas first: createTable writes back to the meta keyspace,
+	// which must not happen inside its own scan.
+	var metas []tableMeta
+	var loadErr error
+	err = meta.Scan([]byte("schema/"), func(_, v []byte) bool {
+		var tm tableMeta
+		if err := json.Unmarshal(v, &tm); err != nil {
+			loadErr = fmt.Errorf("relstore: open %s: corrupt table meta: %v", name, err)
+			return false
+		}
+		metas = append(metas, tm)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if loadErr != nil {
+		return nil, loadErr
+	}
+	for _, tm := range metas {
+		t, err := cat.createTable(tm.Schema, tm.Indexes)
+		if err != nil {
+			return nil, err
+		}
+		db.tables[strings.ToLower(tm.Schema.Name)] = t
+	}
+	return db, nil
+}

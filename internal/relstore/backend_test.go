@@ -1,0 +1,320 @@
+package relstore
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"tatooine/internal/store"
+	"tatooine/internal/value"
+)
+
+// runBothDBs runs fn against an in-memory database and a store-backed
+// one, so table behavior is pinned backend-agnostically.
+func runBothDBs(t *testing.T, fn func(t *testing.T, db *Database)) {
+	t.Helper()
+	t.Run("mem", func(t *testing.T) {
+		fn(t, NewDatabase("test"))
+	})
+	t.Run("store", func(t *testing.T) {
+		st, err := store.Open(filepath.Join(t.TempDir(), "rel.db"), store.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		db, err := OpenDatabase(st, "test")
+		if err != nil {
+			t.Fatal(err)
+		}
+		fn(t, db)
+		for _, tb := range db.Tables() {
+			if err := tb.StoreErr(); err != nil {
+				t.Fatalf("table %s store error: %v", tb.Name(), err)
+			}
+		}
+	})
+}
+
+func citySchema() Schema {
+	return Schema{
+		Name: "city",
+		Columns: []Column{
+			{Name: "id", Type: value.Int},
+			{Name: "name", Type: value.String},
+			{Name: "pop", Type: value.Int},
+		},
+		PrimaryKey: []string{"id"},
+	}
+}
+
+func TestBackendsInsertScanRowCount(t *testing.T) {
+	runBothDBs(t, func(t *testing.T, db *Database) {
+		tb, err := db.CreateTable(citySchema())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 50; i++ {
+			err := tb.Insert(value.Row{
+				value.NewInt(int64(i)),
+				value.NewString(fmt.Sprintf("city%d", i)),
+				value.NewInt(int64(1000 * i)),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if tb.RowCount() != 50 {
+			t.Fatalf("rowcount = %d", tb.RowCount())
+		}
+		// Scan preserves insertion order.
+		i := 0
+		tb.Scan(func(r value.Row) bool {
+			if r[0].Int() != int64(i) {
+				t.Fatalf("scan row %d has id %d", i, r[0].Int())
+			}
+			i++
+			return true
+		})
+		if i != 50 {
+			t.Fatalf("scan visited %d rows", i)
+		}
+		// Duplicate PK rejected.
+		err = tb.Insert(value.Row{value.NewInt(3), value.NewString("dup"), value.NewInt(0)})
+		if err == nil {
+			t.Fatal("duplicate primary key accepted")
+		}
+	})
+}
+
+func TestBackendsIndexLookup(t *testing.T) {
+	runBothDBs(t, func(t *testing.T, db *Database) {
+		tb, err := db.CreateTable(citySchema())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 30; i++ {
+			tb.Insert(value.Row{
+				value.NewInt(int64(i)),
+				value.NewString(fmt.Sprintf("name%d", i%3)),
+				value.NewInt(int64(i)),
+			})
+		}
+		if _, ok := tb.LookupIndex("name", value.NewString("name1")); ok {
+			t.Fatal("lookup succeeded without index")
+		}
+		if err := tb.CreateIndex("name"); err != nil {
+			t.Fatal(err)
+		}
+		if !tb.HasIndex("NAME") {
+			t.Fatal("HasIndex is case-sensitive")
+		}
+		rows, ok := tb.LookupIndex("name", value.NewString("name1"))
+		if !ok || len(rows) != 10 {
+			t.Fatalf("lookup = %d rows, ok=%v", len(rows), ok)
+		}
+		for _, r := range rows {
+			if r[1].Str() != "name1" {
+				t.Fatalf("lookup returned row %v", r)
+			}
+		}
+		// Index maintained by inserts AFTER creation.
+		tb.Insert(value.Row{value.NewInt(100), value.NewString("name1"), value.NewInt(1)})
+		rows, _ = tb.LookupIndex("name", value.NewString("name1"))
+		if len(rows) != 11 {
+			t.Fatalf("post-insert lookup = %d rows, want 11", len(rows))
+		}
+		rows, ok = tb.LookupIndex("name", value.NewString("absent"))
+		if !ok || len(rows) != 0 {
+			t.Fatalf("absent value lookup = %d rows, ok=%v", len(rows), ok)
+		}
+	})
+}
+
+func TestBackendsAllValueKinds(t *testing.T) {
+	runBothDBs(t, func(t *testing.T, db *Database) {
+		tb, err := db.CreateTable(Schema{
+			Name: "kinds",
+			Columns: []Column{
+				{Name: "s", Type: value.String},
+				{Name: "i", Type: value.Int},
+				{Name: "f", Type: value.Float},
+				{Name: "b", Type: value.Bool},
+				{Name: "t", Type: value.Time},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := time.Date(2016, 5, 4, 12, 30, 0, 123456789, time.UTC)
+		want := value.Row{
+			value.NewString("héllo \x00 world"),
+			value.NewInt(-42),
+			value.NewFloat(3.25),
+			value.NewBool(true),
+			value.NewTime(ts),
+		}
+		if err := tb.Insert(want.Clone()); err != nil {
+			t.Fatal(err)
+		}
+		if err := tb.Insert(value.Row{value.NewNull(), value.NewNull(), value.NewNull(), value.NewNull(), value.NewNull()}); err != nil {
+			t.Fatal(err)
+		}
+		rows := tb.Rows()
+		if len(rows) != 2 {
+			t.Fatalf("rows = %d", len(rows))
+		}
+		for i, v := range want {
+			got := rows[0][i]
+			if got.Kind() != v.Kind() || got.Key() != v.Key() {
+				t.Fatalf("col %d: got %v (%v), want %v (%v)", i, got, got.Kind(), v, v.Kind())
+			}
+		}
+		if !rows[0][4].Time().Equal(ts) {
+			t.Fatalf("time roundtrip: got %v, want %v", rows[0][4].Time(), ts)
+		}
+		for i, v := range rows[1] {
+			if !v.IsNull() {
+				t.Fatalf("null col %d roundtripped as %v", i, v)
+			}
+		}
+	})
+}
+
+func TestStoreDatabasePersistAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rel.db")
+	st, err := store.Open(path, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := OpenDatabase(st, "insee")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := db.CreateTable(citySchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		tb.Insert(value.Row{
+			value.NewInt(int64(i)),
+			value.NewString(fmt.Sprintf("c%d", i%10)),
+			value.NewInt(int64(i * 7)),
+		})
+	}
+	if err := tb.CreateIndex("name"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(path, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	db2, err := OpenDatabase(st2, "insee")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb2 := db2.Table("CITY")
+	if tb2 == nil {
+		t.Fatal("table lost on reopen")
+	}
+	if tb2.RowCount() != 200 {
+		t.Fatalf("reopened rowcount = %d", tb2.RowCount())
+	}
+	sc := tb2.Schema()
+	if len(sc.Columns) != 3 || sc.Columns[1].Name != "name" || len(sc.PrimaryKey) != 1 {
+		t.Fatalf("reopened schema = %+v", sc)
+	}
+	// Index survives reopen (from the catalog's indexed-column list).
+	if !tb2.HasIndex("name") {
+		t.Fatal("index lost on reopen")
+	}
+	rows, ok := tb2.LookupIndex("name", value.NewString("c3"))
+	if !ok || len(rows) != 20 {
+		t.Fatalf("reopened lookup = %d rows, ok=%v", len(rows), ok)
+	}
+	// PK set survives: an old id must still be rejected.
+	if err := tb2.Insert(value.Row{value.NewInt(5), value.NewString("x"), value.NewInt(0)}); err == nil {
+		t.Fatal("reopened table accepted duplicate primary key")
+	}
+	// New inserts continue row ids without clobbering.
+	if err := tb2.Insert(value.Row{value.NewInt(1000), value.NewString("new"), value.NewInt(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if tb2.RowCount() != 201 {
+		t.Fatalf("rowcount after insert = %d", tb2.RowCount())
+	}
+}
+
+func TestBackendsCSVImport(t *testing.T) {
+	data := "id,name,pop,founded\n1,paris,2200000,1800-01-01T00:00:00Z\n2,lyon,510000,\n3,nice,340000,1860-01-01T00:00:00Z\n"
+	runBothDBs(t, func(t *testing.T, db *Database) {
+		tb, err := db.ImportCSVString("cities", data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tb.RowCount() != 3 {
+			t.Fatalf("rowcount = %d", tb.RowCount())
+		}
+		sc := tb.Schema()
+		if sc.Columns[0].Type != value.Int || sc.Columns[1].Type != value.String ||
+			sc.Columns[2].Type != value.Int || sc.Columns[3].Type != value.Time {
+			t.Fatalf("inferred schema = %+v", sc.Columns)
+		}
+		rows := tb.Rows()
+		if rows[1][3].Kind() != value.Null {
+			t.Fatalf("empty cell = %v, want null", rows[1][3])
+		}
+	})
+}
+
+// TestCSVStreamsBeyondSample pins that rows past the inference sample
+// stream correctly (the old implementation buffered everything; this
+// guards the streaming rewrite's seam at row 100/101).
+func TestCSVStreamsBeyondSample(t *testing.T) {
+	var b []byte
+	b = append(b, "n\n"...)
+	for i := 0; i < inferSample+50; i++ {
+		b = append(b, fmt.Sprintf("%d\n", i)...)
+	}
+	runBothDBs(t, func(t *testing.T, db *Database) {
+		tb, err := db.ImportCSVString("nums", string(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tb.RowCount() != inferSample+50 {
+			t.Fatalf("rowcount = %d, want %d", tb.RowCount(), inferSample+50)
+		}
+		i := 0
+		tb.Scan(func(r value.Row) bool {
+			if r[0].Int() != int64(i) {
+				t.Fatalf("row %d = %v", i, r[0])
+			}
+			i++
+			return true
+		})
+	})
+}
+
+func TestRowCodecRejectsCorrupt(t *testing.T) {
+	good := encodeRow(value.Row{value.NewString("abc"), value.NewInt(7)})
+	if _, err := decodeRow(good); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][]byte{
+		{},
+		good[:len(good)-1],
+		append(append([]byte(nil), good...), 0xFF),
+	} {
+		if _, err := decodeRow(bad); err == nil {
+			t.Fatalf("decodeRow accepted corrupt input %v", bad)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package relstore
 
 import (
+	"bufio"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -9,12 +10,20 @@ import (
 	"tatooine/internal/value"
 )
 
-// ImportCSV loads CSV data (first record is the header) into a new table.
-// Column types are inferred from the first non-empty value of each
-// column across up to the first 100 data rows; untyped columns default
-// to TEXT. Empty cells become NULL.
+// inferSample is how many leading data rows ImportCSV buffers to infer
+// column types before switching to streaming inserts.
+const inferSample = 100
+
+// ImportCSV loads CSV data (first record is the header) into a new
+// table. Column types are inferred from the first non-empty value of
+// each column across up to the first 100 data rows; untyped columns
+// default to TEXT. Empty cells become NULL.
+//
+// Only the inference sample is buffered: once types are fixed, rows
+// stream from the reader straight into the table, so import memory is
+// bounded by the sample regardless of file size.
 func (db *Database) ImportCSV(tableName string, r io.Reader) (*Table, error) {
-	cr := csv.NewReader(r)
+	cr := csv.NewReader(bufio.NewReaderSize(r, 64<<10))
 	cr.FieldsPerRecord = -1
 	header, err := cr.Read()
 	if err != nil {
@@ -23,28 +32,27 @@ func (db *Database) ImportCSV(tableName string, r io.Reader) (*Table, error) {
 	if len(header) == 0 {
 		return nil, fmt.Errorf("relstore: csv has no columns")
 	}
-	var records [][]string
-	for {
+	cr.ReuseRecord = true
+
+	// Buffer the inference sample.
+	var sample [][]string
+	for len(sample) < inferSample {
 		rec, err := cr.Read()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("relstore: csv row %d: %w", len(records)+2, err)
+			return nil, fmt.Errorf("relstore: csv row %d: %w", len(sample)+2, err)
 		}
-		records = append(records, rec)
+		sample = append(sample, append([]string(nil), rec...))
 	}
 
-	// Infer types.
+	// Infer types from the sample.
 	kinds := make([]value.Kind, len(header))
 	for i := range kinds {
 		kinds[i] = value.Null
 	}
-	sample := len(records)
-	if sample > 100 {
-		sample = 100
-	}
-	for _, rec := range records[:sample] {
+	for _, rec := range sample {
 		for i := range header {
 			if i >= len(rec) || rec[i] == "" {
 				continue
@@ -74,7 +82,8 @@ func (db *Database) ImportCSV(tableName string, r io.Reader) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for ri, rec := range records {
+
+	insert := func(rec []string, line int) error {
 		row := make(value.Row, len(header))
 		for i := range header {
 			if i >= len(rec) || rec[i] == "" {
@@ -84,7 +93,26 @@ func (db *Database) ImportCSV(tableName string, r io.Reader) (*Table, error) {
 			row[i] = value.Parse(rec[i], true)
 		}
 		if err := t.Insert(row); err != nil {
-			return nil, fmt.Errorf("relstore: csv row %d: %w", ri+2, err)
+			return fmt.Errorf("relstore: csv row %d: %w", line, err)
+		}
+		return nil
+	}
+	for ri, rec := range sample {
+		if err := insert(rec, ri+2); err != nil {
+			return nil, err
+		}
+	}
+	// Stream the remainder without accumulating records.
+	for line := len(sample) + 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relstore: csv row %d: %w", line, err)
+		}
+		if err := insert(rec, line); err != nil {
+			return nil, err
 		}
 	}
 	return t, nil

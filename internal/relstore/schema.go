@@ -1,8 +1,10 @@
-// Package relstore implements TATOOINE's relational substrate: an
-// in-memory column-typed table store with hash indexes, primary and
-// foreign keys, a SQL-subset executor, and CSV import. It stands in for
-// the curated relational databases (INSEE, Ministry of Interior) that
-// the paper's mixed instances contain.
+// Package relstore implements TATOOINE's relational substrate: a
+// column-typed table store with hash indexes, primary and foreign keys,
+// a SQL-subset executor, and CSV import. It stands in for the curated
+// relational databases (INSEE, Ministry of Interior) that the paper's
+// mixed instances contain. Tables live in memory by default; a database
+// opened with OpenDatabase keeps rows, indexes and schemas on a
+// persistent store.Store.
 package relstore
 
 import (
@@ -45,23 +47,44 @@ func (s *Schema) ColumnIndex(name string) int {
 	return -1
 }
 
-// Table is an in-memory relation with optional hash indexes. All methods
-// are safe for concurrent use.
-type Table struct {
-	mu      sync.RWMutex
-	schema  Schema
-	rows    []value.Row
-	indexes map[string]map[string][]int // column -> value key -> row ids
-	pkSet   map[string]struct{}         // composite PK uniqueness
+// tableBackend is the storage engine behind a Table: row storage plus
+// hash-index and primary-key bookkeeping. All methods are called with
+// the Table's lock held, so implementations need no internal locking.
+// Row ids are dense append positions (0..rowCount-1).
+type tableBackend interface {
+	rowCount() int
+	// insert stores the row (already type-checked) under the next row id
+	// and maintains every existing index. pkKey is "" when the table has
+	// no primary key; otherwise insert must reject duplicates.
+	insert(row value.Row, pkKey string) error
+	// scan iterates rows in id order; stops when fn returns false. The
+	// row passed to fn must not be retained.
+	scan(fn func(row value.Row) bool) error
+	// createIndex builds (or rebuilds) the hash index for the column at
+	// position ci, canonically named col.
+	createIndex(col string, ci int) error
+	hasIndex(col string) bool
+	// indexLookup returns the rows whose indexed column has value key k.
+	indexLookup(col string, k string) ([]value.Row, error)
+	// err returns the first storage error swallowed by an error-less
+	// read path (scan callbacks that cannot propagate), or nil.
+	err() error
 }
 
-// NewTable creates an empty table with the given schema.
+// Table is a relation with optional hash indexes. All methods are safe
+// for concurrent use.
+type Table struct {
+	mu     sync.RWMutex
+	schema Schema
+	be     tableBackend
+	// persistIndexes, when non-nil, records the table's indexed-column
+	// list in the owning database's catalog (set for store-backed tables).
+	persistIndexes func(cols []string) error
+}
+
+// NewTable creates an empty in-memory table with the given schema.
 func NewTable(schema Schema) *Table {
-	return &Table{
-		schema:  schema,
-		indexes: make(map[string]map[string][]int),
-		pkSet:   make(map[string]struct{}),
-	}
+	return &Table{schema: schema, be: newMemTable()}
 }
 
 // Schema returns a copy of the table's schema.
@@ -74,7 +97,16 @@ func (t *Table) Name() string { return t.schema.Name }
 func (t *Table) RowCount() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return len(t.rows)
+	return t.be.rowCount()
+}
+
+// StoreErr returns the first storage error the table's backend has
+// swallowed on an error-less read path, or nil. In-memory tables always
+// return nil.
+func (t *Table) StoreErr() error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.be.err()
 }
 
 // Insert appends a row after type-checking it against the schema. String
@@ -106,21 +138,11 @@ func (t *Table) Insert(row value.Row) error {
 
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	var pkKey string
 	if len(t.schema.PrimaryKey) > 0 {
-		key := t.pkKeyLocked(typed)
-		if _, dup := t.pkSet[key]; dup {
-			return fmt.Errorf("relstore: table %s: duplicate primary key %v", t.schema.Name, key)
-		}
-		t.pkSet[key] = struct{}{}
+		pkKey = t.pkKeyLocked(typed)
 	}
-	id := len(t.rows)
-	t.rows = append(t.rows, typed)
-	for col, idx := range t.indexes {
-		ci := t.schema.ColumnIndex(col)
-		k := typed[ci].Key()
-		idx[k] = append(idx[k], id)
-	}
-	return nil
+	return t.be.insert(typed, pkKey)
 }
 
 func (t *Table) pkKeyLocked(row value.Row) string {
@@ -139,12 +161,18 @@ func (t *Table) CreateIndex(column string) error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	idx := make(map[string][]int)
-	for id, row := range t.rows {
-		k := row[ci].Key()
-		idx[k] = append(idx[k], id)
+	if err := t.be.createIndex(t.schema.Columns[ci].Name, ci); err != nil {
+		return err
 	}
-	t.indexes[t.schema.Columns[ci].Name] = idx
+	if t.persistIndexes != nil {
+		var cols []string
+		for _, c := range t.schema.Columns {
+			if t.be.hasIndex(c.Name) {
+				cols = append(cols, c.Name)
+			}
+		}
+		return t.persistIndexes(cols)
+	}
 	return nil
 }
 
@@ -156,8 +184,7 @@ func (t *Table) HasIndex(column string) bool {
 	if ci < 0 {
 		return false
 	}
-	_, ok := t.indexes[t.schema.Columns[ci].Name]
-	return ok
+	return t.be.hasIndex(t.schema.Columns[ci].Name)
 }
 
 // LookupIndex returns copies of the rows whose indexed column equals v.
@@ -169,16 +196,18 @@ func (t *Table) LookupIndex(column string, v value.Value) ([]value.Row, bool) {
 	if ci < 0 {
 		return nil, false
 	}
-	idx, ok := t.indexes[t.schema.Columns[ci].Name]
-	if !ok {
+	col := t.schema.Columns[ci].Name
+	if !t.be.hasIndex(col) {
 		return nil, false
 	}
-	ids := idx[v.Key()]
-	out := make([]value.Row, 0, len(ids))
-	for _, id := range ids {
-		out = append(out, t.rows[id].Clone())
+	rows, err := t.be.indexLookup(col, v.Key())
+	if err != nil {
+		// The signature predates storage errors; a failed disk lookup
+		// reports "no index" so callers fall back to a table scan, whose
+		// own error surfaces through StoreErr.
+		return nil, false
 	}
-	return out, true
+	return rows, true
 }
 
 // Scan calls fn with each row. The row slice must not be retained or
@@ -186,21 +215,18 @@ func (t *Table) LookupIndex(column string, v value.Value) ([]value.Row, bool) {
 func (t *Table) Scan(fn func(row value.Row) bool) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	for _, r := range t.rows {
-		if !fn(r) {
-			return
-		}
-	}
+	t.be.scan(fn)
 }
 
 // Rows returns a deep copy of all rows.
 func (t *Table) Rows() []value.Row {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	out := make([]value.Row, len(t.rows))
-	for i, r := range t.rows {
-		out[i] = r.Clone()
-	}
+	out := make([]value.Row, 0, t.be.rowCount())
+	t.be.scan(func(r value.Row) bool {
+		out = append(out, r.Clone())
+		return true
+	})
 	return out
 }
 
@@ -213,11 +239,14 @@ func (t *Table) DistinctValues(column string) ([]value.Value, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	seen := make(map[string]value.Value)
-	for _, r := range t.rows {
+	if err := t.be.scan(func(r value.Row) bool {
 		if r[ci].IsNull() {
-			continue
+			return true
 		}
 		seen[r[ci].Key()] = r[ci]
+		return true
+	}); err != nil {
+		return nil, err
 	}
 	out := make([]value.Value, 0, len(seen))
 	for _, v := range seen {
@@ -232,9 +261,10 @@ type Database struct {
 	mu     sync.RWMutex
 	name   string
 	tables map[string]*Table
+	disk   *diskCatalog // nil for an in-memory database
 }
 
-// NewDatabase creates an empty database.
+// NewDatabase creates an empty in-memory database.
 func NewDatabase(name string) *Database {
 	return &Database{name: name, tables: make(map[string]*Table)}
 }
@@ -263,7 +293,15 @@ func (db *Database) CreateTable(schema Schema) (*Table, error) {
 			return nil, fmt.Errorf("relstore: foreign key on unknown column %q", fk.Column)
 		}
 	}
-	t := NewTable(schema)
+	var t *Table
+	if db.disk != nil {
+		var err error
+		if t, err = db.disk.createTable(schema, nil); err != nil {
+			return nil, err
+		}
+	} else {
+		t = NewTable(schema)
+	}
 	db.tables[key] = t
 	return t, nil
 }

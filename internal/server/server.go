@@ -57,6 +57,7 @@ import (
 	"tatooine/internal/lru"
 	"tatooine/internal/rdf"
 	"tatooine/internal/source"
+	"tatooine/internal/store"
 	"tatooine/internal/value"
 )
 
@@ -109,6 +110,11 @@ type Stats struct {
 	// per source URI, when the server runs with a core.BatchTuner
 	// (Options.Exec.Tuner).
 	ProbeBatchSizes map[string]int `json:"probeBatchSizes,omitempty"`
+
+	// Store reports the persistent backing store's counters (pages,
+	// cache hits/misses, WAL bytes, commits, checkpoints) when the
+	// server runs on a persistent instance; absent in memory mode.
+	Store *store.Stats `json:"store,omitempty"`
 
 	// Digest reports digest-driven planning and semi-join pruning: how
 	// many per-source digests were built or fetched, how many planner /
@@ -303,6 +309,7 @@ func (s *Server) Stats() Stats {
 	if s.opts.Exec.Tuner != nil {
 		st.ProbeBatchSizes = s.opts.Exec.Tuner.Sizes()
 	}
+	st.Store = s.in.StoreStats()
 	return st
 }
 

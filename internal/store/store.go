@@ -1,0 +1,424 @@
+// Package store defines TATOOINE's pluggable storage abstraction: a
+// Store is a set of named keyspaces (ordered key→value maps) with
+// transactional commit, backed either by memory or by the paged
+// on-disk B-tree engine (internal/pager + internal/btree).
+//
+// The layers above — rdf.Graph's SPO/POS/OSP indexes and dictionary,
+// relstore.Table's rows and secondary indexes, core.Instance's durable
+// catalog — talk only to this interface, so the hot probe paths are
+// backend-agnostic: a cursor over a B-tree page and a cursor over an
+// in-memory page behave identically, and everything written between
+// two Commit calls becomes durable atomically (one WAL transaction).
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"tatooine/internal/btree"
+	"tatooine/internal/pager"
+)
+
+// KV is one keyspace: an ordered map from byte keys to byte values.
+// Implementations are safe for concurrent use; writers are serialized
+// per keyspace.
+type KV interface {
+	// Get returns the value stored under key.
+	Get(key []byte) ([]byte, bool, error)
+	// Put stores value under key, reporting whether the key was new.
+	Put(key, value []byte) (bool, error)
+	// Delete removes key, reporting whether it was present.
+	Delete(key []byte) (bool, error)
+	// Scan calls fn for every pair whose key starts with prefix, in
+	// ascending key order, until fn returns false.
+	Scan(prefix []byte, fn func(key, value []byte) bool) error
+	// ScanFrom calls fn for every pair with key >= start, in ascending
+	// key order, until fn returns false. It enables seek-skip iteration
+	// (jump past a whole key group without touching its members).
+	ScanFrom(start []byte, fn func(key, value []byte) bool) error
+	// Len returns the number of keys (O(1); maintained, not counted).
+	Len() int
+}
+
+// Store is a collection of keyspaces with atomic durability.
+type Store interface {
+	// Keyspace returns the named keyspace, creating it if absent.
+	Keyspace(name string) (KV, error)
+	// DropKeyspace removes the keyspace from the directory. Its pages
+	// are not reclaimed (the engine has no free list), but the name can
+	// be reused with fresh content.
+	DropKeyspace(name string) error
+	// Keyspaces lists the existing keyspace names, sorted.
+	Keyspaces() []string
+	// Commit makes every mutation since the last Commit durable as one
+	// atomic transaction.
+	Commit() error
+	// Checkpoint folds the WAL into the database file (no-op in memory).
+	Checkpoint() error
+	// Close checkpoints and releases the store. Uncommitted mutations
+	// are discarded.
+	Close() error
+	// Persistent reports whether the store survives the process.
+	Persistent() bool
+	// Stats snapshots engine counters for the mediator's /stats.
+	Stats() Stats
+}
+
+// Stats is the "store" block of the mediator's /stats.
+type Stats struct {
+	pager.Stats
+	Keyspaces int `json:"keyspaces"`
+}
+
+// Options tune a store.
+type Options struct {
+	// Pager tunes the page cache and sync behavior.
+	Pager pager.Options
+	// AutoCheckpointBytes checkpoints the WAL when a Commit leaves it
+	// larger than this. Zero means DefaultAutoCheckpointBytes; negative
+	// disables auto-checkpointing.
+	AutoCheckpointBytes int64
+}
+
+// DefaultAutoCheckpointBytes bounds WAL growth between automatic
+// checkpoints: 8 MiB.
+const DefaultAutoCheckpointBytes = 8 << 20
+
+// catalogPage is the fixed page holding the keyspace directory.
+const catalogPage pager.PageID = 1
+
+// Mem returns an in-memory Store: the default backend. It implements
+// the exact same interface and ordering semantics as the disk store
+// (it runs the same B-tree over memory-resident pages), with Commit
+// and Checkpoint as cheap no-ops.
+func Mem() Store {
+	s, err := open("", Options{})
+	if err != nil {
+		// The memory pager cannot fail to open.
+		panic(fmt.Sprintf("store: memory open failed: %v", err))
+	}
+	return s
+}
+
+// Open opens (or creates) the persistent store rooted at the file
+// path (conventionally <dir>/tatooine.db; the WAL lives next to it).
+func Open(path string, opts Options) (Store, error) {
+	if path == "" {
+		return nil, fmt.Errorf("store: empty path (use Mem for the in-memory backend)")
+	}
+	return open(path, opts)
+}
+
+type diskStore struct {
+	mu     sync.Mutex
+	pg     *pager.Pager
+	spaces map[string]*keyspace
+	opts   Options
+	closed bool
+}
+
+type keyspace struct {
+	mu    sync.RWMutex
+	st    *diskStore
+	name  string
+	tree  *btree.BTree
+	count int
+}
+
+func open(path string, opts Options) (*diskStore, error) {
+	if opts.AutoCheckpointBytes == 0 {
+		opts.AutoCheckpointBytes = DefaultAutoCheckpointBytes
+	}
+	pg, err := pager.Open(path, opts.Pager)
+	if err != nil {
+		return nil, err
+	}
+	s := &diskStore{pg: pg, spaces: make(map[string]*keyspace), opts: opts}
+	if pg.PageCount() <= int(catalogPage) {
+		// Fresh store: allocate the catalog page and persist the empty
+		// directory so a reopened store always finds page 1.
+		id, page, err := pg.Allocate()
+		if err != nil {
+			pg.Close()
+			return nil, err
+		}
+		if id != catalogPage {
+			pg.Close()
+			return nil, fmt.Errorf("store: catalog landed on page %d, want %d", id, catalogPage)
+		}
+		writeCatalog(page, nil)
+		if err := pg.Commit(); err != nil {
+			pg.Close()
+			return nil, err
+		}
+		return s, nil
+	}
+	page, err := pg.View(catalogPage)
+	if err != nil {
+		pg.Close()
+		return nil, err
+	}
+	entries, err := readCatalog(page)
+	if err != nil {
+		pg.Close()
+		return nil, err
+	}
+	for _, e := range entries {
+		s.spaces[e.name] = &keyspace{
+			st:    s,
+			name:  e.name,
+			tree:  btree.Open(pg, e.root),
+			count: int(e.count),
+		}
+	}
+	return s, nil
+}
+
+type catEntry struct {
+	name  string
+	root  pager.PageID
+	count uint64
+}
+
+// Catalog layout on page 1: "TATC", n u16, then per entry
+// [2 namelen][name][4 root][8 count].
+func writeCatalog(page []byte, entries []catEntry) {
+	copy(page[0:4], "TATC")
+	binary.BigEndian.PutUint16(page[4:], uint16(len(entries)))
+	off := 6
+	for _, e := range entries {
+		binary.BigEndian.PutUint16(page[off:], uint16(len(e.name)))
+		off += 2
+		copy(page[off:], e.name)
+		off += len(e.name)
+		binary.BigEndian.PutUint32(page[off:], uint32(e.root))
+		off += 4
+		binary.BigEndian.PutUint64(page[off:], e.count)
+		off += 8
+	}
+	for i := off; i < len(page); i++ {
+		page[i] = 0
+	}
+}
+
+func readCatalog(page []byte) ([]catEntry, error) {
+	if string(page[0:4]) != "TATC" {
+		return nil, fmt.Errorf("store: corrupt keyspace catalog")
+	}
+	n := int(binary.BigEndian.Uint16(page[4:]))
+	out := make([]catEntry, 0, n)
+	off := 6
+	for i := 0; i < n; i++ {
+		nl := int(binary.BigEndian.Uint16(page[off:]))
+		off += 2
+		name := string(page[off : off+nl])
+		off += nl
+		root := pager.PageID(binary.BigEndian.Uint32(page[off:]))
+		off += 4
+		count := binary.BigEndian.Uint64(page[off:])
+		off += 8
+		out = append(out, catEntry{name: name, root: root, count: count})
+	}
+	return out, nil
+}
+
+func (s *diskStore) catalogEntries() []catEntry {
+	names := make([]string, 0, len(s.spaces))
+	for n := range s.spaces {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]catEntry, 0, len(names))
+	for _, n := range names {
+		ks := s.spaces[n]
+		ks.mu.RLock()
+		count := ks.count
+		ks.mu.RUnlock()
+		out = append(out, catEntry{name: n, root: ks.tree.Root(), count: uint64(count)})
+	}
+	return out
+}
+
+// catalogCapacity guards the single-page directory: each entry costs
+// 14+len(name) bytes after the 6-byte header.
+func catalogFits(entries []catEntry) bool {
+	size := 6
+	for _, e := range entries {
+		size += 14 + len(e.name)
+	}
+	return size <= pager.PageSize
+}
+
+func (s *diskStore) Keyspace(name string) (KV, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ks, ok := s.spaces[name]; ok {
+		return ks, nil
+	}
+	tree, err := btree.New(s.pg)
+	if err != nil {
+		return nil, err
+	}
+	ks := &keyspace{st: s, name: name, tree: tree}
+	s.spaces[name] = ks
+	if !catalogFits(s.catalogEntries()) {
+		delete(s.spaces, name)
+		return nil, fmt.Errorf("store: keyspace directory full (cannot add %q)", name)
+	}
+	return ks, nil
+}
+
+func (s *diskStore) DropKeyspace(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.spaces, name)
+	return nil
+}
+
+func (s *diskStore) Keyspaces() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.spaces))
+	for n := range s.spaces {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (s *diskStore) Commit() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	page, err := s.pg.Mut(catalogPage)
+	if err != nil {
+		return err
+	}
+	writeCatalog(page, s.catalogEntries())
+	if err := s.pg.Commit(); err != nil {
+		return err
+	}
+	if s.opts.AutoCheckpointBytes > 0 && s.pg.WALSize() > s.opts.AutoCheckpointBytes {
+		return s.pg.Checkpoint()
+	}
+	return nil
+}
+
+func (s *diskStore) Checkpoint() error { return s.pg.Checkpoint() }
+
+func (s *diskStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.pg.Close()
+}
+
+func (s *diskStore) Persistent() bool { return !s.pg.Mem() }
+
+func (s *diskStore) Stats() Stats {
+	s.mu.Lock()
+	n := len(s.spaces)
+	s.mu.Unlock()
+	return Stats{Stats: s.pg.Stats(), Keyspaces: n}
+}
+
+// clampKey bounds keys to the B-tree's limit: longer keys keep their
+// prefix and replace the tail with a SHA-256 digest. Equality lookups
+// stay exact (the mapping is deterministic) and prefix scans with
+// prefixes shorter than the preserved prefix still work; only the
+// relative order of clamped keys past that point is scrambled.
+func clampKey(key []byte) []byte {
+	if len(key) <= btree.MaxKey {
+		return key
+	}
+	sum := sha256.Sum256(key)
+	out := make([]byte, 0, btree.MaxKey)
+	out = append(out, key[:btree.MaxKey-len(sum)]...)
+	return append(out, sum[:]...)
+}
+
+func (ks *keyspace) Get(key []byte) ([]byte, bool, error) {
+	ks.mu.RLock()
+	defer ks.mu.RUnlock()
+	return ks.tree.Get(clampKey(key))
+}
+
+func (ks *keyspace) Put(key, value []byte) (bool, error) {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	fresh, err := ks.tree.Insert(clampKey(key), value)
+	if err != nil {
+		return false, err
+	}
+	if fresh {
+		ks.count++
+	}
+	return fresh, nil
+}
+
+func (ks *keyspace) Delete(key []byte) (bool, error) {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	deleted, err := ks.tree.Delete(clampKey(key))
+	if err != nil {
+		return false, err
+	}
+	if deleted {
+		ks.count--
+	}
+	return deleted, nil
+}
+
+func (ks *keyspace) Scan(prefix []byte, fn func(key, value []byte) bool) error {
+	ks.mu.RLock()
+	defer ks.mu.RUnlock()
+	c := ks.tree.NewCursor()
+	for c.Seek(prefix); c.Valid(); c.Next() {
+		k := c.Key()
+		if !hasPrefix(k, prefix) {
+			break
+		}
+		if !fn(k, c.Value()) {
+			break
+		}
+	}
+	return c.Err()
+}
+
+func (ks *keyspace) ScanFrom(start []byte, fn func(key, value []byte) bool) error {
+	ks.mu.RLock()
+	defer ks.mu.RUnlock()
+	c := ks.tree.NewCursor()
+	for c.Seek(start); c.Valid(); c.Next() {
+		if !fn(c.Key(), c.Value()) {
+			break
+		}
+	}
+	return c.Err()
+}
+
+func (ks *keyspace) Len() int {
+	ks.mu.RLock()
+	defer ks.mu.RUnlock()
+	return ks.count
+}
+
+func hasPrefix(k, prefix []byte) bool {
+	if len(prefix) == 0 {
+		return true
+	}
+	if len(k) < len(prefix) {
+		return false
+	}
+	for i := range prefix {
+		if k[i] != prefix[i] {
+			return false
+		}
+	}
+	return true
+}

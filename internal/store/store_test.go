@@ -1,0 +1,194 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// runBoth runs a subtest against the memory backend and the disk
+// backend, so every KV behavior is pinned backend-agnostically.
+func runBoth(t *testing.T, fn func(t *testing.T, st Store)) {
+	t.Helper()
+	t.Run("mem", func(t *testing.T) {
+		st := Mem()
+		defer st.Close()
+		fn(t, st)
+	})
+	t.Run("disk", func(t *testing.T) {
+		st, err := Open(filepath.Join(t.TempDir(), "s.db"), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		fn(t, st)
+	})
+}
+
+func TestKVBasics(t *testing.T) {
+	runBoth(t, func(t *testing.T, st Store) {
+		kv, err := st.Keyspace("k")
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := kv.Put([]byte("a"), []byte("1"))
+		if err != nil || !fresh {
+			t.Fatalf("put: fresh=%v err=%v", fresh, err)
+		}
+		if fresh, _ := kv.Put([]byte("a"), []byte("2")); fresh {
+			t.Fatal("overwrite reported fresh")
+		}
+		v, ok, err := kv.Get([]byte("a"))
+		if err != nil || !ok || string(v) != "2" {
+			t.Fatalf("get = %q,%v,%v", v, ok, err)
+		}
+		if kv.Len() != 1 {
+			t.Fatalf("len = %d", kv.Len())
+		}
+		if del, _ := kv.Delete([]byte("a")); !del {
+			t.Fatal("delete missed")
+		}
+		if kv.Len() != 0 {
+			t.Fatalf("len after delete = %d", kv.Len())
+		}
+	})
+}
+
+func TestScanOrderAndPrefix(t *testing.T) {
+	runBoth(t, func(t *testing.T, st Store) {
+		kv, _ := st.Keyspace("k")
+		for _, k := range []string{"b/2", "a/1", "b/1", "c/1", "a/2", "b/3"} {
+			if _, err := kv.Put([]byte(k), []byte("v"+k)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var got []string
+		if err := kv.Scan([]byte("b/"), func(k, v []byte) bool {
+			got = append(got, string(k))
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		want := []string{"b/1", "b/2", "b/3"}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("prefix scan = %v, want %v", got, want)
+		}
+		// ScanFrom with seek-skip: jump straight past the b-group.
+		var first string
+		if err := kv.ScanFrom([]byte("b/\xff"), func(k, v []byte) bool {
+			first = string(k)
+			return false
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if first != "c/1" {
+			t.Fatalf("seek-skip landed on %q, want c/1", first)
+		}
+	})
+}
+
+func TestLongKeysClamped(t *testing.T) {
+	runBoth(t, func(t *testing.T, st Store) {
+		kv, _ := st.Keyspace("k")
+		long1 := append(bytes.Repeat([]byte("x"), 5000), '1')
+		long2 := append(bytes.Repeat([]byte("x"), 5000), '2')
+		if _, err := kv.Put(long1, []byte("one")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := kv.Put(long2, []byte("two")); err != nil {
+			t.Fatal(err)
+		}
+		v, ok, err := kv.Get(long1)
+		if err != nil || !ok || string(v) != "one" {
+			t.Fatalf("long key 1 = %q,%v,%v", v, ok, err)
+		}
+		v, _, _ = kv.Get(long2)
+		if string(v) != "two" {
+			t.Fatalf("long key 2 = %q (clamping must stay injective per key)", v)
+		}
+	})
+}
+
+func TestKeyspacesIndependent(t *testing.T) {
+	runBoth(t, func(t *testing.T, st Store) {
+		a, _ := st.Keyspace("a")
+		b, _ := st.Keyspace("b")
+		a.Put([]byte("k"), []byte("va"))
+		b.Put([]byte("k"), []byte("vb"))
+		v, _, _ := a.Get([]byte("k"))
+		if string(v) != "va" {
+			t.Fatalf("keyspace a = %q", v)
+		}
+		v, _, _ = b.Get([]byte("k"))
+		if string(v) != "vb" {
+			t.Fatalf("keyspace b = %q", v)
+		}
+		names := st.Keyspaces()
+		if fmt.Sprint(names) != "[a b]" {
+			t.Fatalf("keyspaces = %v", names)
+		}
+	})
+}
+
+func TestPersistAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.db")
+	st, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv, _ := st.Keyspace("data")
+	for i := 0; i < 1000; i++ {
+		kv.Put([]byte(fmt.Sprintf("k%04d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	if err := st.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	kv2, _ := st2.Keyspace("data")
+	if kv2.Len() != 1000 {
+		t.Fatalf("reopened len = %d, want 1000", kv2.Len())
+	}
+	v, ok, err := kv2.Get([]byte("k0500"))
+	if err != nil || !ok || string(v) != "v500" {
+		t.Fatalf("reopened get = %q,%v,%v", v, ok, err)
+	}
+}
+
+func TestUncommittedLostOnReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.db")
+	st, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv, _ := st.Keyspace("data")
+	kv.Put([]byte("committed"), []byte("yes"))
+	if err := st.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	kv.Put([]byte("uncommitted"), []byte("no"))
+	// Crash: reopen without Commit/Close.
+	st2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	kv2, _ := st2.Keyspace("data")
+	if _, ok, _ := kv2.Get([]byte("committed")); !ok {
+		t.Fatal("committed key lost")
+	}
+	if _, ok, _ := kv2.Get([]byte("uncommitted")); ok {
+		t.Fatal("uncommitted key survived the crash")
+	}
+	if kv2.Len() != 1 {
+		t.Fatalf("len = %d, want 1", kv2.Len())
+	}
+}
