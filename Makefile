@@ -1,10 +1,15 @@
 GO ?= go
 BENCHTIME ?= 1x
 
-.PHONY: verify build test vet race bench benchsmoke fmtcheck
+.PHONY: verify build test vet race bench benchsmoke fmtcheck obscheck
 
 # Tier-1 gate: a missing-module (or any build/test) regression fails here.
-verify: fmtcheck vet build test benchsmoke
+verify: fmtcheck vet build test benchsmoke obscheck
+
+# Observability hygiene: no printf logging outside cmd/, and a booted
+# mediator's GET /metrics must scrape as valid Prometheus text.
+obscheck:
+	sh scripts/obs_vet.sh
 
 # Fail on any file gofmt would rewrite (prints the offenders).
 fmtcheck:
@@ -28,11 +33,11 @@ race:
 # package, E1–E12 + serve/saturation/bind-join/pipelined) with
 # allocation counts, including the storage-engine pair WarmBoot /
 # PointLookupDisk, and write the results as test2json events to
-# BENCH_8.json, so numbers are diffable across PRs. Raise BENCHTIME
+# BENCH_9.json, so numbers are diffable across PRs. Raise BENCHTIME
 # (e.g. BENCHTIME=2s) for stabler timings.
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) -benchmem -json ./ > BENCH_8.json
-	@grep -o '"Output":"Benchmark[^"]*' BENCH_8.json | sed 's/"Output":"//;s/\\t/ /g;s/\\n//' || true
+	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) -benchmem -json ./ > BENCH_9.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_9.json | sed 's/"Output":"//;s/\\t/ /g;s/\\n//' || true
 
 # Compile and run every benchmark exactly once (no timing): a benchmark
 # that stops building or panics fails verify instead of rotting silently.

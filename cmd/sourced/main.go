@@ -25,10 +25,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 
 	"tatooine/internal/datagen"
 	"tatooine/internal/federation"
+	"tatooine/internal/obs"
 	"tatooine/internal/server"
 	"tatooine/internal/source"
 )
@@ -76,5 +78,12 @@ func run() error {
 	}
 
 	fmt.Fprintf(os.Stderr, "serving %s (%s model) on %s\n", src.URI(), src.Model(), *addr)
-	return server.NewHTTPServer(*addr, federation.Handler(src)).ListenAndServe()
+	// The federation handler joins X-Tat-* traces from calling
+	// mediators; /metrics exposes the endpoint's process-wide registry
+	// (probe caches, handler counters) for the same scrapers that watch
+	// the mediator.
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", obs.Handler(obs.Default))
+	mux.Handle("/", federation.Handler(src))
+	return server.NewHTTPServer(*addr, mux).ListenAndServe()
 }

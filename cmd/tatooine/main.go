@@ -188,6 +188,14 @@ func cmdServe(ds *datagen.Dataset, args []string) error {
 		"materialize every node result before joining instead of streaming tuples through the DAG (ablation; also disables NDJSON row streaming)")
 	digestPlanning := fs.Bool("digest-planning", true,
 		"refine planner row estimates with per-source digest statistics and prune bind-join probes the digests exclude (false = source estimates only, no semi-join pruning; ablation)")
+	slowQuery := fs.Duration("slow-query", server.DefaultSlowQuery,
+		"slow-query log threshold: completed queries at or over it are logged and flagged on GET /debug/queries (negative disables)")
+	traceRing := fs.Int("trace-ring", server.DefaultTraceRing,
+		"flight-recorder capacity: last N completed query traces on GET /debug/queries (negative disables)")
+	logRequests := fs.Bool("log-requests", false,
+		"log one structured line per HTTP request")
+	pprofOn := fs.Bool("pprof", false,
+		"mount net/http/pprof under GET /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -231,10 +239,15 @@ func cmdServe(ds *datagen.Dataset, args []string) error {
 		ProbeCacheSize:  *probeCache,
 		ProbeTTL:        *probeTTL,
 		Exec:            exec,
+		SlowQuery:       *slowQuery,
+		TraceRing:       *traceRing,
+		LogRequests:     *logRequests,
+		EnablePprof:     *pprofOn,
 	})
 	fmt.Fprintf(os.Stderr, "mediator service listening on %s\n", *addr)
 	fmt.Fprintln(os.Stderr, "  query:  POST /cmq · GET /stats · GET /healthz")
 	fmt.Fprintln(os.Stderr, "  mutate: POST|DELETE /graph · POST /sources · DELETE /sources/{uri} · POST /admin/invalidate")
+	fmt.Fprintln(os.Stderr, "  observe: GET /metrics · GET /debug/queries")
 
 	// Serve until SIGINT/SIGTERM, then drain in-flight requests and
 	// close the instance — for a persistent one that commits pending

@@ -360,4 +360,41 @@
 // measures adopt-vs-resaturate on reopen and BenchmarkPointLookupDisk
 // the disk-backed triple probe against the in-memory baseline; see
 // examples/persistent for the end-to-end walkthrough.
+//
+// # Observability
+//
+// internal/obs is a dependency-free observability layer threaded
+// through the whole stack: per-query span trees, a Prometheus-text
+// metrics registry, and a flight recorder.
+//
+// Tracing: Instance.ExecuteContext / ExecuteStream open an "execute"
+// span (joining the HTTP request's span when the server layer started
+// one) with children for planning, digest fetches, every DAG node,
+// every probe and probe batch, and every federation round trip. The
+// trace crosses processes: federation.Client stamps outgoing calls
+// with X-Tat-Trace-Id / X-Tat-Span-Id, a sourced endpoint (or another
+// mediator) joins the trace, and its response reports the remote root
+// span plus server-side nanoseconds (X-Tat-Server-Ns), so the client
+// span splits observed latency into remote compute vs wire time. POST
+// /cmq with {"trace": true} returns the span tree — as a "trace"
+// block of the JSON reply, or on the NDJSON trailer record — and
+// examples/federated renders one.
+//
+// Metrics: GET /metrics exposes two registries in Prometheus text
+// exposition format — the server-scoped one (tat_requests_total,
+// result-cache hit/miss, tat_query_seconds and tat_query_ttfr_seconds
+// histograms, in-flight gauges) and the process-wide obs.Default
+// (per-source probe RTT and batch size, stream backpressure stalls,
+// probe/digest cache hits, pager cache hits/misses, WAL commits and
+// fsync latency, federation RTT per remote). GET /stats reads the
+// same registry, so the two surfaces cannot disagree, and reports
+// uptimeSeconds.
+//
+// Flight recorder: the server keeps the last N completed queries
+// (-trace-ring, default 64) with their traces on GET /debug/queries;
+// queries at or over -slow-query (default 250ms) are flagged there
+// and logged through log/slog. -log-requests adds one structured line
+// per request; -pprof mounts net/http/pprof under /debug/pprof/.
+// "make verify" runs scripts/obs_vet.sh, which scrapes a live
+// mediator's /metrics and rejects printf-style logging outside cmd/.
 package tatooine

@@ -122,4 +122,13 @@ FROM ?src OUT(?ind, ?val) { SELECT indicator, val FROM stats }
 	}
 	fmt.Printf("streamed: all %d rows in %d batches after %v\n",
 		rows, batches, time.Since(start).Round(time.Millisecond))
+
+	// The same execution left a trace behind: one span per DAG node,
+	// probe and remote round trip, with the federation endpoints joining
+	// the trace over X-Tat-* headers — "remote" spans carry the remote's
+	// span ID plus the server-side vs wire split of the observed
+	// latency. Over HTTP, POST /cmq {"trace": true} returns this tree in
+	// the response (JSON "trace" block or NDJSON trailer), and the
+	// mediator keeps the last N of them on GET /debug/queries.
+	fmt.Printf("\ntrace of the streamed execution:\n%s", sr.Trace().Render())
 }

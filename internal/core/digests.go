@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"sync"
 
 	"tatooine/internal/digest"
+	"tatooine/internal/obs"
 	"tatooine/internal/source"
 )
 
@@ -45,8 +47,10 @@ func (in *Instance) DigestStats() DigestStats {
 // sourceDigest returns the source's digest, building or fetching it on
 // first use per epoch. It fails open: an undigestable source or a
 // failed fetch yields nil (planning keeps the source estimate, pruning
-// stays off) and is negative-cached for the epoch.
-func (in *Instance) sourceDigest(s source.DataSource) *digest.Digest {
+// stays off) and is negative-cached for the epoch. Fetches open a
+// "digest" span under ctx's trace so the (potentially remote) build
+// shows up in the query's span tree; catalog hits cost nothing.
+func (in *Instance) sourceDigest(ctx context.Context, s source.DataSource) *digest.Digest {
 	if s == nil {
 		return nil
 	}
@@ -60,16 +64,21 @@ func (in *Instance) sourceDigest(s source.DataSource) *digest.Digest {
 	if d, ok := c.entries[s.URI()]; ok {
 		c.hits++
 		c.mu.Unlock()
+		digestHitTotal.Inc()
 		return d
 	}
 	c.mu.Unlock()
 
 	// Build/fetch outside the lock: a slow remote /digest round trip
 	// must not serialize unrelated sources' lookups.
+	sp := obs.SpanFromContext(ctx).StartChild("digest")
+	sp.SetAttr("source", s.URI())
 	d, err := digest.ForSource(s, digest.DefaultBudget())
+	sp.End()
 	if err != nil {
 		d = nil
 	}
+	digestFetchTotal.Inc()
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -91,11 +100,11 @@ func (in *Instance) sourceDigest(s source.DataSource) *digest.Digest {
 // (G's digest would be rebuilt every epoch, defeating the incremental
 // saturation), atoms without parameters, sources without a digest, or
 // sub-query shapes the digest cannot prune safely.
-func (in *Instance) atomPruner(src source.DataSource, a Atom, extra map[string]string) *digest.ParamMatcher {
+func (in *Instance) atomPruner(ctx context.Context, src source.DataSource, a Atom, extra map[string]string) *digest.ParamMatcher {
 	if a.Kind == GraphAtom || len(a.Sub.InVars) == 0 {
 		return nil
 	}
-	d := in.sourceDigest(src)
+	d := in.sourceDigest(ctx, src)
 	if d == nil {
 		return nil
 	}
@@ -108,7 +117,7 @@ func (ex *executor) probePruner(src source.DataSource, a Atom) *digest.ParamMatc
 	if ex.opts.NoDigestPlanning {
 		return nil
 	}
-	return ex.in.atomPruner(src, a, ex.q.Prefixes)
+	return ex.in.atomPruner(ex.ctx, src, a, ex.q.Prefixes)
 }
 
 // refineAtomRows tightens an atom's planner row estimate with the
@@ -117,7 +126,7 @@ func (ex *executor) probePruner(src source.DataSource, a Atom) *digest.ParamMatc
 // only lower a known one — digests summarize the same data the source
 // estimated from, so agreement means the smaller bound is the safer
 // ranking signal.
-func (in *Instance) refineAtomRows(a Atom, extra map[string]string, base int) int {
+func (in *Instance) refineAtomRows(ctx context.Context, a Atom, extra map[string]string, base int) int {
 	if a.SourceVar != "" || a.Kind == GraphAtom {
 		return base
 	}
@@ -125,7 +134,7 @@ func (in *Instance) refineAtomRows(a Atom, extra map[string]string, base int) in
 	if err != nil {
 		return base
 	}
-	d := in.sourceDigest(s)
+	d := in.sourceDigest(ctx, s)
 	if d == nil {
 		return base
 	}

@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"tatooine/internal/obs"
 	"tatooine/internal/source"
 	"tatooine/internal/value"
 )
@@ -116,6 +118,12 @@ type QueryResult struct {
 	Rows  []value.Row
 	Stats ExecStats
 	Plan  *Plan
+	// Trace is the query's span tree — the "execute" subtree covering
+	// planning, digest fetches, every DAG node and every probe chunk.
+	// When the caller's context already carried a span (a traced server
+	// request) the subtree is part of that larger trace and shares its
+	// trace ID.
+	Trace *obs.SpanData
 }
 
 // Execute runs a CMQ over the instance with default options
@@ -151,6 +159,9 @@ func (in *Instance) ExecuteContext(ctx context.Context, q *CMQ, opts ExecOptions
 
 // newExecutor normalizes the options, plans the query and wires an
 // executor — the shared front half of ExecuteContext and ExecuteStream.
+// The executor's "execute" span joins the context's trace when one is
+// there (a traced server request) and roots a fresh trace otherwise, so
+// every execution produces a span tree.
 func (in *Instance) newExecutor(ctx context.Context, q *CMQ, opts ExecOptions) (*executor, error) {
 	if opts.MaxFanout <= 0 {
 		opts.MaxFanout = DefaultMaxFanout()
@@ -158,11 +169,16 @@ func (in *Instance) newExecutor(ctx context.Context, q *CMQ, opts ExecOptions) (
 	if opts.ProbeBatch == 0 {
 		opts.ProbeBatch = DefaultProbeBatch
 	}
-	plan, err := in.planQuery(ctx, q, opts)
+	ctx, span, _ := obs.EnsureSpan(ctx, "execute")
+	pctx, psp := obs.StartSpan(ctx, "plan")
+	plan, err := in.planQuery(pctx, q, opts)
+	psp.End()
 	if err != nil {
+		span.End()
 		return nil, err
 	}
-	return &executor{in: in, q: q, plan: plan, opts: opts, ctx: ctx,
+	psp.SetAttr("nodes", strconv.Itoa(len(plan.Steps)))
+	return &executor{in: in, q: q, plan: plan, opts: opts, ctx: ctx, span: span,
 		nodeRows: make([]int, len(plan.Steps))}, nil
 }
 
@@ -171,6 +187,7 @@ func (in *Instance) newExecutor(ctx context.Context, q *CMQ, opts ExecOptions) (
 // node materializes its relation before dependents start, and the root
 // join drains into finish before anything is returned.
 func (ex *executor) runMaterialized() (*QueryResult, error) {
+	defer ex.span.End()
 	var it Iterator
 	var err error
 	if ex.opts.WaveBarrier {
@@ -185,7 +202,10 @@ func (ex *executor) runMaterialized() (*QueryResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &QueryResult{Cols: out.Cols, Rows: out.Rows, Stats: ex.finalStats(), Plan: ex.plan}, nil
+	ex.span.SetAttr("rows", strconv.Itoa(len(out.Rows)))
+	ex.span.End()
+	return &QueryResult{Cols: out.Cols, Rows: out.Rows, Stats: ex.finalStats(),
+		Plan: ex.plan, Trace: ex.span.Data()}, nil
 }
 
 // finalStats assembles the per-node estimate-vs-actual report into the
@@ -212,6 +232,10 @@ type executor struct {
 	// child so one node's failure stops its siblings' probes.
 	ctx context.Context
 
+	// span is the execution's root span ("execute"): node spans, probe
+	// chunks and digest fetches hang off it. Never nil.
+	span *obs.Span
+
 	stats    ExecStats
 	nodeRows []int      // actual rows per plan step (indexed by step position)
 	mu       sync.Mutex // guards stats
@@ -231,6 +255,7 @@ func (ex *executor) recordBatchSize(uri string, size int) {
 	}
 	ex.stats.BatchSizes[uri] = size
 	ex.mu.Unlock()
+	probeBatchSize.With(uri).Set(int64(size))
 }
 
 // errDepFailed marks a node skipped because one of its dependencies
@@ -507,13 +532,19 @@ func (ex *executor) runWaves() (Iterator, error) {
 // runStep executes one atom against its source(s). rel is the outer
 // relation bind joins and dynamic resolution consume: the assembled
 // dependency join under the DAG executor, the cumulative intermediate
-// relation under the wave-barrier one.
+// relation under the wave-barrier one. Each step runs under its own
+// "node" span.
 func (ex *executor) runStep(s PlanStep, rel *Relation) (*Relation, error) {
 	a := ex.q.Atoms[s.AtomIndex]
 	outs := ex.plan.outs[s.AtomIndex]
 
+	sp := ex.span.StartChild("node")
+	sp.SetAttr("atom", strconv.Itoa(s.AtomIndex))
+	sp.SetAttr("target", a.Designator())
+	defer sp.End()
+
 	if s.Dynamic {
-		return ex.runDynamic(a, outs, rel)
+		return ex.runDynamic(a, outs, rel, sp)
 	}
 
 	src, err := ex.atomSource(a)
@@ -524,14 +555,30 @@ func (ex *executor) runStep(s PlanStep, rel *Relation) (*Relation, error) {
 		ex.mu.Lock()
 		ex.stats.BindJoins++
 		ex.mu.Unlock()
-		return ex.bindJoin(src, a, outs, rel, "")
+		return ex.bindJoin(src, a, outs, rel, "", sp)
 	}
-	res, err := source.ExecuteWith(ex.ctx, src, a.Sub, nil)
+	res, err := ex.scanSource(src, a, sp)
 	if err != nil {
 		return nil, err
 	}
-	ex.addStats(1, len(res.Rows))
 	return atomRelation(res, outs)
+}
+
+// scanSource executes an unparameterized sub-query — one native scan —
+// under a child span, observing its round trip into the per-source
+// probe histogram.
+func (ex *executor) scanSource(src source.DataSource, a Atom, sp *obs.Span) (*source.Result, error) {
+	ssp := sp.StartChild("scan")
+	ssp.SetAttr("source", src.URI())
+	start := time.Now()
+	res, err := source.ExecuteWith(ex.ctx, src, a.Sub, nil)
+	ssp.End()
+	if err != nil {
+		return nil, err
+	}
+	probeSeconds.With(src.URI()).ObserveSince(start)
+	ex.addStats(1, len(res.Rows))
+	return res, nil
 }
 
 func (ex *executor) atomSource(a Atom) (source.DataSource, error) {
@@ -546,7 +593,7 @@ func (ex *executor) atomSource(a Atom) (source.DataSource, error) {
 // source; results carry the designator column so they join back to the
 // rows that mentioned that source (§2.2's per-embedding source
 // resolution).
-func (ex *executor) runDynamic(a Atom, outs []string, rel *Relation) (*Relation, error) {
+func (ex *executor) runDynamic(a Atom, outs []string, rel *Relation, sp *obs.Span) (*Relation, error) {
 	if rel == nil {
 		return nil, fmt.Errorf("core: dynamic source ?%s has no bindings yet", a.SourceVar)
 	}
@@ -578,12 +625,11 @@ func (ex *executor) runDynamic(a Atom, outs []string, rel *Relation) (*Relation,
 		}
 		var part *Relation
 		if len(a.Sub.InVars) > 0 {
-			part, err = ex.bindJoin(src, a, outs, rel, uri)
+			part, err = ex.bindJoin(src, a, outs, rel, uri, sp)
 		} else {
 			var res *source.Result
-			res, err = source.ExecuteWith(ex.ctx, src, a.Sub, nil)
+			res, err = ex.scanSource(src, a, sp)
 			if err == nil {
-				ex.addStats(1, len(res.Rows))
 				part, err = atomRelation(res, outs)
 			}
 		}
@@ -717,11 +763,11 @@ func (sp *bindSpec) filterRows(t paramTuple, res *source.Result) ([]value.Row, e
 // the capability — or sub-query shapes a source cannot batch — keep
 // the per-tuple fan-out. When srcURI is non-empty the bindings
 // considered are restricted to rows designating that source.
-func (ex *executor) bindJoin(src source.DataSource, a Atom, outs []string, rel *Relation, srcURI string) (*Relation, error) {
+func (ex *executor) bindJoin(src source.DataSource, a Atom, outs []string, rel *Relation, srcURI string, sp *obs.Span) (*Relation, error) {
 	if rel == nil {
 		return nil, fmt.Errorf("core: bind join for atom %s has no outer bindings", a.Designator())
 	}
-	sp, err := newBindSpec(a, outs, rel.Cols)
+	spec, err := newBindSpec(a, outs, rel.Cols)
 	if err != nil {
 		return nil, err
 	}
@@ -737,7 +783,7 @@ func (ex *executor) bindJoin(src source.DataSource, a Atom, outs []string, rel *
 		if srcPos >= 0 && row[srcPos].Str() != srcURI {
 			continue
 		}
-		t, ok := sp.extract(row)
+		t, ok := spec.extract(row)
 		if !ok {
 			continue
 		}
@@ -771,15 +817,20 @@ func (ex *executor) bindJoin(src source.DataSource, a Atom, outs []string, rel *
 		a.Sub.Prune = m.Filters()
 	}
 
-	filterRows := sp.filterRows
-	out := &Relation{Cols: sp.cols}
+	filterRows := spec.filterRows
+	out := &Relation{Cols: spec.cols}
 	var outMu sync.Mutex
 
 	probe := func(t paramTuple) error {
+		psp := sp.StartChild("probe")
+		psp.SetAttr("source", src.URI())
+		start := time.Now()
 		res, err := source.ExecuteWith(ex.ctx, src, a.Sub, t.params)
+		psp.End()
 		if err != nil {
 			return err
 		}
+		probeSeconds.With(src.URI()).ObserveSince(start)
 		ex.addStats(1, len(res.Rows))
 		local, err := filterRows(t, res)
 		if err != nil {
@@ -812,7 +863,7 @@ func (ex *executor) bindJoin(src source.DataSource, a Atom, outs []string, rel *
 		for start := 0; start < len(tuples); start += batch {
 			chunk := tuples[start:min(start+batch, len(tuples))]
 			jobs = append(jobs, func() error {
-				unsupported, err := ex.batchProbe(bp, a, chunk, filterRows, out, &outMu)
+				unsupported, err := ex.batchProbe(bp, a, chunk, filterRows, out, &outMu, sp)
 				if err != nil {
 					return err
 				}
@@ -898,9 +949,9 @@ func (ex *executor) runJobs(jobs []func() error) error {
 // individually.
 func (ex *executor) batchProbe(bp source.BatchProber, a Atom, chunk []paramTuple,
 	filterRows func(paramTuple, *source.Result) ([]value.Row, error),
-	out *Relation, outMu *sync.Mutex) (unsupported bool, _ error) {
+	out *Relation, outMu *sync.Mutex, sp *obs.Span) (unsupported bool, _ error) {
 
-	merged, unsupported, err := ex.batchProbeRows(bp, a, chunk, filterRows)
+	merged, unsupported, err := ex.batchProbeRows(bp, a, chunk, filterRows, sp)
 	if err != nil || unsupported {
 		return unsupported, err
 	}
@@ -916,7 +967,8 @@ func (ex *executor) batchProbe(bp source.BatchProber, a Atom, chunk []paramTuple
 // Successful round trips feed the adaptive tuner when one is
 // configured.
 func (ex *executor) batchProbeRows(bp source.BatchProber, a Atom, chunk []paramTuple,
-	filterRows func(paramTuple, *source.Result) ([]value.Row, error)) (_ []value.Row, unsupported bool, _ error) {
+	filterRows func(paramTuple, *source.Result) ([]value.Row, error),
+	sp *obs.Span) (_ []value.Row, unsupported bool, _ error) {
 
 	if len(chunk) == 0 {
 		// A fully-pruned chunk never reaches the wire, so there is no
@@ -928,14 +980,19 @@ func (ex *executor) batchProbeRows(bp source.BatchProber, a Atom, chunk []paramT
 	for i, t := range chunk {
 		sets[i] = t.params
 	}
+	csp := sp.StartChild("probe-batch")
+	csp.SetAttr("source", bp.URI())
+	csp.SetAttr("tuples", strconv.Itoa(len(chunk)))
 	start := time.Now()
 	results, err := source.ExecuteBatchWith(ex.ctx, bp, a.Sub, sets)
+	csp.End()
 	if err != nil {
 		if errors.Is(err, source.ErrBatchUnsupported) {
 			return nil, true, nil
 		}
 		return nil, false, err
 	}
+	probeSeconds.With(bp.URI()).ObserveSince(start)
 	if ex.opts.Tuner != nil {
 		ex.opts.Tuner.Observe(bp.URI(), time.Since(start))
 	}

@@ -4,10 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"tatooine/internal/obs"
 	"tatooine/internal/source"
 	"tatooine/internal/value"
 )
@@ -79,6 +82,7 @@ type StreamingResult struct {
 	pos  int
 
 	stats     ExecStats
+	trace     *obs.SpanData
 	statsDone bool
 	opened    bool
 	done      bool
@@ -89,7 +93,7 @@ type StreamingResult struct {
 // interface.
 func replayResult(res *QueryResult) *StreamingResult {
 	return &StreamingResult{Cols: res.Cols, Plan: res.Plan,
-		rows: res.Rows, stats: res.Stats, statsDone: true}
+		rows: res.Rows, stats: res.Stats, trace: res.Trace, statsDone: true}
 }
 
 // NextBatch returns the next rows of the result, up to StreamBatchRows
@@ -162,6 +166,8 @@ func (r *StreamingResult) shutdown() {
 	r.run.cancel()
 	r.run.wg.Wait()
 	r.stats = r.ex.finalStats()
+	r.ex.span.End()
+	r.trace = r.ex.span.Data()
 	r.statsDone = true
 }
 
@@ -190,6 +196,11 @@ func (r *StreamingResult) Stats() ExecStats {
 	return r.ex.stats
 }
 
+// Trace returns the execution's span tree: complete once the stream
+// ended (drained, failed or closed), nil while it still runs — a
+// streaming server sends it as part of the trailer, after the rows.
+func (r *StreamingResult) Trace() *obs.SpanData { return r.trace }
+
 // drain consumes the whole stream into a QueryResult — how the
 // materialized ExecuteContext API is served off the streaming engine.
 func (r *StreamingResult) drain() (*QueryResult, error) {
@@ -206,6 +217,7 @@ func (r *StreamingResult) drain() (*QueryResult, error) {
 		res.Rows = append(res.Rows, batch...)
 	}
 	res.Stats = r.Stats()
+	res.Trace = r.Trace()
 	return res, nil
 }
 
@@ -335,6 +347,10 @@ func (r *streamRun) rootChain() Iterator {
 func (r *streamRun) runNode(i int) {
 	ex := r.ex
 	s := ex.plan.Steps[i]
+	sp := ex.span.StartChild("node")
+	sp.SetAttr("atom", strconv.Itoa(s.AtomIndex))
+	sp.SetAttr("target", ex.q.Atoms[s.AtomIndex].Designator())
+	defer sp.End()
 	var produced atomic.Int64
 	emit := func(rows []value.Row) error {
 		if len(rows) == 0 {
@@ -353,7 +369,7 @@ func (r *streamRun) runNode(i int) {
 		r.bufs[i].emit(rows)
 		return nil
 	}
-	err := r.produce(s, emit)
+	err := r.produce(s, emit, sp)
 	ex.nodeRows[i] = int(produced.Load())
 	if err != nil {
 		r.fail(err)
@@ -367,7 +383,7 @@ func (r *streamRun) runNode(i int) {
 
 // produce evaluates one step, pushing output rows through emit as they
 // become available.
-func (r *streamRun) produce(s PlanStep, emit func([]value.Row) error) error {
+func (r *streamRun) produce(s PlanStep, emit func([]value.Row) error, sp *obs.Span) error {
 	ex := r.ex
 	a := ex.q.Atoms[s.AtomIndex]
 	outs := ex.plan.outs[s.AtomIndex]
@@ -380,7 +396,7 @@ func (r *streamRun) produce(s PlanStep, emit func([]value.Row) error) error {
 		if err != nil {
 			return err
 		}
-		rel, err := ex.runDynamic(a, outs, outer)
+		rel, err := ex.runDynamic(a, outs, outer, sp)
 		if err != nil {
 			return err
 		}
@@ -399,13 +415,12 @@ func (r *streamRun) produce(s PlanStep, emit func([]value.Row) error) error {
 		if err != nil {
 			return err
 		}
-		return ex.streamBindJoin(src, a, outs, outer, emit)
+		return ex.streamBindJoin(src, a, outs, outer, emit, sp)
 	}
-	res, err := source.ExecuteWith(ex.ctx, src, a.Sub, nil)
+	res, err := ex.scanSource(src, a, sp)
 	if err != nil {
 		return err
 	}
-	ex.addStats(1, len(res.Rows))
 	rel, err := atomRelation(res, outs)
 	if err != nil {
 		return err
@@ -510,7 +525,7 @@ func (ex *executor) nodeCols(s PlanStep) []string {
 // bounded stream downstream, a blocked emit holds the job's fan-out
 // slot, so backpressure reaches the probe dispatch itself.
 func (ex *executor) streamBindJoin(src source.DataSource, a Atom, outs []string,
-	outer Iterator, emit func([]value.Row) error) error {
+	outer Iterator, emit func([]value.Row) error, sp *obs.Span) error {
 
 	if outer == nil {
 		return fmt.Errorf("core: bind join for atom %s has no outer bindings", a.Designator())
@@ -520,7 +535,7 @@ func (ex *executor) streamBindJoin(src source.DataSource, a Atom, outs []string,
 		return err
 	}
 	defer outer.Close()
-	sp, err := newBindSpec(a, outs, outer.Cols())
+	spec, err := newBindSpec(a, outs, outer.Cols())
 	if err != nil {
 		return err
 	}
@@ -562,12 +577,17 @@ func (ex *executor) streamBindJoin(src source.DataSource, a Atom, outs []string,
 	}
 
 	probeOne := func(t paramTuple) error {
+		psp := sp.StartChild("probe")
+		psp.SetAttr("source", src.URI())
+		start := time.Now()
 		res, err := source.ExecuteWith(ex.ctx, src, a.Sub, t.params)
+		psp.End()
 		if err != nil {
 			return err
 		}
+		probeSeconds.With(src.URI()).ObserveSince(start)
 		ex.addStats(1, len(res.Rows))
-		local, err := sp.filterRows(t, res)
+		local, err := spec.filterRows(t, res)
 		if err != nil {
 			return err
 		}
@@ -575,7 +595,7 @@ func (ex *executor) streamBindJoin(src source.DataSource, a Atom, outs []string,
 	}
 	runChunk := func(ts []paramTuple, batched bool) error {
 		if batched {
-			rows, unsupported, err := ex.batchProbeRows(bp, a, ts, sp.filterRows)
+			rows, unsupported, err := ex.batchProbeRows(bp, a, ts, spec.filterRows, sp)
 			if err != nil {
 				return err
 			}
@@ -668,7 +688,7 @@ func (ex *executor) streamBindJoin(src source.DataSource, a Atom, outs []string,
 		if !ok {
 			break
 		}
-		t, ok := sp.extract(row)
+		t, ok := spec.extract(row)
 		if !ok {
 			continue
 		}

@@ -94,7 +94,7 @@ func (in *Instance) ExplainQuery(q *CMQ, opts ExecOptions) (*ExplainInfo, error)
 				ae.Pruning = "dynamic source: pruning decided per discovered source at run time"
 			default:
 				if src, err := in.atomExplainSource(a, q.Prefixes); err == nil {
-					if m := in.atomPruner(src, a, q.Prefixes); m != nil {
+					if m := in.atomPruner(context.Background(), src, a, q.Prefixes); m != nil {
 						ae.Pruning = "digest covers the parameter positions; bindings the digest excludes are skipped before probing"
 					} else {
 						ae.Pruning = "no prunable digest statistics for this sub-query shape; every distinct binding probes"

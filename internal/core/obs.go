@@ -1,0 +1,22 @@
+package core
+
+import "tatooine/internal/obs"
+
+// Process-wide executor metrics (internal/obs.Default): every instance
+// in the process reports into the same families, labeled by source URI
+// where a per-source breakdown matters.
+var (
+	probeSeconds = obs.Default.HistogramVec("tat_probe_seconds",
+		"Source sub-query round-trip latency by source URI.",
+		"source", obs.DurationBuckets())
+	probeBatchSize = obs.Default.GaugeVec("tat_probe_batch_size",
+		"Effective bind-join probe batch size by source URI (adaptive when tuned).",
+		"source")
+	streamStallSeconds = obs.Default.Histogram("tat_stream_stall_seconds",
+		"Time stream producers spent blocked on consumer backpressure.",
+		obs.DurationBuckets())
+	digestFetchTotal = obs.Default.Counter("tat_digest_fetch_total",
+		"Digest builds/fetches (digest catalog misses).")
+	digestHitTotal = obs.Default.Counter("tat_digest_hits_total",
+		"Digest catalog hits.")
+)

@@ -170,7 +170,7 @@ func (in *Instance) planQuery(ctx context.Context, q *CMQ, opts ExecOptions) (*P
 		}
 		rows[i], costs[i] = in.estimateAtom(a, q.Prefixes)
 		if !opts.NoDigestPlanning {
-			rows[i] = in.refineAtomRows(a, q.Prefixes, rows[i])
+			rows[i] = in.refineAtomRows(ctx, a, q.Prefixes, rows[i])
 		}
 	}
 

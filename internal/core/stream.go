@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"sync"
+	"time"
 
 	"tatooine/internal/value"
 )
@@ -45,13 +46,26 @@ func (s *BatchStream) Cols() []string { return s.cols }
 
 // Send delivers one batch, blocking while the channel is full. It
 // reports false when the consumer cancelled the stream or ctx ended —
-// the producer should stop producing.
+// the producer should stop producing. Time spent blocked on a full
+// channel — the consumer applying backpressure — is observed into
+// tat_stream_stall_seconds; the non-blocking fast path costs nothing.
 func (s *BatchStream) Send(ctx context.Context, batch []value.Row) bool {
 	if len(batch) == 0 {
 		return true
 	}
 	select {
 	case s.ch <- batch:
+		return true
+	case <-s.done:
+		return false
+	case <-ctx.Done():
+		return false
+	default:
+	}
+	start := time.Now()
+	select {
+	case s.ch <- batch:
+		streamStallSeconds.ObserveSince(start)
 		return true
 	case <-s.done:
 		return false

@@ -14,15 +14,25 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"tatooine/internal/digest"
+	"tatooine/internal/obs"
 	"tatooine/internal/source"
 	"tatooine/internal/value"
 )
+
+// remoteRTT observes every federation HTTP round trip, labeled by the
+// remote's advertised URI — the wire-level view behind the planner's
+// RemoteCostOverhead constant.
+var remoteRTT = obs.Default.HistogramVec("tat_remote_rtt_seconds",
+	"Federation HTTP round-trip latency by remote source URI.",
+	"remote", obs.DurationBuckets())
 
 // QueryRequest is the wire form of a sub-query execution request
 // (POST /query).
@@ -90,8 +100,15 @@ type EstimateResponse struct {
 }
 
 // Handler serves a DataSource over HTTP. Routes: GET /meta,
-// POST /query, POST /batch, POST /estimate, GET /digest.
+// POST /query, POST /batch, POST /estimate, GET /digest. Every route
+// joins the caller's trace when the request carries X-Tat-* headers
+// and reports its server-side time back, so a mediator's span tree
+// attributes remote compute distinctly from wire RTT.
 func Handler(src source.DataSource) http.Handler {
+	return obs.Wrap("remote", handlerMux(src), nil)
+}
+
+func handlerMux(src source.DataSource) http.Handler {
 	mux := http.NewServeMux()
 	var (
 		digestOnce sync.Once
@@ -278,6 +295,48 @@ type Client struct {
 	// from an intermediary (a rolling deploy behind a proxy), not the
 	// endpoint itself.
 	noBatchUntil atomic.Int64
+	// rttEWMA (nanos) smooths observed round-trip latencies; see
+	// ObservedRTT. lastRTTWarn rate-limits the slow-remote warning.
+	rttEWMA     atomic.Int64
+	lastRTTWarn atomic.Int64
+}
+
+// ObservedRTT returns the smoothed round-trip latency of this remote
+// (an exponentially weighted moving average over /query, /batch and
+// /estimate calls), or zero before any call completed. It is the
+// measured counterpart of the planner's modeled RemoteCostOverheadRTT.
+func (c *Client) ObservedRTT() time.Duration {
+	return time.Duration(c.rttEWMA.Load())
+}
+
+// observeRTT folds one round trip into the EWMA and the per-remote RTT
+// histogram, and warns — at most once a minute per remote — when the
+// observed latency exceeds 10× the modeled RemoteCostOverheadRTT: the
+// planner is then charging this remote far too little, and its plans
+// will over-prefer it.
+func (c *Client) observeRTT(d time.Duration) {
+	const alpha = 8 // EWMA smoothing: new = old + (obs-old)/alpha
+	for {
+		old := c.rttEWMA.Load()
+		next := int64(d)
+		if old != 0 {
+			next = old + (int64(d)-old)/alpha
+		}
+		if c.rttEWMA.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	remoteRTT.With(c.URI()).ObserveDuration(d)
+	if d > 10*RemoteCostOverheadRTT {
+		now := time.Now().UnixNano()
+		last := c.lastRTTWarn.Load()
+		if now-last > int64(time.Minute) && c.lastRTTWarn.CompareAndSwap(last, now) {
+			slog.Warn("federation: remote RTT far above modeled overhead",
+				slog.String("remote", c.URI()),
+				slog.Duration("rtt", d),
+				slog.Duration("modeled", RemoteCostOverheadRTT))
+		}
+	}
 }
 
 // batchRetryAfter is how long a Client avoids the /batch route after a
@@ -340,14 +399,52 @@ func (c *Client) Languages() []source.Language {
 
 // post ships a JSON body to a route under the endpoint's base URL,
 // bound to ctx: cancelling the context aborts the in-flight HTTP
-// request, which is how a cancelled query reaches remote probes.
+// request, which is how a cancelled query reaches remote probes. When
+// ctx carries a span, its trace and span IDs propagate as X-Tat-*
+// request headers so the remote joins the trace.
 func (c *Client) post(ctx context.Context, route string, body []byte) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+route, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if s := obs.SpanFromContext(ctx); s != nil {
+		req.Header.Set(obs.TraceHeader, s.TraceID())
+		req.Header.Set(obs.SpanHeader, s.ID())
+	}
 	return c.http.Do(req)
+}
+
+// roundTrip is post under a call span with RTT accounting: the call
+// gets a "remote <route>" child span carrying the remote's URI, and —
+// when the endpoint joined the trace — the remote's root span ID plus
+// the server-side/wire split of the observed latency (the remote
+// reports its own elapsed time via ServerTimeHeader; the difference is
+// time on the wire).
+func (c *Client) roundTrip(ctx context.Context, route string, body []byte) (*http.Response, error) {
+	ctx, sp := obs.StartSpan(ctx, "remote "+route)
+	sp.SetAttr("remote", c.URI())
+	start := time.Now()
+	resp, err := c.post(ctx, route, body)
+	rtt := time.Since(start)
+	if err != nil {
+		sp.End()
+		return nil, err
+	}
+	c.observeRTT(rtt)
+	if rid := resp.Header.Get(obs.SpanHeader); rid != "" {
+		sp.SetAttr("remoteSpan", rid)
+	}
+	if ns := resp.Header.Get(obs.ServerTimeHeader); ns != "" {
+		if n, perr := strconv.ParseInt(ns, 10, 64); perr == nil && n >= 0 {
+			sp.SetAttr("serverNs", ns)
+			if wire := int64(rtt) - n; wire > 0 {
+				sp.SetAttr("wireNs", strconv.FormatInt(wire, 10))
+			}
+		}
+	}
+	sp.End()
+	return resp, nil
 }
 
 // Execute implements source.DataSource by shipping the sub-query to the
@@ -370,7 +467,7 @@ func (c *Client) ExecuteContext(ctx context.Context, q source.SubQuery, params [
 	if err != nil {
 		return nil, fmt.Errorf("federation: marshal: %w", err)
 	}
-	resp, err := c.post(ctx, "/query", body)
+	resp, err := c.roundTrip(ctx, "/query", body)
 	if err != nil {
 		return nil, fmt.Errorf("federation: query %s: %w", c.baseURL, err)
 	}
@@ -417,7 +514,7 @@ func (c *Client) ExecuteBatchContext(ctx context.Context, q source.SubQuery, par
 	if err != nil {
 		return nil, fmt.Errorf("federation: marshal batch: %w", err)
 	}
-	resp, err := c.post(ctx, "/batch", body)
+	resp, err := c.roundTrip(ctx, "/batch", body)
 	if err != nil {
 		return nil, fmt.Errorf("federation: batch %s: %w", c.baseURL, err)
 	}
@@ -497,6 +594,15 @@ func (c *Client) statusError(op string, resp *http.Response) error {
 // the planner should prefer the local source.
 const RemoteCostOverhead = 32
 
+// RemoteCostOverheadRTT is the wall-clock round trip RemoteCostOverhead
+// models — the duration the planner implicitly assumes when it charges
+// a remote those 32 cost units. Client.ObservedRTT measures the real
+// value per remote; when the observed RTT exceeds 10× this constant the
+// client logs a warning, because the planner is then under-charging the
+// remote and its plans will over-prefer it. The constant itself stays
+// fixed so plan ordering remains deterministic across runs.
+const RemoteCostOverheadRTT = 10 * time.Millisecond
+
 // EstimateCost implements source.DataSource through Estimate.
 func (c *Client) EstimateCost(q source.SubQuery, numParams int) int {
 	rows, _ := c.Estimate(q, numParams)
@@ -519,10 +625,12 @@ func (c *Client) Estimate(q source.SubQuery, numParams int) (rows, cost int) {
 	if err != nil {
 		return -1, -1
 	}
+	start := time.Now()
 	resp, err := c.http.Post(c.baseURL+"/estimate", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return -1, -1
 	}
+	c.observeRTT(time.Since(start))
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		return -1, -1

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// respWriter wraps a ResponseWriter to inject trace headers at
+// WriteHeader time — the last moment headers can still be set, and
+// where elapsed server time is measured for ServerTimeHeader. It
+// forwards Flush so NDJSON streaming through the middleware keeps
+// working (server/stream.go type-asserts http.Flusher).
+type respWriter struct {
+	http.ResponseWriter
+	span        *Span
+	start       time.Time
+	status      int
+	wroteHeader bool
+}
+
+func (w *respWriter) WriteHeader(code int) {
+	if !w.wroteHeader {
+		w.wroteHeader = true
+		w.status = code
+		h := w.Header()
+		h.Set(TraceHeader, w.span.TraceID())
+		h.Set(SpanHeader, w.span.ID())
+		h.Set(ServerTimeHeader, strconv.FormatInt(int64(time.Since(w.start)), 10))
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *respWriter) Write(p []byte) (int, error) {
+	if !w.wroteHeader {
+		w.WriteHeader(http.StatusOK)
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+func (w *respWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Wrap instruments an HTTP handler with tracing and (optionally)
+// structured request logging. Each request gets a root span named
+// component + the route — joined to the caller's trace when the
+// X-Tat-* request headers are present — carried in the request
+// context, and echoed back via response headers with the server-side
+// elapsed time so clients can split remote compute from wire RTT.
+// Requests already carrying a context span (an in-process sub-mount)
+// pass through untouched.
+func Wrap(component string, h http.Handler, logger *slog.Logger) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if SpanFromContext(r.Context()) != nil {
+			h.ServeHTTP(w, r)
+			return
+		}
+		start := time.Now()
+		span := JoinTrace(component+" "+r.Method+" "+r.URL.Path,
+			r.Header.Get(TraceHeader), r.Header.Get(SpanHeader))
+		rw := &respWriter{ResponseWriter: w, span: span, start: start, status: http.StatusOK}
+		h.ServeHTTP(rw, r.WithContext(ContextWithSpan(r.Context(), span)))
+		span.End()
+		if logger != nil {
+			logger.Info("request",
+				slog.String("component", component),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", rw.status),
+				slog.Duration("duration", span.Duration()),
+				slog.String("trace", span.TraceID()),
+			)
+		}
+	})
+}

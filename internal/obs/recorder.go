@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// QueryRecord is one completed query in the flight recorder.
+type QueryRecord struct {
+	Query      string        `json:"query"`
+	Start      time.Time     `json:"start"`
+	Duration   time.Duration `json:"-"`
+	DurationMs float64       `json:"durationMs"`
+	Rows       int           `json:"rows"`
+	Streamed   bool          `json:"streamed,omitempty"`
+	CacheHit   bool          `json:"cacheHit,omitempty"`
+	Err        string        `json:"error,omitempty"`
+	Slow       bool          `json:"slow,omitempty"`
+	Trace      *SpanData     `json:"trace,omitempty"`
+}
+
+// Recorder keeps a bounded ring of the last N completed queries and
+// logs the ones over the slow threshold. Safe for concurrent use.
+type Recorder struct {
+	mu    sync.Mutex
+	ring  []QueryRecord
+	next  int
+	total int
+
+	slow   time.Duration // 0 disables the slow-query log
+	logger *slog.Logger
+}
+
+// NewRecorder builds a recorder holding the last size queries; queries
+// slower than slow are logged through logger (nil logger = slog.Default,
+// slow <= 0 disables the slow-query log).
+func NewRecorder(size int, slow time.Duration, logger *slog.Logger) *Recorder {
+	if size <= 0 {
+		size = 64
+	}
+	if logger == nil {
+		logger = slog.Default()
+	}
+	return &Recorder{ring: make([]QueryRecord, 0, size), slow: slow, logger: logger}
+}
+
+// SlowThreshold returns the configured slow-query threshold.
+func (r *Recorder) SlowThreshold() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return r.slow
+}
+
+// Record adds one completed query. Nil-safe so callers can leave the
+// recorder unconfigured.
+func (r *Recorder) Record(rec QueryRecord) {
+	if r == nil {
+		return
+	}
+	rec.DurationMs = float64(rec.Duration) / float64(time.Millisecond)
+	rec.Slow = r.slow > 0 && rec.Duration >= r.slow
+	r.mu.Lock()
+	if len(r.ring) < cap(r.ring) {
+		r.ring = append(r.ring, rec)
+	} else {
+		r.ring[r.next] = rec
+	}
+	r.next = (r.next + 1) % cap(r.ring)
+	r.total++
+	r.mu.Unlock()
+	if rec.Slow {
+		attrs := []any{
+			slog.String("query", rec.Query),
+			slog.Duration("duration", rec.Duration),
+			slog.Duration("threshold", r.slow),
+			slog.Int("rows", rec.Rows),
+		}
+		if rec.Trace != nil {
+			attrs = append(attrs, slog.String("trace", rec.Trace.TraceID))
+		}
+		if rec.Err != "" {
+			attrs = append(attrs, slog.String("error", rec.Err))
+		}
+		r.logger.Warn("slow query", attrs...)
+	}
+}
+
+// Snapshot returns the recorded queries, most recent first, plus how
+// many queries were recorded over the recorder's lifetime.
+func (r *Recorder) Snapshot() (records []QueryRecord, total int) {
+	if r == nil {
+		return nil, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	records = make([]QueryRecord, 0, len(r.ring))
+	for i := 0; i < len(r.ring); i++ {
+		// Walk backwards from the most recently written slot.
+		idx := (r.next - 1 - i + 2*cap(r.ring)) % cap(r.ring)
+		if idx >= len(r.ring) {
+			continue
+		}
+		records = append(records, r.ring[idx])
+	}
+	return records, r.total
+}
+
+// Handler serves GET /debug/queries: the flight-recorder snapshot as
+// JSON, most recent query first.
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		records, total := r.Snapshot()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(struct {
+			Total   int           `json:"totalRecorded"`
+			SlowMs  float64       `json:"slowThresholdMs"`
+			Queries []QueryRecord `json:"queries"`
+		}{total, float64(r.SlowThreshold()) / float64(time.Millisecond), records})
+	})
+}

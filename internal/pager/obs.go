@@ -1,0 +1,18 @@
+package pager
+
+import "tatooine/internal/obs"
+
+// Process-wide storage-engine metrics (internal/obs.Default): every
+// pager in the process reports into the same families — the interesting
+// signal is the page cache's hit ratio and the WAL's fsync latency, not
+// which of usually-one pagers produced them.
+var (
+	pagerCacheHitTotal = obs.Default.Counter("tat_pager_cache_hits_total",
+		"Page reads answered from dirty pages or the clock cache.")
+	pagerCacheMissTotal = obs.Default.Counter("tat_pager_cache_misses_total",
+		"Page reads that had to hit the WAL or the database file.")
+	walCommitTotal = obs.Default.Counter("tat_wal_commits_total",
+		"WAL transactions committed.")
+	walFsyncSeconds = obs.Default.Histogram("tat_wal_fsync_seconds",
+		"WAL commit fsync latency.", obs.DurationBuckets())
+)

@@ -206,13 +206,16 @@ func (p *Pager) viewLocked(id PageID) ([]byte, error) {
 	}
 	if d, ok := p.dirty[id]; ok {
 		p.hits++
+		pagerCacheHitTotal.Inc()
 		return d, nil
 	}
 	if d, ok := p.cache.get(id); ok {
 		p.hits++
+		pagerCacheHitTotal.Inc()
 		return d, nil
 	}
 	p.misses++
+	pagerCacheMissTotal.Inc()
 	d, err := p.readPage(id)
 	if err != nil {
 		return nil, err

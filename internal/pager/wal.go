@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"time"
 )
 
 // The WAL is a redo-only log: a header followed by frames. Each page
@@ -156,10 +157,13 @@ func (w *wal) commit(dirty map[PageID][]byte) error {
 		return fmt.Errorf("pager: wal commit: %w", err)
 	}
 	if !w.noSync {
+		start := time.Now()
 		if err := w.f.Sync(); err != nil {
 			return fmt.Errorf("pager: wal commit: %w", err)
 		}
+		walFsyncSeconds.ObserveSince(start)
 	}
+	walCommitTotal.Inc()
 	w.length += int64(len(buf))
 	for id, o := range offsets {
 		w.index[id] = o

@@ -1,0 +1,217 @@
+package server_test
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"tatooine/internal/server"
+)
+
+var metricName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// scrapeMetrics GETs /metrics and parses the Prometheus text format
+// strictly: every line must be a well-formed HELP/TYPE comment or a
+// `name{labels} value` sample with a parseable float, or the scrape
+// fails the test. Returns samples keyed by the full series name
+// (labels included).
+func scrapeMetrics(t *testing.T, url string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("GET /metrics: content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]float64)
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if !strings.HasPrefix(line, "# HELP ") && !strings.HasPrefix(line, "# TYPE ") {
+				t.Fatalf("unparseable comment line: %q", line)
+			}
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("unparseable sample line: %q", line)
+		}
+		series, val := line[:i], line[i+1:]
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		base := series
+		if j := strings.IndexByte(series, '{'); j >= 0 {
+			if !strings.HasSuffix(series, "}") {
+				t.Fatalf("unbalanced labels in %q", line)
+			}
+			base = series[:j]
+		}
+		if !metricName.MatchString(base) {
+			t.Fatalf("invalid metric name in %q", line)
+		}
+		if _, dup := out[series]; dup {
+			t.Fatalf("duplicate series %q", series)
+		}
+		out[series] = f
+	}
+	return out
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	in, _ := fixture(t)
+	srv := server.New(in, server.Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	postCMQ(t, ts.URL, testQuery) // miss: executes
+	first := scrapeMetrics(t, ts.URL)
+	postCMQ(t, ts.URL, testQuery) // hit: result cache
+	second := scrapeMetrics(t, ts.URL)
+
+	// The server-scoped counters are exact: two requests, one miss, one
+	// hit, both scrapes monotone in between.
+	if got := second["tat_requests_total"]; got != 2 {
+		t.Fatalf("tat_requests_total = %v, want 2", got)
+	}
+	if got := second["tat_result_cache_hits_total"]; got != 1 {
+		t.Fatalf("tat_result_cache_hits_total = %v, want 1", got)
+	}
+	if got := second["tat_result_cache_misses_total"]; got != 1 {
+		t.Fatalf("tat_result_cache_misses_total = %v, want 1", got)
+	}
+	for _, name := range []string{"tat_requests_total", "tat_query_seconds_count"} {
+		if second[name] <= first[name] {
+			t.Fatalf("%s did not increase across queries: %v -> %v", name, first[name], second[name])
+		}
+	}
+	if got := second["tat_queries_in_flight"]; got != 0 {
+		t.Fatalf("tat_queries_in_flight = %v after queries finished, want 0", got)
+	}
+
+	// Histogram invariants: buckets are cumulative (monotone in le) and
+	// the +Inf bucket matches _count for every exported histogram.
+	counts := 0
+	for series, total := range second {
+		base, ok := strings.CutSuffix(series, "_count")
+		if !ok || strings.ContainsRune(base, '{') {
+			continue
+		}
+		prefix := base + "_bucket{le=\""
+		buckets := 0
+		for s, v := range second {
+			if !strings.HasPrefix(s, prefix) {
+				continue
+			}
+			buckets++
+			if v < 0 {
+				t.Fatalf("negative bucket %q = %v", s, v)
+			}
+		}
+		if buckets == 0 {
+			continue // not a histogram (plain counter ending in _count)
+		}
+		counts++
+		inf := second[base+"_bucket{le=\"+Inf\"}"]
+		if inf != total {
+			t.Fatalf("%s: +Inf bucket %v != _count %v", base, inf, total)
+		}
+		if sum, ok := second[base+"_sum"]; !ok {
+			t.Fatalf("%s: missing _sum", base)
+		} else if total > 0 && sum < 0 {
+			t.Fatalf("%s: negative _sum %v", base, sum)
+		}
+	}
+	if counts == 0 {
+		t.Fatal("no histograms found on /metrics")
+	}
+
+	// The query latency histogram observed both requests.
+	if got := second["tat_query_seconds_count"]; got != 2 {
+		t.Fatalf("tat_query_seconds_count = %v, want 2", got)
+	}
+}
+
+// TestMetricsBucketsCumulative checks the le ordering explicitly: each
+// bucket of the query-latency histogram holds at least the count of
+// every smaller bound.
+func TestMetricsBucketsCumulative(t *testing.T) {
+	in, _ := fixture(t)
+	srv := server.New(in, server.Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	postCMQ(t, ts.URL, testQuery)
+
+	samples := scrapeMetrics(t, ts.URL)
+	type bucket struct {
+		le float64
+		v  float64
+	}
+	var buckets []bucket
+	for s, v := range samples {
+		rest, ok := strings.CutPrefix(s, `tat_query_seconds_bucket{le="`)
+		if !ok {
+			continue
+		}
+		leStr := strings.TrimSuffix(rest, `"}`)
+		if leStr == "+Inf" {
+			continue
+		}
+		le, err := strconv.ParseFloat(leStr, 64)
+		if err != nil {
+			t.Fatalf("bad le %q: %v", leStr, err)
+		}
+		buckets = append(buckets, bucket{le, v})
+	}
+	if len(buckets) < 2 {
+		t.Fatalf("expected several finite buckets, got %d", len(buckets))
+	}
+	for i := range buckets {
+		for j := range buckets {
+			if buckets[i].le < buckets[j].le && buckets[i].v > buckets[j].v {
+				t.Fatalf("bucket le=%v count %v exceeds le=%v count %v",
+					buckets[i].le, buckets[i].v, buckets[j].le, buckets[j].v)
+			}
+		}
+	}
+}
+
+// TestStatsMatchesMetrics pins the satellite invariant: /stats is read
+// back from the same registry /metrics renders, so the two surfaces
+// cannot disagree, and /stats reports the server's uptime.
+func TestStatsMatchesMetrics(t *testing.T) {
+	in, _ := fixture(t)
+	srv := server.New(in, server.Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	postCMQ(t, ts.URL, testQuery)
+	postCMQ(t, ts.URL, testQuery)
+
+	st := srv.Stats()
+	samples := scrapeMetrics(t, ts.URL)
+	if float64(st.Requests) != samples["tat_requests_total"] {
+		t.Fatalf("stats.Requests %d != tat_requests_total %v", st.Requests, samples["tat_requests_total"])
+	}
+	if float64(st.CacheHits) != samples["tat_result_cache_hits_total"] {
+		t.Fatalf("stats.CacheHits %d != tat_result_cache_hits_total %v", st.CacheHits, samples["tat_result_cache_hits_total"])
+	}
+	if st.UptimeSeconds <= 0 {
+		t.Fatalf("stats.UptimeSeconds = %v, want > 0", st.UptimeSeconds)
+	}
+}

@@ -36,7 +36,17 @@
 //	POST   /admin/invalidate  flush probe caches + rotate the result cache
 //	                          (JSON {"source": "uri"} scopes to one source)
 //	GET    /stats             server counters + cache occupancy + epoch
+//	GET    /metrics           Prometheus text exposition (server + process
+//	                          registries)
+//	GET    /debug/queries     flight recorder: last N completed query
+//	                          traces + slow-query flags
+//	GET    /debug/pprof/      net/http/pprof, when Options.EnablePprof
 //	GET    /healthz           liveness probe
+//
+// Observability: every request joins (or starts) an obs trace, POST
+// /cmq can return the query's span tree ({"trace": true} in the body),
+// and completed queries land in a bounded flight recorder with the
+// slow ones logged through Options.Logger.
 package server
 
 import (
@@ -44,17 +54,19 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"mime"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"tatooine/internal/core"
 	"tatooine/internal/federation"
 	"tatooine/internal/lru"
+	"tatooine/internal/obs"
 	"tatooine/internal/rdf"
 	"tatooine/internal/source"
 	"tatooine/internal/store"
@@ -77,28 +89,55 @@ type Options struct {
 	ProbeTTL time.Duration
 	// Exec carries the execution options every query runs with.
 	Exec core.ExecOptions
+
+	// SlowQuery is the slow-query log threshold: completed queries at
+	// or over it are flagged in GET /debug/queries and logged through
+	// Logger. 0 uses DefaultSlowQuery; negative disables the log.
+	SlowQuery time.Duration
+	// TraceRing bounds the flight recorder — the last N completed query
+	// traces served on GET /debug/queries. 0 uses DefaultTraceRing;
+	// negative disables the recorder.
+	TraceRing int
+	// Logger receives slow-query warnings and (with LogRequests)
+	// structured request logs; nil uses slog.Default().
+	Logger *slog.Logger
+	// LogRequests turns on one structured log line per request.
+	LogRequests bool
+	// EnablePprof mounts net/http/pprof under GET /debug/pprof/.
+	EnablePprof bool
 }
 
 // DefaultResultCacheSize bounds the result cache when Options leaves
 // ResultCacheSize at zero.
 const DefaultResultCacheSize = 256
 
-// Stats are the server-level counters surfaced on GET /stats.
+// DefaultSlowQuery is the slow-query threshold when Options leaves
+// SlowQuery at zero.
+const DefaultSlowQuery = 250 * time.Millisecond
+
+// DefaultTraceRing is the flight-recorder capacity when Options leaves
+// TraceRing at zero.
+const DefaultTraceRing = 64
+
+// Stats are the server-level counters surfaced on GET /stats. Since
+// the obs layer landed they are read back from the server's metric
+// registry — /stats and /metrics can never disagree.
 type Stats struct {
-	Requests           int64  `json:"requests"`           // POST /cmq requests handled
-	CacheHits          int64  `json:"cacheHits"`          // answered from the result cache
-	CacheMisses        int64  `json:"cacheMisses"`        // executed (or joined an in-flight execution)
-	Coalesced          int64  `json:"coalesced"`          // waited on an identical in-flight query
-	Errors             int64  `json:"errors"`             // parse or execution failures
-	SubQueries         int64  `json:"subQueries"`         // native sub-queries across all executions
-	BatchProbes        int64  `json:"batchProbes"`        // batched bind-join dispatches across all executions
-	Streamed           int64  `json:"streamed"`           // POST /cmq requests answered as NDJSON streams
-	InFlightStreams    int64  `json:"inFlightStreams"`    // NDJSON streams currently open (a leak shows here)
-	CacheEntries       int    `json:"cacheEntries"`       // current result-cache occupancy
-	Epoch              uint64 `json:"epoch"`              // instance mutation epoch
-	Mutations          int64  `json:"mutations"`          // mutation requests applied over HTTP
-	Invalidations      int64  `json:"invalidations"`      // stale result-cache generations flushed
-	ProbeInvalidations int64  `json:"probeInvalidations"` // probe-cache result entries force-dropped
+	UptimeSeconds      float64 `json:"uptimeSeconds"`      // seconds since the server was built
+	Requests           int64   `json:"requests"`           // POST /cmq requests handled
+	CacheHits          int64   `json:"cacheHits"`          // answered from the result cache
+	CacheMisses        int64   `json:"cacheMisses"`        // executed (or joined an in-flight execution)
+	Coalesced          int64   `json:"coalesced"`          // waited on an identical in-flight query
+	Errors             int64   `json:"errors"`             // parse or execution failures
+	SubQueries         int64   `json:"subQueries"`         // native sub-queries across all executions
+	BatchProbes        int64   `json:"batchProbes"`        // batched bind-join dispatches across all executions
+	Streamed           int64   `json:"streamed"`           // POST /cmq requests answered as NDJSON streams
+	InFlightStreams    int64   `json:"inFlightStreams"`    // NDJSON streams currently open (a leak shows here)
+	CacheEntries       int     `json:"cacheEntries"`       // current result-cache occupancy
+	Epoch              uint64  `json:"epoch"`              // instance mutation epoch
+	Mutations          int64   `json:"mutations"`          // mutation requests applied over HTTP
+	Invalidations      int64   `json:"invalidations"`      // stale result-cache generations flushed
+	ProbeInvalidations int64   `json:"probeInvalidations"` // probe-cache result entries force-dropped
 
 	// Saturation reports how the instance maintains G∞: the mode
 	// ("off", "delta", "full"), the materialized implicit-triple count,
@@ -139,6 +178,10 @@ type QueryRequest struct {
 	Query   string `json:"query"`
 	Explain bool   `json:"explain,omitempty"`
 	Stream  bool   `json:"stream,omitempty"`
+	// Trace asks for the execution's span tree in the response: the
+	// "trace" block of the JSON reply, or the NDJSON trailer's trace
+	// field. Cache hits executed nothing and carry no trace.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // QueryResponse is the JSON reply of POST /cmq.
@@ -148,6 +191,7 @@ type QueryResponse struct {
 	Stats   core.ExecStats    `json:"stats"`
 	Cached  bool              `json:"cached"`
 	Explain *core.ExplainInfo `json:"explain,omitempty"`
+	Trace   *obs.SpanData     `json:"trace,omitempty"`
 	Error   string            `json:"error,omitempty"`
 }
 
@@ -198,18 +242,28 @@ type InvalidateResponse struct {
 
 // Server is the mediator query service around one shared Instance.
 type Server struct {
-	in   *core.Instance
-	opts Options
+	in    *core.Instance
+	opts  Options
+	start time.Time
+
+	// reg is the server's own metric registry: counters scoped to THIS
+	// server (two Servers over one instance must not share request
+	// counts), rendered on /metrics alongside the process-wide
+	// obs.Default (pager, probe caches, federation RTT).
+	reg      *obs.Registry
+	recorder *obs.Recorder // nil when Options.TraceRing < 0
+	logger   *slog.Logger
 
 	mu       sync.Mutex
 	cache    *lru.Cache[*core.QueryResult] // nil when result caching is disabled
 	inflight map[string]*flightCall
 	gen      uint64 // instance epoch the current cache generation belongs to
 
-	requests, hits, misses, coalesced, errors, subQueries, batchProbes atomic.Int64
-	mutations, invalidations, probeInvalidations                       atomic.Int64
-	streamed, inFlightStreams                                          atomic.Int64
-	prunedProbes                                                       atomic.Int64
+	requests, hits, misses, coalesced, errors       *obs.Counter
+	subQueries, batchProbes, prunedProbes, streamed *obs.Counter
+	mutations, invalidations, probeInvalidations    *obs.Counter
+	inFlightStreams, inFlightQueries                *obs.Gauge
+	querySeconds, ttfrSeconds                       *obs.Histogram
 }
 
 // flightCall is one in-progress execution identical queries wait on.
@@ -268,12 +322,64 @@ func New(in *core.Instance, opts Options) *Server {
 	s := &Server{
 		in:       in,
 		opts:     opts,
+		start:    time.Now(),
+		reg:      obs.NewRegistry(),
+		logger:   opts.Logger,
 		inflight: make(map[string]*flightCall),
 		gen:      in.Epoch(),
+	}
+	if s.logger == nil {
+		s.logger = slog.Default()
 	}
 	if opts.ResultCacheSize > 0 {
 		s.cache = lru.New[*core.QueryResult](opts.ResultCacheSize)
 	}
+	slow := opts.SlowQuery
+	switch {
+	case slow == 0:
+		slow = DefaultSlowQuery
+	case slow < 0:
+		slow = 0 // recorder treats 0 as "no slow-query log"
+	}
+	ring := opts.TraceRing
+	if ring == 0 {
+		ring = DefaultTraceRing
+	}
+	if ring > 0 {
+		s.recorder = obs.NewRecorder(ring, slow, s.logger)
+	}
+	s.requests = s.reg.Counter("tat_requests_total",
+		"POST /cmq requests handled.")
+	s.hits = s.reg.Counter("tat_result_cache_hits_total",
+		"Queries answered from the result cache.")
+	s.misses = s.reg.Counter("tat_result_cache_misses_total",
+		"Queries that executed (or joined an in-flight execution).")
+	s.coalesced = s.reg.Counter("tat_coalesced_total",
+		"Queries that waited on an identical in-flight execution.")
+	s.errors = s.reg.Counter("tat_errors_total",
+		"Parse or execution failures.")
+	s.subQueries = s.reg.Counter("tat_subqueries_total",
+		"Native sub-queries shipped across all executions.")
+	s.batchProbes = s.reg.Counter("tat_batch_probes_total",
+		"Batched bind-join dispatches across all executions.")
+	s.prunedProbes = s.reg.Counter("tat_pruned_probes_total",
+		"Bind-join probes pruned by digest filters before any round trip.")
+	s.streamed = s.reg.Counter("tat_streams_total",
+		"POST /cmq requests answered as NDJSON streams.")
+	s.mutations = s.reg.Counter("tat_mutations_total",
+		"Mutation requests applied over HTTP.")
+	s.invalidations = s.reg.Counter("tat_result_cache_invalidations_total",
+		"Stale result-cache generations flushed.")
+	s.probeInvalidations = s.reg.Counter("tat_probe_invalidations_total",
+		"Probe-cache result entries force-dropped.")
+	s.inFlightStreams = s.reg.Gauge("tat_streams_in_flight",
+		"NDJSON streams currently open.")
+	s.inFlightQueries = s.reg.Gauge("tat_queries_in_flight",
+		"POST /cmq requests currently being handled.")
+	s.querySeconds = s.reg.Histogram("tat_query_seconds",
+		"End-to-end POST /cmq handling latency.", obs.DurationBuckets())
+	s.ttfrSeconds = s.reg.Histogram("tat_query_ttfr_seconds",
+		"Time to first row of NDJSON streamed responses.", obs.DurationBuckets())
 	return s
 }
 
@@ -286,24 +392,25 @@ func (s *Server) Stats() Stats {
 	}
 	s.mu.Unlock()
 	st := Stats{
-		Requests:           s.requests.Load(),
-		CacheHits:          s.hits.Load(),
-		CacheMisses:        s.misses.Load(),
-		Coalesced:          s.coalesced.Load(),
-		Errors:             s.errors.Load(),
-		SubQueries:         s.subQueries.Load(),
-		BatchProbes:        s.batchProbes.Load(),
-		Streamed:           s.streamed.Load(),
-		InFlightStreams:    s.inFlightStreams.Load(),
+		UptimeSeconds:      time.Since(s.start).Seconds(),
+		Requests:           s.requests.Value(),
+		CacheHits:          s.hits.Value(),
+		CacheMisses:        s.misses.Value(),
+		Coalesced:          s.coalesced.Value(),
+		Errors:             s.errors.Value(),
+		SubQueries:         s.subQueries.Value(),
+		BatchProbes:        s.batchProbes.Value(),
+		Streamed:           s.streamed.Value(),
+		InFlightStreams:    s.inFlightStreams.Value(),
 		CacheEntries:       entries,
 		Epoch:              s.in.Epoch(),
-		Mutations:          s.mutations.Load(),
-		Invalidations:      s.invalidations.Load(),
-		ProbeInvalidations: s.probeInvalidations.Load(),
+		Mutations:          s.mutations.Value(),
+		Invalidations:      s.invalidations.Value(),
+		ProbeInvalidations: s.probeInvalidations.Value(),
 		Saturation:         s.in.SaturationStats(),
 		Digest: DigestBlock{
 			DigestStats:  s.in.DigestStats(),
-			PrunedProbes: s.prunedProbes.Load(),
+			PrunedProbes: s.prunedProbes.Value(),
 		},
 	}
 	if s.opts.Exec.Tuner != nil {
@@ -325,7 +432,22 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /admin/invalidate", s.handleInvalidate)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return mux
+	// Server-scoped registry first, then the process-wide one (pager,
+	// probe caches, federation RTT): one scrape sees the whole stack.
+	mux.Handle("GET /metrics", obs.Handler(s.reg, obs.Default))
+	mux.Handle("GET /debug/queries", s.recorder.Handler())
+	if s.opts.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	var reqLog *slog.Logger
+	if s.opts.LogRequests {
+		reqLog = s.logger
+	}
+	return obs.Wrap("server", mux, reqLog)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -465,7 +587,7 @@ func (s *Server) handleInvalidate(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleCMQ(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
-	text, explain, stream, err := readQuery(r)
+	req, err := readQuery(r)
 	if err != nil {
 		s.errors.Add(1)
 		writeJSON(w, http.StatusBadRequest, QueryResponse{Error: err.Error()})
@@ -475,14 +597,14 @@ func (s *Server) handleCMQ(w http.ResponseWriter, r *http.Request) {
 	// keyed on the parsed query's canonical form, so surface-syntax
 	// variants (whitespace, comments) share an entry while any
 	// semantically distinct query gets its own.
-	q, _, err := core.ParseCMQ(text)
+	q, _, err := core.ParseCMQ(req.Query)
 	if err != nil {
 		s.errors.Add(1)
 		writeJSON(w, http.StatusBadRequest, QueryResponse{Error: err.Error()})
 		return
 	}
 
-	if explain {
+	if req.Explain {
 		// Plan only — nothing executes, no cache interaction.
 		info, err := s.in.ExplainQuery(q, s.opts.Exec)
 		if err != nil {
@@ -494,14 +616,23 @@ func (s *Server) handleCMQ(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	if stream || wantsNDJSON(r) {
-		s.handleStreamCMQ(w, r, q)
+	if req.Stream || wantsNDJSON(r) {
+		s.handleStreamCMQ(w, r, q, req)
 		return
 	}
+
+	start := time.Now()
+	s.inFlightQueries.Add(1)
+	defer func() {
+		s.inFlightQueries.Add(-1)
+		s.querySeconds.ObserveSince(start)
+	}()
 
 	key, epoch := s.generationKey(q.CanonicalKey())
 	if res, ok := s.cacheGet(key); ok {
 		s.hits.Add(1)
+		s.recorder.Record(obs.QueryRecord{Query: req.Query, Start: start,
+			Duration: time.Since(start), Rows: len(res.Rows), CacheHit: true})
 		// A cache hit executed nothing: report zeroed stats so clients
 		// (and benchmarks) can observe that no sub-query was shipped.
 		writeJSON(w, http.StatusOK, QueryResponse{Cols: res.Cols, Rows: res.Rows, Cached: true})
@@ -512,14 +643,23 @@ func (s *Server) handleCMQ(w http.ResponseWriter, r *http.Request) {
 	res, cached, err := s.execute(r.Context(), key, epoch, q)
 	if err != nil {
 		s.errors.Add(1)
+		s.recorder.Record(obs.QueryRecord{Query: req.Query, Start: start,
+			Duration: time.Since(start), Err: err.Error()})
 		writeJSON(w, http.StatusUnprocessableEntity, QueryResponse{Error: err.Error()})
 		return
 	}
-	if cached {
-		writeJSON(w, http.StatusOK, QueryResponse{Cols: res.Cols, Rows: res.Rows, Cached: true})
-		return
+	resp := QueryResponse{Cols: res.Cols, Rows: res.Rows, Cached: cached}
+	if !cached {
+		resp.Stats = res.Stats
 	}
-	writeJSON(w, http.StatusOK, QueryResponse{Cols: res.Cols, Rows: res.Rows, Stats: res.Stats})
+	if req.Trace {
+		// Coalesced followers share the leader's trace: the execution
+		// they waited on IS the one that served them.
+		resp.Trace = res.Trace
+	}
+	s.recorder.Record(obs.QueryRecord{Query: req.Query, Start: start,
+		Duration: time.Since(start), Rows: len(res.Rows), CacheHit: cached, Trace: res.Trace})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // generationKey prefixes the canonical query key with the instance's
@@ -649,30 +789,29 @@ func readBody(r *http.Request, max int64) ([]byte, bool, error) {
 	return body, err == nil && mt == "application/json", nil
 }
 
-// readQuery extracts the CMQ text (and the explain/stream flags) from
-// the request body: a JSON {"query": "...", "explain": bool, "stream":
-// bool} envelope when Content-Type is application/json, otherwise the
-// raw body.
-func readQuery(r *http.Request) (text string, explain, stream bool, err error) {
+// readQuery extracts the request from the body of POST /cmq: a JSON
+// QueryRequest envelope when Content-Type is application/json,
+// otherwise the raw body as the query text with every flag off.
+func readQuery(r *http.Request) (QueryRequest, error) {
 	body, isJSON, err := readBody(r, maxQueryBytes)
 	if err != nil {
-		return "", false, false, err
+		return QueryRequest{}, err
 	}
 	if isJSON {
 		var req QueryRequest
 		if err := json.Unmarshal(body, &req); err != nil {
-			return "", false, false, fmt.Errorf("server: bad JSON body: %w", err)
+			return QueryRequest{}, fmt.Errorf("server: bad JSON body: %w", err)
 		}
 		if strings.TrimSpace(req.Query) == "" {
-			return "", false, false, fmt.Errorf("server: empty query")
+			return QueryRequest{}, fmt.Errorf("server: empty query")
 		}
-		return req.Query, req.Explain, req.Stream, nil
+		return req, nil
 	}
-	text = string(body)
+	text := string(body)
 	if strings.TrimSpace(text) == "" {
-		return "", false, false, fmt.Errorf("server: empty query")
+		return QueryRequest{}, fmt.Errorf("server: empty query")
 	}
-	return text, false, false, nil
+	return QueryRequest{Query: text}, nil
 }
 
 func writeJSON(w http.ResponseWriter, status int, body any) {

@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"net/http"
 	"strings"
+	"time"
 
 	"tatooine/internal/core"
+	"tatooine/internal/obs"
 	"tatooine/internal/value"
 )
 
@@ -18,6 +20,9 @@ import (
 //	{"row": [...]}                  one record per result row, flushed
 //	                                in executor batches as they land
 //	{"stats": {...}, "cached": b}   trailer: final execution counters
+//	                                (plus "trace" — the execution's
+//	                                span tree — when the request asked
+//	                                for one)
 //
 // and a failure after the header — the status line is long since on
 // the wire — ends the stream with a terminal
@@ -32,6 +37,7 @@ type StreamRecord struct {
 	Row    value.Row       `json:"row,omitempty"`
 	Stats  *core.ExecStats `json:"stats,omitempty"`
 	Cached *bool           `json:"cached,omitempty"`
+	Trace  *obs.SpanData   `json:"trace,omitempty"`
 	Error  string          `json:"error,omitempty"`
 }
 
@@ -51,10 +57,16 @@ func wantsNDJSON(r *http.Request) bool {
 // request context — streamed executions are not coalesced and their
 // results are not cached (the rows leave as they arrive; buffering
 // them for the cache would reintroduce materialization).
-func (s *Server) handleStreamCMQ(w http.ResponseWriter, r *http.Request, q *core.CMQ) {
+func (s *Server) handleStreamCMQ(w http.ResponseWriter, r *http.Request, q *core.CMQ, req QueryRequest) {
 	s.streamed.Add(1)
 	s.inFlightStreams.Add(1)
-	defer s.inFlightStreams.Add(-1)
+	s.inFlightQueries.Add(1)
+	start := time.Now()
+	defer func() {
+		s.inFlightStreams.Add(-1)
+		s.inFlightQueries.Add(-1)
+		s.querySeconds.ObserveSince(start)
+	}()
 
 	key, _ := s.generationKey(q.CanonicalKey())
 	if res, ok := s.cacheGet(key); ok {
@@ -64,9 +76,17 @@ func (s *Server) handleStreamCMQ(w http.ResponseWriter, r *http.Request, q *core
 		for i := 0; i < len(res.Rows); i += core.StreamBatchRows {
 			end := min(i+core.StreamBatchRows, len(res.Rows))
 			sw.rows(res.Rows[i:end])
+			if i == 0 {
+				s.ttfrSeconds.ObserveSince(start)
+			}
 		}
+		if len(res.Rows) == 0 {
+			s.ttfrSeconds.ObserveSince(start)
+		}
+		s.recorder.Record(obs.QueryRecord{Query: req.Query, Start: start,
+			Duration: time.Since(start), Rows: len(res.Rows), Streamed: true, CacheHit: true})
 		// A cache hit executed nothing: zeroed stats, like the JSON path.
-		sw.trailer(&core.ExecStats{}, true)
+		sw.trailer(&core.ExecStats{}, true, nil)
 		return
 	}
 	s.misses.Add(1)
@@ -75,6 +95,8 @@ func (s *Server) handleStreamCMQ(w http.ResponseWriter, r *http.Request, q *core
 	if err != nil {
 		// Nothing is on the wire yet: planning errors stay ordinary JSON.
 		s.errors.Add(1)
+		s.recorder.Record(obs.QueryRecord{Query: req.Query, Start: start,
+			Duration: time.Since(start), Streamed: true, Err: err.Error()})
 		writeJSON(w, http.StatusUnprocessableEntity, QueryResponse{Error: err.Error()})
 		return
 	}
@@ -82,23 +104,42 @@ func (s *Server) handleStreamCMQ(w http.ResponseWriter, r *http.Request, q *core
 
 	sw := newStreamWriter(w)
 	sw.header(sr.Cols)
+	rows, first := 0, true
 	for {
 		batch, err := sr.NextBatch()
 		if err != nil {
 			s.errors.Add(1)
+			s.recorder.Record(obs.QueryRecord{Query: req.Query, Start: start,
+				Duration: time.Since(start), Rows: rows, Streamed: true,
+				Err: err.Error(), Trace: sr.Trace()})
 			sw.fail(err)
 			return
 		}
 		if len(batch) == 0 {
 			break
 		}
+		if first {
+			s.ttfrSeconds.ObserveSince(start)
+			first = false
+		}
+		rows += len(batch)
 		sw.rows(batch)
+	}
+	if first {
+		// Empty result: the trailer is the first (and only) payload.
+		s.ttfrSeconds.ObserveSince(start)
 	}
 	stats := sr.Stats()
 	s.subQueries.Add(int64(stats.SubQueries))
 	s.batchProbes.Add(int64(stats.BatchProbes))
 	s.prunedProbes.Add(int64(stats.PrunedProbes))
-	sw.trailer(&stats, false)
+	trace := sr.Trace() // complete: the stream has ended
+	s.recorder.Record(obs.QueryRecord{Query: req.Query, Start: start,
+		Duration: time.Since(start), Rows: rows, Streamed: true, Trace: trace})
+	if !req.Trace {
+		trace = nil
+	}
+	sw.trailer(&stats, false, trace)
 }
 
 // streamWriter frames StreamRecords onto the wire, flushing after
@@ -142,8 +183,8 @@ func (sw *streamWriter) rows(rows []value.Row) {
 	sw.flush()
 }
 
-func (sw *streamWriter) trailer(stats *core.ExecStats, cached bool) {
-	_ = sw.enc.Encode(StreamRecord{Stats: stats, Cached: &cached})
+func (sw *streamWriter) trailer(stats *core.ExecStats, cached bool, trace *obs.SpanData) {
+	_ = sw.enc.Encode(StreamRecord{Stats: stats, Cached: &cached, Trace: trace})
 	sw.flush()
 }
 

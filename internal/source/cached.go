@@ -223,8 +223,10 @@ func (c *Cached) lookup(key string) (*Result, bool) {
 	res, ok := c.peek(key)
 	if ok {
 		c.stats.Hits++
+		probeCacheHitTotal.Inc()
 	} else {
 		c.stats.Misses++
+		probeCacheMissTotal.Inc()
 	}
 	return res, ok
 }
@@ -314,6 +316,7 @@ func (c *Cached) ExecuteBatchContext(ctx context.Context, q SubQuery, paramSets 
 	if len(missIdx) == 0 {
 		c.stats.Hits += int64(len(paramSets))
 		c.mu.Unlock()
+		probeCacheHitTotal.Add(int64(len(paramSets)))
 		return out, nil
 	}
 	gen := c.gen
@@ -338,6 +341,8 @@ func (c *Cached) ExecuteBatchContext(ctx context.Context, q SubQuery, paramSets 
 			c.inner.URI(), len(results), len(misses))
 	}
 
+	probeCacheHitTotal.Add(int64(len(paramSets) - len(missIdx)))
+	probeCacheMissTotal.Add(int64(len(missIdx)))
 	c.mu.Lock()
 	c.stats.Hits += int64(len(paramSets) - len(missIdx))
 	c.stats.Misses += int64(len(missIdx))

@@ -1,0 +1,13 @@
+package source
+
+import "tatooine/internal/obs"
+
+// Process-wide probe-cache metrics (internal/obs.Default): every Cached
+// decorator in the process reports into the same pair — the signal is
+// the overall probe-cache hit ratio across sources.
+var (
+	probeCacheHitTotal = obs.Default.Counter("tat_probe_cache_hits_total",
+		"Probe-cache lookups answered from memory.")
+	probeCacheMissTotal = obs.Default.Counter("tat_probe_cache_misses_total",
+		"Probe-cache lookups that executed against the inner source.")
+)

@@ -1,0 +1,79 @@
+#!/bin/sh
+# obs_vet.sh — observability hygiene gate, run from `make verify`.
+#
+# 1. No new fmt.Print* logging outside cmd/ (and examples/): library
+#    code logs through log/slog or exposes obs metrics; stray printf
+#    debugging must not land.
+# 2. The /metrics surface stays scrapeable: boot a real mediator on a
+#    loopback port, run one query, scrape GET /metrics and fail on any
+#    line that is not a well-formed HELP/TYPE comment or a
+#    `name{labels} value` sample with a numeric value.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+# --- 1. printf-logging gate ---------------------------------------------
+# fmt.Fprintf to a writer is fine (wire encoding, renderers); bare
+# fmt.Print/Println/Printf write to stdout and are logging.
+offenders="$(grep -rn --include='*.go' -E 'fmt\.Print(f|ln)?\(' internal/ 2>/dev/null \
+    | grep -v '_test.go' || true)"
+if [ -n "$offenders" ]; then
+    echo "obs_vet: fmt.Print logging outside cmd/ (use log/slog or obs metrics):" >&2
+    echo "$offenders" >&2
+    exit 1
+fi
+
+# --- 2. /metrics scrape gate --------------------------------------------
+go build -o /tmp/obs_vet_tatooine ./cmd/tatooine
+
+/tmp/obs_vet_tatooine -tweets 200 serve -addr 127.0.0.1:18089 >/tmp/obs_vet_serve.log 2>&1 &
+srv=$!
+trap 'kill $srv 2>/dev/null || true' EXIT
+
+ok=""
+for _ in $(seq 1 50); do
+    if curl -fsS -o /dev/null http://127.0.0.1:18089/healthz 2>/dev/null; then
+        ok=1
+        break
+    fi
+    sleep 0.1
+done
+if [ -z "$ok" ]; then
+    echo "obs_vet: mediator did not come up; serve log:" >&2
+    cat /tmp/obs_vet_serve.log >&2
+    exit 1
+fi
+
+# One real query so the latency histograms have samples.
+curl -fsS -o /dev/null -X POST http://127.0.0.1:18089/cmq \
+    -H 'Content-Type: application/json' \
+    -d '{"query": "QUERY q(?x, ?p) GRAPH { ?x :position ?p }"}' \
+    || { echo "obs_vet: query against mediator failed" >&2; exit 1; }
+
+metrics=/tmp/obs_vet_metrics.txt
+curl -fsS http://127.0.0.1:18089/metrics >"$metrics"
+
+bad="$(awk '
+    /^$/ { next }
+    /^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* / { next }
+    /^#/ { print "bad comment: " $0; next }
+    {
+        if ($0 !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9+.eE-]+$/ &&
+            $0 !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? \+Inf$/)
+            print "bad sample: " $0
+    }
+' "$metrics")"
+if [ -n "$bad" ]; then
+    echo "obs_vet: unparseable /metrics lines:" >&2
+    echo "$bad" >&2
+    exit 1
+fi
+
+count="$(grep -c '^tat_' "$metrics" || true)"
+if [ "$count" -lt 10 ]; then
+    echo "obs_vet: expected tat_* metric samples on /metrics, found $count" >&2
+    cat "$metrics" >&2
+    exit 1
+fi
+
+echo "obs_vet: ok ($count tat_* samples, printf gate clean)"
