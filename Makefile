@@ -1,10 +1,19 @@
 GO ?= go
 BENCHTIME ?= 1x
 
-.PHONY: verify build test vet race bench benchsmoke fmtcheck obscheck
+.PHONY: verify build test vet race bench benchsmoke boundedsmoke fmtcheck obscheck
 
 # Tier-1 gate: a missing-module (or any build/test) regression fails here.
-verify: fmtcheck vet build test benchsmoke obscheck
+verify: fmtcheck vet build test benchsmoke boundedsmoke obscheck
+
+# Bounded-memory smoke: seed an on-disk instance ~4x the 16 MiB
+# page-cache budget and serve point lookups plus a spilling federated
+# join. The benchmark asserts the resident-page gauge stays at or under
+# the cap, the join spills, and GC-settled heap growth across the
+# serving phase stays within 1.5x the budget — an OOM or an unbounded
+# cache fails verify here.
+boundedsmoke:
+	$(GO) test -run '^$$' -bench '^BenchmarkBoundedMemory$$' -benchtime 1x ./
 
 # Observability hygiene: no printf logging outside cmd/, and a booted
 # mediator's GET /metrics must scrape as valid Prometheus text.
@@ -32,12 +41,14 @@ race:
 # Record the perf trajectory: run the experiment benchmarks (root
 # package, E1–E12 + serve/saturation/bind-join/pipelined) with
 # allocation counts, including the storage-engine pair WarmBoot /
-# PointLookupDisk, and write the results as test2json events to
-# BENCH_9.json, so numbers are diffable across PRs. Raise BENCHTIME
+# PointLookupDisk and the memory pair BoundedMemory (max-RSS +
+# resident-page cap alongside ns/op) / WarmBootAllocs (startup
+# allocations vs term count), and write the results as test2json events
+# to BENCH_10.json, so numbers are diffable across PRs. Raise BENCHTIME
 # (e.g. BENCHTIME=2s) for stabler timings.
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) -benchmem -json ./ > BENCH_9.json
-	@grep -o '"Output":"Benchmark[^"]*' BENCH_9.json | sed 's/"Output":"//;s/\\t/ /g;s/\\n//' || true
+	$(GO) test -run '^$$' -bench . -benchtime $(BENCHTIME) -benchmem -json ./ > BENCH_10.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_10.json | sed 's/"Output":"//;s/\\t/ /g;s/\\n//' || true
 
 # Compile and run every benchmark exactly once (no timing): a benchmark
 # that stops building or panics fails verify instead of rotting silently.

@@ -42,7 +42,9 @@ import (
 	"tatooine/internal/datagen"
 	"tatooine/internal/digest"
 	"tatooine/internal/keyword"
+	"tatooine/internal/pager"
 	"tatooine/internal/server"
+	"tatooine/internal/store"
 	"tatooine/internal/viz"
 )
 
@@ -168,6 +170,10 @@ func cmdServe(ds *datagen.Dataset, args []string) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	dataDir := fs.String("data-dir", "",
 		"persist the custom graph, its saturation and the mutation epoch in this directory (paged B-tree store + WAL); a restart warm-boots from the stored state instead of re-seeding (empty = in-memory)")
+	pageCacheMB := fs.Int("page-cache-mb", 0,
+		"store page-cache budget in MiB — the hard cap on pages resident in memory (0 = default 16; requires -data-dir)")
+	joinMemBudgetMB := fs.Int("join-mem-budget", 0,
+		"per-join build-side memory budget in MiB: residual hash joins whose build side exceeds it spill to a partitioned on-disk join (0 = unbounded, never spill)")
 	deltaSat := fs.Bool("delta-saturation", true,
 		"maintain G∞ incrementally under mutations (false = full recompute per epoch move, for ablation)")
 	resultCache := fs.Int("result-cache", server.DefaultResultCacheSize,
@@ -206,8 +212,14 @@ func cmdServe(ds *datagen.Dataset, args []string) error {
 	var in *core.Instance
 	var err error
 	if *dataDir != "" {
+		instOpts := []core.InstanceOption{satOpt}
+		if *pageCacheMB > 0 {
+			instOpts = append(instOpts, core.WithStoreOptions(store.Options{
+				Pager: pager.Options{CacheSize: (*pageCacheMB << 20) / pager.PageSize},
+			}))
+		}
 		var warm bool
-		in, warm, err = ds.PersistentInstance(*dataDir, satOpt)
+		in, warm, err = ds.PersistentInstance(*dataDir, instOpts...)
 		if err != nil {
 			return err
 		}
@@ -230,6 +242,7 @@ func cmdServe(ds *datagen.Dataset, args []string) error {
 		WaveBarrier:      *waveBarrier,
 		Materialized:     *materialized,
 		NoDigestPlanning: !*digestPlanning,
+		JoinMemBudget:    int64(*joinMemBudgetMB) << 20,
 	}
 	if *adaptiveBatch {
 		exec.Tuner = core.NewBatchTuner()

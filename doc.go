@@ -397,4 +397,54 @@
 // per request; -pprof mounts net/http/pprof under /debug/pprof/.
 // "make verify" runs scripts/obs_vet.sh, which scrapes a live
 // mediator's /metrics and rejects printf-style logging outside cmd/.
+//
+// # Memory model
+//
+// A persistent mediator runs in bounded memory: every layer that used
+// to grow with the instance now works against an explicit budget, so
+// an instance several times larger than RAM serves queries instead of
+// thrashing or dying.
+//
+// Page cache: the pager keeps a hard-capped clock cache
+// (-page-cache-mb, default 16 MiB at 4 KiB pages). Pages past the cap
+// are evicted — clean pages dropped, dirty pages retained until the
+// next commit flushes them — and the tat_pager_resident_pages gauge
+// reports occupancy, so a flat gauge under a growing store is the
+// observable signature of bounded operation. Freed pages go on a
+// persistent free list and are reused before the file grows;
+// store.Vacuum (auto-triggered when the dead-page ratio passes
+// store.DefaultAutoVacuumRatio) compacts reclaimable space, and
+// dropped saturation generations return their pages one generation
+// deferred so in-flight readers never observe a freed page.
+//
+// Paged dictionary: the RDF term dictionary no longer materializes
+// every term at open. Terms load lazily from prefix-compressed store
+// pages on first touch and age out with the page cache, so warm-boot
+// cost and steady-state footprint are independent of how many terms
+// the instance has accumulated. Relational scans decode only the
+// columns a query references (value.DecodeRowProject): pruned columns
+// surface as nulls in their original positions and their bytes are
+// never copied out of the page.
+//
+// Spill joins: residual hash joins — the joins the mediator itself
+// runs over sub-query results — take a build-side budget
+// (-join-mem-budget MiB; ExecOptions.JoinMemBudget bytes; 0 keeps the
+// unbounded behavior). A build side that outgrows the budget
+// transitions mid-build into a Grace-style partitioned join: both
+// inputs hash-partition to a temporary store (NoSync, tiny cache,
+// removed on Close), then partitions join one at a time, so peak
+// memory tracks the largest partition rather than the whole build
+// side. The spilled path is row-multiset-identical to the in-memory
+// join (property-tested across all four executor modes), cross
+// products never spill (no key to partition on), and the cost is
+// visible everywhere: ExecStats.SpilledJoins/SpilledBytes per query,
+// tat_spilled_joins_total / tat_spilled_bytes_total process-wide, a
+// "memory" block on GET /stats, and a per-atom "spill" verdict from
+// explain when a budget is set.
+//
+// BenchmarkBoundedMemory pins the contract — an on-disk instance
+// several times the page-cache budget serving point lookups and a
+// deliberately overflowing join while max RSS stays within 1.5x the
+// budget — and "make verify" smoke-tests the same setup. See
+// examples/boundedmemory for the end-to-end walkthrough.
 package tatooine

@@ -54,6 +54,13 @@ const (
 type BTree struct {
 	pg   *pager.Pager
 	root pager.PageID
+	// live is the payload the tree currently holds: the sum of
+	// len(key)+len(value) over every live entry, maintained across
+	// inserts, replacements and deletes. Dead space (removed cells,
+	// page slack) is NOT counted, so pages-used×PageSize versus live is
+	// the store's vacuum signal. The store catalog persists it per
+	// keyspace and restores it through SetLiveBytes on reopen.
+	live int64
 }
 
 // New allocates an empty tree and returns it; the root PageID is stable
@@ -74,6 +81,13 @@ func Open(pg *pager.Pager, root pager.PageID) *BTree {
 
 // Root returns the tree's root page.
 func (t *BTree) Root() pager.PageID { return t.root }
+
+// LiveBytes returns the summed key+value payload of the live entries.
+func (t *BTree) LiveBytes() int64 { return t.live }
+
+// SetLiveBytes restores the live-byte counter of a reopened tree (the
+// store catalog persists it alongside the root and count).
+func (t *BTree) SetLiveBytes(n int64) { t.live = n }
 
 func initPage(p []byte, typ byte) {
 	for i := range p[:hdrSize] {
@@ -378,36 +392,152 @@ func (t *BTree) insertLeaf(id pager.PageID, key, value []byte) (bool, *splitResu
 	if err != nil {
 		return false, nil, err
 	}
+	i, exact := search(p, key)
+	if exact {
+		// Replace: account and drop the old cell, returning its
+		// overflow chain to the pager's free list, then insert anew.
+		old, err := t.dropLeafCell(p, i)
+		if err != nil {
+			return false, nil, err
+		}
+		t.live -= int64(len(key)) + old
+	}
 	cell, err := t.buildLeafCell(key, value)
 	if err != nil {
 		return false, nil, err
 	}
-	i, exact := search(p, key)
-	if exact {
-		// Replace: drop the old cell (orphaning any overflow chain —
-		// pages are not reclaimed) and insert anew.
-		removeCell(p, i)
-	}
+	t.live += int64(len(key) + len(value))
 	if insertCell(p, i, cell) {
 		return !exact, nil, nil
 	}
-	sep, rightID, err := t.splitPage(id)
+	split, err := t.splitLeafInsert(id, i, cell)
 	if err != nil {
 		return false, nil, err
 	}
-	target := id
-	if bytes.Compare(key, sep) > 0 {
-		target = rightID
-	}
-	p, err = t.pg.Mut(target)
+	return !exact, split, nil
+}
+
+// splitLeafInsert splits leaf id while placing the pending cell at
+// slot position pos, choosing the split point over the combined cell
+// sequence (existing cells plus the pending one) that best balances
+// bytes between the halves. Splitting first and retrying the insert —
+// the old approach — could strand a near-maxLeafCell cell against a
+// half that the byte-blind split left too full; because maxLeafCell
+// keeps every cell under half a page's usable space, the combined
+// sequence always has a split point where both halves fit.
+func (t *BTree) splitLeafInsert(id pager.PageID, pos int, cell []byte) (*splitResult, error) {
+	p, err := t.pg.Mut(id)
 	if err != nil {
-		return false, nil, err
+		return nil, err
 	}
-	i, _ = search(p, key)
-	if !insertCell(p, i, cell) {
-		return false, nil, fmt.Errorf("btree: leaf insert failed after split")
+	n := nCells(p)
+	if n == 0 {
+		return nil, fmt.Errorf("btree: cell of %d bytes cannot fit a page", len(cell))
 	}
-	return !exact, &splitResult{sep: sep, right: rightID}, nil
+	// Virtual sequence: index pos is the pending cell, the rest are the
+	// existing cells shifted around it. vsize includes the 2-byte slot.
+	vsize := func(j int) int {
+		switch {
+		case j == pos:
+			return len(cell) + 2
+		case j < pos:
+			return cellSize(p, j) + 2
+		default:
+			return cellSize(p, j-1) + 2
+		}
+	}
+	total := 0
+	for j := 0; j <= n; j++ {
+		total += vsize(j)
+	}
+	// Split point s: left keeps virtual [0,s), right takes [s,n+1).
+	// Minimize the larger half.
+	best, bestCost, acc := 1, int(^uint(0)>>1), 0
+	for s := 1; s <= n; s++ {
+		acc += vsize(s - 1)
+		cost := acc
+		if r := total - acc; r > cost {
+			cost = r
+		}
+		if cost < bestCost {
+			best, bestCost = s, cost
+		}
+	}
+	s := best
+	rightID, rightPage, err := t.pg.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	p, err = t.pg.Mut(id)
+	if err != nil {
+		return nil, err
+	}
+	initPage(rightPage, typeLeaf)
+	for j := s; j <= n; j++ {
+		src := cell
+		if j != pos {
+			oi := j
+			if j > pos {
+				oi = j - 1
+			}
+			off := slotOff(p, oi)
+			src = p[off : off+cellSize(p, oi)]
+		}
+		if !insertCell(rightPage, nCells(rightPage), src) {
+			return nil, fmt.Errorf("btree: split right overflow")
+		}
+	}
+	// Trim the moved cells off the left, then place the pending cell if
+	// it belongs there.
+	firstMoved := s
+	if pos < s {
+		firstMoved = s - 1
+	}
+	for i := n - 1; i >= firstMoved; i-- {
+		removeCell(p, i)
+	}
+	if pos < s {
+		if !insertCell(p, pos, cell) {
+			return nil, fmt.Errorf("btree: split left overflow")
+		}
+	}
+	sep := append([]byte(nil), cellKey(p, nCells(p)-1)...)
+	return &splitResult{sep: sep, right: rightID}, nil
+}
+
+// dropLeafCell removes leaf cell i, frees its overflow chain, and
+// returns the full value length the cell held.
+func (t *BTree) dropLeafCell(p []byte, i int) (int64, error) {
+	inline, ovfl := leafCellValue(p, i)
+	size := int64(len(inline))
+	removeCell(p, i)
+	if ovfl != 0 {
+		n, err := t.freeOverflow(ovfl)
+		if err != nil {
+			return 0, err
+		}
+		size += n
+	}
+	return size, nil
+}
+
+// freeOverflow walks an overflow chain, returning every page to the
+// pager's free list, and reports the chained value bytes freed.
+func (t *BTree) freeOverflow(ovfl pager.PageID) (int64, error) {
+	var freed int64
+	for ovfl != 0 {
+		op, err := t.pg.View(ovfl)
+		if err != nil {
+			return freed, err
+		}
+		next := pager.PageID(binary.BigEndian.Uint32(op[0:]))
+		freed += int64(binary.BigEndian.Uint16(op[4:]))
+		if err := t.pg.Free(ovfl); err != nil {
+			return freed, err
+		}
+		ovfl = next
+	}
+	return freed, nil
 }
 
 // buildLeafCell encodes a leaf cell, spilling long values to overflow
@@ -530,8 +660,10 @@ func (t *BTree) splitPage(id pager.PageID) ([]byte, pager.PageID, error) {
 	return sep, rightID, nil
 }
 
-// Delete removes key, reporting whether it was present. Pages are not
-// rebalanced or reclaimed.
+// Delete removes key, reporting whether it was present. Tree pages are
+// not rebalanced (an underfull page stays in the tree), but the value's
+// overflow chain goes back to the pager's free list and the live-byte
+// counter retreats by the entry's payload.
 func (t *BTree) Delete(key []byte) (bool, error) {
 	id := t.root
 	for {
@@ -552,11 +684,54 @@ func (t *BTree) Delete(key []byte) (bool, error) {
 			if !exact {
 				return false, nil
 			}
-			removeCell(p, i)
+			old, err := t.dropLeafCell(p, i)
+			if err != nil {
+				return false, err
+			}
+			t.live -= int64(len(key)) + old
 			return true, nil
 		}
 		id = interiorChild(view, i)
 	}
+}
+
+// Pages enumerates every page the tree owns — interior and leaf nodes
+// plus all overflow chains — so the store layer can return them to the
+// pager's free list when a keyspace is dropped or rewritten by vacuum.
+func (t *BTree) Pages() ([]pager.PageID, error) {
+	var out []pager.PageID
+	var walk func(id pager.PageID) error
+	walk = func(id pager.PageID) error {
+		p, err := t.pg.View(id)
+		if err != nil {
+			return err
+		}
+		out = append(out, id)
+		if pageType(p) == typeLeaf {
+			for i := 0; i < nCells(p); i++ {
+				_, ovfl := leafCellValue(p, i)
+				for ovfl != 0 {
+					op, err := t.pg.View(ovfl)
+					if err != nil {
+						return err
+					}
+					out = append(out, ovfl)
+					ovfl = pager.PageID(binary.BigEndian.Uint32(op[0:]))
+				}
+			}
+			return nil
+		}
+		for i := 0; i <= nCells(p); i++ { // interior has nCells+1 children
+			if err := walk(interiorChild(p, i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Cursor iterates keys in ascending order. It must not be used across
@@ -644,29 +819,36 @@ func (c *Cursor) advance() {
 	}
 }
 
-// descendMin pushes the leftmost path under id; returns true if it
-// found a leaf cell.
+// descendMin pushes the path to the smallest key under id; returns
+// true if it found a leaf cell. Deletes can empty whole leaves (the
+// tree does not rebalance), so the minimum is not always down the
+// leftmost path: each interior level tries its children left to right
+// until one subtree yields a cell.
 func (c *Cursor) descendMin(id pager.PageID) bool {
-	depth := len(c.stack)
-	for {
-		p, err := c.t.pg.View(id)
-		if err != nil {
-			c.err = err
+	p, err := c.t.pg.View(id)
+	if err != nil {
+		c.err = err
+		return false
+	}
+	if pageType(p) == typeLeaf {
+		if nCells(p) == 0 {
 			return false
 		}
 		c.stack = append(c.stack, cursorLevel{page: id, idx: 0})
-		if pageType(p) == typeLeaf {
-			if nCells(p) > 0 {
-				c.valid = true
-				return true
-			}
-			// Empty leaf: unwind to the saved depth and report failure;
-			// the caller advances to the next sibling.
-			c.stack = c.stack[:depth]
+		c.valid = true
+		return true
+	}
+	for i := 0; i <= nCells(p); i++ {
+		c.stack = append(c.stack, cursorLevel{page: id, idx: i})
+		if c.descendMin(interiorChild(p, i)) {
+			return true
+		}
+		c.stack = c.stack[:len(c.stack)-1]
+		if c.err != nil {
 			return false
 		}
-		id = interiorChild(p, 0)
 	}
+	return false
 }
 
 // Valid reports whether the cursor is on a cell.

@@ -244,3 +244,56 @@ func TestPersistAcrossReopen(t *testing.T) {
 		t.Fatalf("reopen scan found %d keys, want %d", count, n)
 	}
 }
+
+// TestLiveBytesRandomized pins the live-byte counters against a model
+// through mixed insert/overwrite/delete/reinsert traffic, including
+// overflow-sized values: drift here would skew the store's auto-vacuum
+// trigger and its compaction bound.
+func TestLiveBytesRandomized(t *testing.T) {
+	tr := memTree(t)
+	rng := rand.New(rand.NewSource(41))
+	model := map[string]int{}
+	val := func(n int) []byte {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte('a' + rng.Intn(26))
+		}
+		return b
+	}
+	for step := 0; step < 8000; step++ {
+		k := fmt.Sprintf("key%04d", rng.Intn(1200))
+		switch rng.Intn(3) {
+		case 0, 1:
+			n := rng.Intn(200)
+			if rng.Intn(20) == 0 {
+				n = 2000 + rng.Intn(6000) // overflow chains
+			}
+			v := val(n)
+			if _, err := tr.Insert([]byte(k), v); err != nil {
+				t.Fatal(err)
+			}
+			model[k] = n
+		case 2:
+			if _, err := tr.Delete([]byte(k)); err != nil {
+				t.Fatal(err)
+			}
+			delete(model, k)
+		}
+		if step%1000 == 0 {
+			var want int64
+			for k, n := range model {
+				want += int64(len(k) + n)
+			}
+			if got := tr.LiveBytes(); got != want {
+				t.Fatalf("step %d: live bytes = %d, model = %d", step, got, want)
+			}
+		}
+	}
+	var want int64
+	for k, n := range model {
+		want += int64(len(k) + n)
+	}
+	if got := tr.LiveBytes(); got != want {
+		t.Fatalf("final live bytes = %d, model = %d", got, want)
+	}
+}

@@ -55,6 +55,12 @@ type ExecOptions struct {
 	// straight into finish() (ablation/testing knob; results are
 	// identical either way).
 	MaterializeFinal bool
+	// JoinMemBudget bounds each residual hash join's build-side memory,
+	// in bytes ("tatooine serve -join-mem-budget"). A build side that
+	// outgrows it spills to a Grace-style partitioned on-disk join —
+	// same row multiset, bounded memory. Zero or negative disables
+	// spilling (builds stay fully in memory).
+	JoinMemBudget int64
 	// Materialized disables tuple-level streaming ("tatooine serve
 	// -materialized", ablation): every DAG node materializes its full
 	// relation before dependents start, the pre-streaming behavior.
@@ -103,6 +109,11 @@ type ExecStats struct {
 	// because the target's digest proved they cannot match — probes that
 	// paid no round trip at all (digest semi-join pruning).
 	PrunedProbes int
+	// SpilledJoins counts residual hash joins whose build side exceeded
+	// ExecOptions.JoinMemBudget and ran as partitioned on-disk joins;
+	// SpilledBytes is the total bytes they wrote to spill files.
+	SpilledJoins int
+	SpilledBytes int64
 
 	// Nodes lists per-DAG-node estimated vs actual rows, in schedule
 	// order.
@@ -363,7 +374,7 @@ func (ex *executor) outerInput(s PlanStep, results []*Relation) (*Relation, erro
 	for i, d := range s.Deps {
 		rels[i] = results[d]
 	}
-	it := joinPipeline(joinOrder(rels))
+	it := ex.joinPipeline(joinOrder(rels))
 	return Materialize(it)
 }
 
@@ -374,7 +385,7 @@ func (ex *executor) rootPipeline(results []*Relation) (Iterator, error) {
 	if len(results) == 0 {
 		return NewScan(&Relation{}), nil
 	}
-	it := joinPipeline(joinOrder(results))
+	it := ex.joinPipeline(joinOrder(results))
 	if ex.opts.MaterializeFinal {
 		rel, err := Materialize(it)
 		if err != nil {
@@ -430,13 +441,34 @@ func joinOrder(rels []*Relation) []*Relation {
 	return ordered
 }
 
+// newJoin builds a hash join under the executor's memory policy: with
+// JoinMemBudget set, an oversized build side spills to disk and the
+// spill surfaces in ExecStats and the process metrics.
+func (ex *executor) newJoin(left, right Iterator) Iterator {
+	if ex.opts.JoinMemBudget <= 0 {
+		return NewHashJoin(left, right)
+	}
+	counted := false
+	return NewHashJoinBudget(left, right, ex.opts.JoinMemBudget, func(bytes int64) {
+		ex.mu.Lock()
+		if !counted {
+			counted = true
+			ex.stats.SpilledJoins++
+			spilledJoinsTotal.Inc()
+		}
+		ex.stats.SpilledBytes += bytes
+		ex.mu.Unlock()
+		spilledBytesTotal.Add(bytes)
+	})
+}
+
 // joinPipeline chains relations into one left-deep streaming hash-join
 // pipeline: the first relation streams, every later one is hashed as a
 // build side.
-func joinPipeline(ordered []*Relation) Iterator {
+func (ex *executor) joinPipeline(ordered []*Relation) Iterator {
 	it := Iterator(NewScan(ordered[0]))
 	for _, r := range ordered[1:] {
-		it = NewHashJoin(it, NewScan(r))
+		it = ex.newJoin(it, NewScan(r))
 	}
 	return it
 }
@@ -509,7 +541,7 @@ func (ex *executor) runWaves() (Iterator, error) {
 			if it == nil {
 				it = NewScan(rel)
 			}
-			it = NewHashJoin(it, NewScan(r))
+			it = ex.newJoin(it, NewScan(r))
 			joins++
 		}
 		if joins > 0 {

@@ -334,7 +334,7 @@ func (r *streamRun) rootChain() Iterator {
 		}
 		i := remaining[pick]
 		remaining = append(remaining[:pick], remaining[pick+1:]...)
-		it = NewHashJoin(it, newCursorIterator(r.bufs[i].cursor(r.ex.ctx)))
+		it = r.ex.newJoin(it, newCursorIterator(r.bufs[i].cursor(r.ex.ctx)))
 		for _, c := range r.bufs[i].cols {
 			joined[c] = struct{}{}
 		}
@@ -447,7 +447,7 @@ func (r *streamRun) outerIter(s PlanStep) (Iterator, error) {
 		if d == stream {
 			continue
 		}
-		it = NewHashJoin(it, newCursorIterator(r.bufs[d].cursor(r.ex.ctx)))
+		it = r.ex.newJoin(it, newCursorIterator(r.bufs[d].cursor(r.ex.ctx)))
 	}
 	return it, nil
 }
@@ -469,7 +469,7 @@ func (r *streamRun) materializedOuter(s PlanStep) (*Relation, error) {
 		}
 		rels[j] = rel
 	}
-	return Materialize(joinPipeline(joinOrder(rels)))
+	return Materialize(r.ex.joinPipeline(joinOrder(rels)))
 }
 
 // nodeCols computes a step's output columns without running it — the

@@ -25,7 +25,17 @@ type AtomExplain struct {
 	// Pruning reports, for bind joins, whether digest semi-join pruning
 	// would apply (and why not when it wouldn't).
 	Pruning string `json:"pruning,omitempty"`
+	// Spill reports, when a join memory budget is set, whether this
+	// node's estimated output — a residual-join build side — would
+	// exceed the budget and run as a partitioned on-disk join.
+	Spill string `json:"spill,omitempty"`
 }
+
+// spillEstRowBytes is the per-row footprint the explain path assumes
+// when sizing a node's output against the join memory budget (the
+// executor measures real footprints at run time; explain only has
+// cardinalities).
+const spillEstRowBytes = 64
 
 // ExplainInfo is the plan-only answer to an explain request: the
 // rendered plan plus the per-atom probe decisions, computed without
@@ -100,6 +110,18 @@ func (in *Instance) ExplainQuery(q *CMQ, opts ExecOptions) (*ExplainInfo, error)
 						ae.Pruning = "no prunable digest statistics for this sub-query shape; every distinct binding probes"
 					}
 				}
+			}
+		}
+		if opts.JoinMemBudget > 0 {
+			switch {
+			case s.EstRows < 0:
+				ae.Spill = "unknown cardinality; spill decided against the budget at run time"
+			case int64(s.EstRows)*spillEstRowBytes > opts.JoinMemBudget:
+				ae.Spill = "estimated ~" + strconv.FormatInt(int64(s.EstRows)*spillEstRowBytes, 10) +
+					" bytes as a join build side exceeds the " +
+					strconv.FormatInt(opts.JoinMemBudget, 10) + "-byte budget; would spill to disk"
+			default:
+				ae.Spill = "estimated build side fits the join memory budget"
 			}
 		}
 		info.Atoms = append(info.Atoms, ae)

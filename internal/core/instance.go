@@ -59,15 +59,31 @@ type Instance struct {
 	dig digestCatalog
 
 	// Persistence (nil/zero for in-memory instances; see persist.go).
-	// satGen and stErr are guarded by satMu.
-	st     store.Store
-	cat    store.KV
-	satGen uint64
-	stErr  error
+	// satGen, pendingSatDrop and stErr are guarded by satMu.
+	st  store.Store
+	cat store.KV
+	// satGen is the live saturation generation; pendingSatDrop is the
+	// generation superseded by the most recent full rebuild, whose
+	// pages are reclaimed one rebuild later (queries may still hold its
+	// graph snapshot — see satFactory).
+	satGen         uint64
+	pendingSatDrop uint64
+	stErr          error
+	// storeOpts is consumed by Open before the store exists (set via
+	// WithStoreOptions); unused on in-memory instances.
+	storeOpts store.Options
 }
 
 // InstanceOption configures an Instance.
 type InstanceOption func(*Instance)
+
+// WithStoreOptions tunes the backing store a persistent instance opens
+// — most usefully Pager.CacheSize, the hard cap on resident clean
+// pages (the `-page-cache-mb` flag ends up here). Ignored by
+// NewInstance and in-memory instances.
+func WithStoreOptions(o store.Options) InstanceOption {
+	return func(in *Instance) { in.storeOpts = o }
+}
 
 // WithPrefixes registers prefix declarations usable in BGP texts of
 // queries against this instance.

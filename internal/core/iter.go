@@ -120,7 +120,9 @@ func (s *ScanIterator) Next() (value.Row, bool, error) {
 // HashJoinIterator joins two inputs on their shared column names
 // (natural join); with no shared columns it degrades to a cross
 // product. The right input is materialized into a hash table on Open;
-// the left side streams.
+// the left side streams. With a budget set (NewHashJoinBudget) a build
+// side that outgrows it spills to a Grace-style partitioned on-disk
+// join instead of growing without bound — see spilljoin.go.
 type HashJoinIterator struct {
 	left, right Iterator
 	cols        []string
@@ -134,6 +136,10 @@ type HashJoinIterator struct {
 	matches     []value.Row // pending right matches for cur
 	mi          int
 	closed      bool
+
+	budget  int64             // build-side byte budget; 0 = unbounded
+	onSpill func(bytes int64) // called with byte deltas as spill files grow
+	sj      *spillJoin        // non-nil once the build side spilled
 }
 
 // NewHashJoin builds a natural-join iterator over the inputs.
@@ -159,6 +165,33 @@ func NewHashJoin(left, right Iterator) *HashJoinIterator {
 		}
 	}
 	return h
+}
+
+// NewHashJoinBudget is NewHashJoin with a build-side memory budget in
+// bytes; when the right input's estimated footprint exceeds it, the
+// join spills both sides to a temporary on-disk store and joins
+// partition-at-a-time (same row multiset, different order). budget <= 0
+// never spills. onSpill, when non-nil, receives byte deltas as spill
+// files grow. Cross products (no shared columns) never spill.
+func NewHashJoinBudget(left, right Iterator, budget int64, onSpill func(bytes int64)) *HashJoinIterator {
+	h := NewHashJoin(left, right)
+	h.budget = budget
+	h.onSpill = onSpill
+	return h
+}
+
+// rowFootprint estimates a resident row's memory cost: slice and value
+// headers plus string payloads. An estimate is enough — the budget
+// bounds order-of-magnitude growth, not exact bytes.
+func rowFootprint(r value.Row) int64 {
+	n := int64(48)
+	for _, v := range r {
+		n += 32
+		if v.Kind() == value.String {
+			n += int64(len(v.Str()))
+		}
+	}
+	return n
 }
 
 func indexOf(cols []string, name string) (int, bool) {
@@ -193,17 +226,51 @@ func (h *HashJoinIterator) Open() error {
 		return nil
 	}
 	h.table = make(map[string][]value.Row)
+	var buildBytes int64
 	for {
 		row, ok, err := h.right.Next()
 		if err != nil {
 			return err
 		}
 		if !ok {
+			if h.sj != nil {
+				return h.sj.flush()
+			}
 			return nil
 		}
 		key, null := joinKey(row, h.rightKey)
 		if null {
 			continue // nulls never join
+		}
+		if h.sj != nil {
+			if err := h.sj.addRight(row); err != nil {
+				return err
+			}
+			continue
+		}
+		if h.budget > 0 {
+			buildBytes += rowFootprint(row)
+			if buildBytes > h.budget {
+				// Budget exceeded: switch to the spill path, moving the
+				// rows accumulated so far to disk before continuing.
+				sj, err := newSpillJoin(h)
+				if err != nil {
+					return err
+				}
+				h.sj = sj
+				for _, rows := range h.table {
+					for _, r := range rows {
+						if err := sj.addRight(r); err != nil {
+							return err
+						}
+					}
+				}
+				h.table = nil
+				if err := sj.addRight(row); err != nil {
+					return err
+				}
+				continue
+			}
 		}
 		h.table[key] = append(h.table[key], row)
 	}
@@ -231,6 +298,9 @@ func joinKey(row value.Row, positions []int) (string, bool) {
 }
 
 func (h *HashJoinIterator) Next() (value.Row, bool, error) {
+	if h.sj != nil {
+		return h.sj.next()
+	}
 	for {
 		if h.mi < len(h.matches) {
 			r := h.matches[h.mi]
@@ -273,14 +343,23 @@ func (h *HashJoinIterator) Close() error {
 		return nil
 	}
 	h.closed = true
-	return errors.Join(h.left.Close(), h.right.Close())
+	var spillErr error
+	if h.sj != nil {
+		spillErr = h.sj.release()
+	}
+	return errors.Join(h.left.Close(), h.right.Close(), spillErr)
 }
 
 // Buffered reports whether Next would return without blocking: either
 // matches for the current left row remain, or the streaming left side
 // has a row ready. Best effort — a buffered left row may still join to
-// nothing.
+// nothing. A spilled join's first Next blocks draining the probe side
+// (a grace join barriers on both inputs); afterwards everything is
+// local, so it defers to the left input's readiness either way.
 func (h *HashJoinIterator) Buffered() bool {
+	if h.sj != nil && h.sj.leftDone {
+		return true
+	}
 	return h.mi < len(h.matches) || iterBuffered(h.left)
 }
 

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"path/filepath"
+	"strconv"
+	"strings"
 
 	"tatooine/internal/rdf"
 	"tatooine/internal/reason"
@@ -47,7 +49,13 @@ type SourceMeta struct {
 // saturation is adopted without recompute (the warm-restart path);
 // full-resaturation mode ignores any stored saturation.
 func Open(dir string, opts ...InstanceOption) (*Instance, error) {
-	st, err := store.Open(filepath.Join(dir, DataFileName), store.Options{})
+	// Store options (page-cache budget, auto-vacuum tuning) must be
+	// known before the store opens, so probe the option list first.
+	probe := &Instance{prefixes: make(map[string]string)}
+	for _, o := range opts {
+		o(probe)
+	}
+	st, err := store.Open(filepath.Join(dir, DataFileName), probe.storeOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -82,6 +90,9 @@ func openWithStore(st store.Store, opts ...InstanceOption) (*Instance, error) {
 	} else if ok {
 		in.satGen = v
 	}
+	if err := in.dropStaleSatLocked(); err != nil {
+		return nil, err
+	}
 
 	// Warm-start the reasoner: a stored saturation generation means G∞
 	// was committed consistent with G and the epoch, so adopt it as-is.
@@ -112,12 +123,17 @@ func satPrefix(gen uint64) string { return fmt.Sprintf("sat%d", gen) }
 
 // satFactory hands the reasoner a fresh store-backed graph for each
 // full rebuild. Generations are numbered so readers holding the
-// previous G∞ keep a valid snapshot; the superseded generation's
-// keyspaces are dropped from the catalog (its pages leak until the
-// file is rebuilt — accepted: full rebuilds are rare). Errors degrade
-// to an in-memory saturation: answers stay correct, persistence of G∞
-// resumes at the next successful rebuild. Called with satMu held (all
-// engine entry points take it).
+// previous G∞ keep a valid snapshot: queryGraph hands out graph
+// pointers that outlive satMu, so the generation superseded by THIS
+// rebuild cannot have its pages freed yet — a long query could still
+// be iterating it. Instead it is parked in pendingSatDrop and dropped
+// (pages returned to the pager free list) at the NEXT full rebuild,
+// by which point any reader of the parked generation would have had
+// to span two complete rebuilds. Boot drops stragglers (see
+// dropStaleSatLocked). Errors degrade to an in-memory saturation:
+// answers stay correct, persistence of G∞ resumes at the next
+// successful rebuild. Called with satMu held (all engine entry points
+// take it).
 func (in *Instance) satFactory() *rdf.Graph {
 	old := in.satGen
 	gen := old + 1
@@ -127,14 +143,45 @@ func (in *Instance) satFactory() *rdf.Graph {
 		return rdf.NewGraph()
 	}
 	in.satGen = gen
-	if old > 0 {
-		for _, ks := range []string{"/spo", "/pos", "/osp"} {
-			if err := in.st.DropKeyspace(satPrefix(old) + ks); err != nil {
-				in.noteStoreErrLocked(err)
-			}
+	if in.pendingSatDrop > 0 {
+		in.dropSatGenLocked(in.pendingSatDrop)
+	}
+	in.pendingSatDrop = old
+	return g
+}
+
+// dropSatGenLocked removes a saturation generation's keyspaces,
+// returning their pages to the pager free list.
+func (in *Instance) dropSatGenLocked(gen uint64) {
+	for _, ks := range []string{"/spo", "/pos", "/osp"} {
+		if err := in.st.DropKeyspace(satPrefix(gen) + ks); err != nil {
+			in.noteStoreErrLocked(err)
 		}
 	}
-	return g
+}
+
+// dropStaleSatLocked reclaims saturation generations other than the
+// live one at boot — generations parked by satFactory in a previous
+// process, or left by a crash mid-rebuild. No queries exist yet, so
+// freeing is safe.
+func (in *Instance) dropStaleSatLocked() error {
+	live := satPrefix(in.satGen)
+	for _, name := range in.st.Keyspaces() {
+		if !strings.HasPrefix(name, "sat") {
+			continue
+		}
+		slash := strings.IndexByte(name, '/')
+		if slash < 0 || name[:slash] == live {
+			continue
+		}
+		if _, err := strconv.ParseUint(name[3:slash], 10, 64); err != nil {
+			continue
+		}
+		if err := in.st.DropKeyspace(name); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // persistLocked writes the epoch and saturation generation to the

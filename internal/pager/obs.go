@@ -11,6 +11,10 @@ var (
 		"Page reads answered from dirty pages or the clock cache.")
 	pagerCacheMissTotal = obs.Default.Counter("tat_pager_cache_misses_total",
 		"Page reads that had to hit the WAL or the database file.")
+	pagerEvictTotal = obs.Default.Counter("tat_pager_evictions_total",
+		"Clean pages evicted from the clock cache under memory pressure.")
+	pagerResidentPages = obs.Default.Gauge("tat_pager_resident_pages",
+		"Pages currently held in memory across all pagers (clock-cache entries plus dirty transaction buffers).")
 	walCommitTotal = obs.Default.Counter("tat_wal_commits_total",
 		"WAL transactions committed.")
 	walFsyncSeconds = obs.Default.Histogram("tat_wal_fsync_seconds",

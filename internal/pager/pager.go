@@ -49,8 +49,11 @@ type PageID uint32
 
 const dbMagic = "TATPG001"
 
-// headerSize is the used prefix of page 0: magic, page size, page count.
-const headerSize = 8 + 4 + 4
+// headerSize is the used prefix of page 0: magic, page size, page
+// count, free-list head, free-list length. Files written before the
+// free list existed carry zeroes in the last two fields, which reads
+// back as "empty free list" — exactly right.
+const headerSize = 8 + 4 + 4 + 4 + 4
 
 // Options tune a Pager.
 type Options struct {
@@ -69,12 +72,15 @@ const DefaultCacheSize = 4096
 
 // Stats counts pager activity since open.
 type Stats struct {
-	Pages       int   `json:"pages"`       // allocated pages (incl. header)
-	CacheHits   int64 `json:"cacheHits"`   // reads served from cache or dirty set
-	CacheMisses int64 `json:"cacheMisses"` // reads that went to WAL or db file
-	WALBytes    int64 `json:"walBytes"`    // current WAL file length
-	Commits     int64 `json:"commits"`     // committed transactions
-	Checkpoints int64 `json:"checkpoints"` // completed checkpoints
+	Pages         int   `json:"pages"`         // allocated pages (incl. header)
+	FreePages     int   `json:"freePages"`     // pages on the free list, reusable by Allocate
+	ResidentPages int   `json:"residentPages"` // pages held in memory (cache + dirty buffers)
+	CacheHits     int64 `json:"cacheHits"`     // reads served from cache or dirty set
+	CacheMisses   int64 `json:"cacheMisses"`   // reads that went to WAL or db file
+	Evictions     int64 `json:"evictions"`     // clean pages dropped from the cache under pressure
+	WALBytes      int64 `json:"walBytes"`      // current WAL file length
+	Commits       int64 `json:"commits"`       // committed transactions
+	Checkpoints   int64 `json:"checkpoints"`   // completed checkpoints
 }
 
 // Pager is a page-granular storage manager. All methods are safe for
@@ -93,7 +99,17 @@ type Pager struct {
 	dirty              map[PageID][]byte // mutated since last Commit
 	cache              *clockCache
 
-	hits, misses, commits, checkpoints int64
+	// Free-list state mirrors the header fields (bytes 16..24 of page
+	// 0): freeHead chains through the first 4 bytes of each free page.
+	// The committed copies restore the mirror on Rollback; the header
+	// page itself rolls back with the rest of the dirty set.
+	freeHead          PageID
+	freeCount         uint32
+	committedFreeHead PageID
+	committedFreeCnt  uint32
+
+	hits, misses, commits, checkpoints, evictions int64
+	lastResident                                  int // last value pushed to the resident gauge
 }
 
 // Open opens (or creates) the page file at path and replays any
@@ -169,6 +185,9 @@ func Open(path string, opts Options) (*Pager, error) {
 	}
 	p.pageCount = binary.BigEndian.Uint32(hdr[12:])
 	p.committedPageCount = p.pageCount
+	p.freeHead = PageID(binary.BigEndian.Uint32(hdr[16:]))
+	p.freeCount = binary.BigEndian.Uint32(hdr[20:])
+	p.committedFreeHead, p.committedFreeCnt = p.freeHead, p.freeCount
 	return p, nil
 }
 
@@ -220,8 +239,30 @@ func (p *Pager) viewLocked(id PageID) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	p.cache.put(id, d)
+	p.cachePut(id, d)
 	return d, nil
+}
+
+// cachePut inserts into the clock cache, accounting evictions and the
+// resident-page gauge.
+func (p *Pager) cachePut(id PageID, d []byte) {
+	if p.cache.put(id, d) {
+		p.evictions++
+		pagerEvictTotal.Inc()
+	}
+	p.updateResident()
+}
+
+// updateResident pushes the pager's in-memory page count (cache entries
+// plus dirty transaction buffers — a page in both holds two buffers and
+// counts twice) to the process-wide gauge as a delta, so concurrent
+// pagers aggregate instead of overwriting each other.
+func (p *Pager) updateResident() {
+	resident := len(p.cache.entries) + len(p.dirty)
+	if d := resident - p.lastResident; d != 0 {
+		pagerResidentPages.Add(int64(d))
+	}
+	p.lastResident = resident
 }
 
 // readPage fetches a page from the WAL (newest committed frame) or the
@@ -273,29 +314,109 @@ func (p *Pager) mutLocked(id PageID) ([]byte, error) {
 	d := make([]byte, PageSize)
 	copy(d, cur)
 	p.dirty[id] = d
+	p.updateResident()
 	return d, nil
 }
 
-// Allocate extends the file by one zeroed page and returns its id and
-// writable buffer (already in the dirty set).
+// Allocate returns a zeroed page and its writable buffer (already in
+// the dirty set): the head of the free list when one is there, a fresh
+// page extending the file otherwise.
 func (p *Pager) Allocate() (PageID, []byte, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.freeHead != 0 {
+		id := p.freeHead
+		d, err := p.mutLocked(id)
+		if err != nil {
+			return 0, nil, err
+		}
+		next := PageID(binary.BigEndian.Uint32(d[0:]))
+		clear(d)
+		p.freeHead = next
+		p.freeCount--
+		if err := p.syncHeaderLocked(); err != nil {
+			return 0, nil, err
+		}
+		return id, d, nil
+	}
 	id := PageID(p.pageCount)
 	p.pageCount++
 	d := make([]byte, PageSize)
 	p.dirty[id] = d
-	// Keep the header's page count in sync within the same transaction.
+	p.updateResident()
+	if err := p.syncHeaderLocked(); err != nil {
+		return 0, nil, err
+	}
+	return id, d, nil
+}
+
+// Free returns a page to the free list for reuse by a later Allocate.
+// The push is part of the current transaction (the link pointer and the
+// header travel through the WAL with everything else), so a rollback
+// un-frees the page and a crash recovers a consistent list. Freeing the
+// header page or an out-of-range page is an error; freeing a page twice
+// corrupts the list and is the caller's to avoid (the structures above
+// free only pages they own exactly once).
+func (p *Pager) Free(id PageID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if id == 0 || id >= PageID(p.pageCount) {
+		return fmt.Errorf("pager: free page %d out of range (have %d)", id, p.pageCount)
+	}
+	d, err := p.mutLocked(id)
+	if err != nil {
+		return err
+	}
+	clear(d)
+	binary.BigEndian.PutUint32(d[0:], uint32(p.freeHead))
+	p.freeHead = id
+	p.freeCount++
+	return p.syncHeaderLocked()
+}
+
+// FreeCount returns the number of pages on the free list.
+func (p *Pager) FreeCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return int(p.freeCount)
+}
+
+// FreePages walks the free list and returns the IDs on it, head first.
+// The store's vacuum sweep uses it to tell freed pages from leaked
+// ones.
+func (p *Pager) FreePages() ([]PageID, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]PageID, 0, p.freeCount)
+	for id := p.freeHead; id != 0; {
+		out = append(out, id)
+		d, err := p.viewLocked(id)
+		if err != nil {
+			return nil, err
+		}
+		id = PageID(binary.BigEndian.Uint32(d[0:]))
+		if len(out) > int(p.pageCount) {
+			return nil, fmt.Errorf("pager: free list cycle detected")
+		}
+	}
+	return out, nil
+}
+
+// syncHeaderLocked keeps the header page's count and free-list fields
+// in step with the mirror, within the current transaction.
+func (p *Pager) syncHeaderLocked() error {
 	hdr, err := p.mutLocked(0)
 	if err != nil {
-		return 0, nil, err
+		return err
 	}
 	if !p.mem {
 		copy(hdr, dbMagic)
 		binary.BigEndian.PutUint32(hdr[8:], PageSize)
 	}
 	binary.BigEndian.PutUint32(hdr[12:], p.pageCount)
-	return id, d, nil
+	binary.BigEndian.PutUint32(hdr[16:], uint32(p.freeHead))
+	binary.BigEndian.PutUint32(hdr[20:], p.freeCount)
+	return nil
 }
 
 // Commit makes every mutation since the last Commit durable as one
@@ -312,11 +433,13 @@ func (p *Pager) Commit() error {
 		}
 	}
 	for id, d := range p.dirty {
-		p.cache.put(id, d)
+		p.cachePut(id, d)
 		delete(p.dirty, id)
 	}
 	p.committedPageCount = p.pageCount
+	p.committedFreeHead, p.committedFreeCnt = p.freeHead, p.freeCount
 	p.commits++
+	p.updateResident()
 	return nil
 }
 
@@ -331,6 +454,8 @@ func (p *Pager) Rollback() {
 	}
 	p.dirty = make(map[PageID][]byte)
 	p.pageCount = p.committedPageCount
+	p.freeHead, p.freeCount = p.committedFreeHead, p.committedFreeCnt
+	p.updateResident()
 }
 
 // Checkpoint copies every committed WAL page into the database file,
@@ -368,11 +493,14 @@ func (p *Pager) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	st := Stats{
-		Pages:       int(p.pageCount),
-		CacheHits:   p.hits,
-		CacheMisses: p.misses,
-		Commits:     p.commits,
-		Checkpoints: p.checkpoints,
+		Pages:         int(p.pageCount),
+		FreePages:     int(p.freeCount),
+		ResidentPages: len(p.cache.entries) + len(p.dirty),
+		CacheHits:     p.hits,
+		CacheMisses:   p.misses,
+		Evictions:     p.evictions,
+		Commits:       p.commits,
+		Checkpoints:   p.checkpoints,
 	}
 	if !p.mem {
 		st.WALBytes = p.wal.size()
@@ -385,6 +513,10 @@ func (p *Pager) Stats() Stats {
 func (p *Pager) Close() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.lastResident != 0 {
+		pagerResidentPages.Add(int64(-p.lastResident))
+		p.lastResident = 0
+	}
 	if p.mem {
 		return nil
 	}
@@ -426,16 +558,22 @@ func (c *clockCache) get(id PageID) ([]byte, bool) {
 	return e.data, true
 }
 
-func (c *clockCache) put(id PageID, data []byte) {
+// put inserts (or refreshes) a page, reporting whether a clean page was
+// evicted to make room. Only committed pages live here — dirty
+// transaction buffers are pinned in the pager's dirty set until Commit,
+// which is what keeps writeback ordering behind the WAL: a page can
+// never reach the cache (and thus be the only copy) before its
+// after-image is durable.
+func (c *clockCache) put(id PageID, data []byte) (evicted bool) {
 	if e, ok := c.entries[id]; ok {
 		e.data, e.ref = data, true
-		return
+		return false
 	}
 	e := &cacheEntry{id: id, data: data, ref: true}
 	if c.cap < 0 || len(c.ring) < c.cap {
 		c.entries[id] = e
 		c.ring = append(c.ring, e)
-		return
+		return false
 	}
 	// Advance the hand, giving referenced pages a second chance.
 	for {
@@ -449,6 +587,6 @@ func (c *clockCache) put(id PageID, data []byte) {
 		c.ring[c.hand] = e
 		c.entries[id] = e
 		c.hand = (c.hand + 1) % len(c.ring)
-		return
+		return true
 	}
 }

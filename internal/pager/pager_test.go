@@ -317,3 +317,144 @@ func TestRepeatedOpenCloseCycles(t *testing.T) {
 		}
 	}
 }
+
+func TestFreeListReuseAndPersistence(t *testing.T) {
+	path := tmpDB(t)
+	p, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []PageID
+	for i := 0; i < 5; i++ {
+		id, page, err := p.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		page[0] = byte(i + 1)
+		ids = append(ids, id)
+	}
+	if err := p.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Free(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Free(ids[3]); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.FreeCount(); got != 2 {
+		t.Fatalf("free count = %d, want 2", got)
+	}
+	before := p.PageCount()
+	// Reopen: the free list must survive and feed allocations before
+	// the file grows.
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p, err = Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if got := p.FreeCount(); got != 2 {
+		t.Fatalf("free count after reopen = %d, want 2", got)
+	}
+	seen := map[PageID]bool{}
+	for i := 0; i < 2; i++ {
+		id, page, err := p.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range page {
+			if b != 0 {
+				t.Fatal("reused page not zeroed")
+			}
+		}
+		seen[id] = true
+	}
+	if !seen[ids[1]] || !seen[ids[3]] {
+		t.Fatalf("allocations %v did not reuse freed pages %v/%v", seen, ids[1], ids[3])
+	}
+	if p.PageCount() != before {
+		t.Fatalf("file grew to %d pages despite free list (was %d)", p.PageCount(), before)
+	}
+	if err := p.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.FreeCount(); got != 0 {
+		t.Fatalf("free count after reuse = %d, want 0", got)
+	}
+}
+
+func TestFreeRollsBackWithTransaction(t *testing.T) {
+	p, err := Open(tmpDB(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	id, page, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(page, "keep")
+	if err := p.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Free(id); err != nil {
+		t.Fatal(err)
+	}
+	p.Rollback()
+	if got := p.FreeCount(); got != 0 {
+		t.Fatalf("free count after rollback = %d, want 0", got)
+	}
+	d, err := p.View(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(d[:4]) != "keep" {
+		t.Fatalf("rolled-back free clobbered page: %q", d[:4])
+	}
+}
+
+func TestFreePagesEnumeratesChain(t *testing.T) {
+	p, err := Open(tmpDB(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	var ids []PageID
+	for i := 0; i < 4; i++ {
+		id, _, err := p.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for _, id := range ids {
+		if err := p.Free(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	free, err := p.FreePages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(free) != 4 {
+		t.Fatalf("FreePages = %v, want 4 entries", free)
+	}
+	want := map[PageID]bool{}
+	for _, id := range ids {
+		want[id] = true
+	}
+	for _, id := range free {
+		if !want[id] {
+			t.Fatalf("unexpected free page %d", id)
+		}
+	}
+}

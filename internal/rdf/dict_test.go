@@ -92,11 +92,10 @@ func TestDictionaryIDStabilityAcrossReopen(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	kv, err := st.Keyspace("dict")
-	if err != nil {
-		t.Fatal(err)
-	}
-	d, err := openDictionary(kv)
+	// A hot cache far smaller than the term count forces the reopened
+	// dictionary to page terms in from disk rather than answer from
+	// memory.
+	d, err := openPagedDictionary(st, "d", 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,11 +125,7 @@ func TestDictionaryIDStabilityAcrossReopen(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer st2.Close()
-	kv2, err := st2.Keyspace("dict")
-	if err != nil {
-		t.Fatal(err)
-	}
-	d2, err := openDictionary(kv2)
+	d2, err := openPagedDictionary(st2, "d", 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,5 +151,180 @@ func TestDecodeTermKeyRejectsMalformed(t *testing.T) {
 		if _, err := decodeTermKey(bad); err == nil {
 			t.Fatalf("decodeTermKey(%q) succeeded", bad)
 		}
+	}
+}
+
+// TestPagedDictionaryRoundTripSmallHotCache interns far more terms
+// than the hot cache holds, reopens, and asserts every ID and term
+// round-trips — i.e. correctness never depends on cache residency.
+func TestPagedDictionaryRoundTripSmallHotCache(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d.db")
+	st, err := store.Open(path, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := openPagedDictionary(st, "d", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	mk := func(i int) Term {
+		switch i % 4 {
+		case 0:
+			return NewIRI(fmt.Sprintf("http://example.org/people/person%d", i))
+		case 1:
+			return NewIRI(fmt.Sprintf("http://data.example.com/votes#v%d", i))
+		case 2:
+			return NewLiteral(fmt.Sprintf("value %d", i))
+		default:
+			return NewBlank(fmt.Sprintf("b%d", i))
+		}
+	}
+	ids := make([]TermID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = d.Intern(mk(i))
+	}
+	if d.Len() != n {
+		t.Fatalf("len = %d, want %d", d.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		if got := d.Term(ids[i]); got != mk(i) {
+			t.Fatalf("term(%d) = %v, want %v", ids[i], got, mk(i))
+		}
+		if got := d.Lookup(mk(i)); got != ids[i] {
+			t.Fatalf("lookup(%v) = %d, want %d", mk(i), got, ids[i])
+		}
+	}
+	if err := d.storeErr(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(path, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	d2, err := openPagedDictionary(st2, "d", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Len() != n {
+		t.Fatalf("reopened len = %d, want %d", d2.Len(), n)
+	}
+	// Walk in an order unfriendly to an 8-entry LRU.
+	for step := 0; step < n; step++ {
+		i := (step * 37) % n
+		if got := d2.Term(ids[i]); got != mk(i) {
+			t.Fatalf("reopened term(%d) = %v, want %v", ids[i], got, mk(i))
+		}
+		if got := d2.Lookup(mk(i)); got != ids[i] {
+			t.Fatalf("reopened lookup = %d, want %d", got, ids[i])
+		}
+		if again := d2.Intern(mk(i)); again != ids[i] {
+			t.Fatalf("reopened re-intern = %d, want %d", again, ids[i])
+		}
+	}
+	// New terms continue the ID sequence.
+	if id := d2.Intern(NewIRI("http://example.org/people/new")); id != TermID(n+1) {
+		t.Fatalf("post-reopen intern id = %d, want %d", id, n+1)
+	}
+}
+
+// TestPagedDictionaryConcurrentIntern is the paged-mode sibling of
+// TestDictionaryConcurrentIntern: 8 workers race on overlapping term
+// sets through the store-backed path (run under -race).
+func TestPagedDictionaryConcurrentIntern(t *testing.T) {
+	st, err := store.Open(filepath.Join(t.TempDir(), "d.db"), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	d, err := openPagedDictionary(st, "d", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const perWorker = 300
+	results := make([][]TermID, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ids := make([]TermID, perWorker)
+			for i := 0; i < perWorker; i++ {
+				ids[i] = d.Intern(NewIRI(fmt.Sprintf("http://example.org/t/%d", i)))
+			}
+			results[w] = ids
+		}(w)
+	}
+	wg.Wait()
+	if err := d.storeErr(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != perWorker {
+		t.Fatalf("len = %d, want %d (duplicate assignment under race)", d.Len(), perWorker)
+	}
+	for w := 1; w < workers; w++ {
+		for i := range results[0] {
+			if results[w][i] != results[0][i] {
+				t.Fatalf("worker %d term %d got id %d, worker 0 got %d",
+					w, i, results[w][i], results[0][i])
+			}
+		}
+	}
+}
+
+// TestPagedDictionaryMigratesLegacyLayout simulates a dictionary
+// persisted by the load-everything format (forward keyspace only, raw
+// keys) and asserts the paged open rebuilds the reverse mapping once
+// and keeps IDs stable.
+func TestPagedDictionaryMigratesLegacyLayout(t *testing.T) {
+	st, err := store.Open(filepath.Join(t.TempDir(), "d.db"), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	fwd, err := st.Keyspace("d/dict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	terms := []Term{
+		NewIRI("http://example.org/a"),
+		NewLiteral("plain"),
+		NewBlank("b0"),
+	}
+	for i, tm := range terms {
+		k := []byte{0, 0, 0, byte(i + 1)}
+		if _, err := fwd.Put(k, []byte(tm.Key())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := openPagedDictionary(st, "d", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != len(terms) {
+		t.Fatalf("len = %d, want %d", d.Len(), len(terms))
+	}
+	for i, tm := range terms {
+		if got := d.Lookup(tm); got != TermID(i+1) {
+			t.Fatalf("lookup(%v) = %d, want %d", tm, got, i+1)
+		}
+		if got := d.Term(TermID(i + 1)); got != tm {
+			t.Fatalf("term(%d) = %v, want %v", i+1, got, tm)
+		}
+	}
+	if id := d.Intern(NewIRI("http://example.org/fresh")); id != TermID(len(terms)+1) {
+		t.Fatalf("fresh intern = %d, want %d", id, len(terms)+1)
 	}
 }

@@ -50,15 +50,13 @@ func NewGraph() *Graph {
 }
 
 // OpenGraph opens (or creates) a graph persisted in st under the given
-// keyspace prefix. The dictionary is loaded fully into memory — term
-// lookups stay map-speed — while triples are read through the store's
-// page cache. Writes become durable at the owning store's next Commit.
+// keyspace prefix. The dictionary is lazily paged: term↔ID mappings
+// live in B-tree keyspaces read through the store's page cache with a
+// small LRU of hot decoded terms, so open cost and resident memory are
+// independent of term count. Writes become durable at the owning
+// store's next Commit.
 func OpenGraph(st store.Store, prefix string) (*Graph, error) {
-	dictKV, err := st.Keyspace(prefix + "/dict")
-	if err != nil {
-		return nil, err
-	}
-	dict, err := openDictionary(dictKV)
+	dict, err := openPagedDictionary(st, prefix, 0)
 	if err != nil {
 		return nil, err
 	}

@@ -51,6 +51,29 @@ func (b *memTable) scan(fn func(row value.Row) bool) error {
 	return nil
 }
 
+func (b *memTable) scanProject(need []bool, fn func(row value.Row) bool) error {
+	if need == nil {
+		return b.scan(fn)
+	}
+	// Rows are already resident; masking buys nothing on the storage
+	// side, but callers (and tests) rely on pruned columns being Null.
+	masked := make(value.Row, 0, 16)
+	for _, r := range b.rows {
+		masked = masked[:0]
+		for i, v := range r {
+			if i < len(need) && need[i] {
+				masked = append(masked, v)
+			} else {
+				masked = append(masked, value.NewNull())
+			}
+		}
+		if !fn(masked) {
+			return nil
+		}
+	}
+	return nil
+}
+
 func (b *memTable) createIndex(col string, ci int) error {
 	idx := make(map[string][]int)
 	for id, row := range b.rows {

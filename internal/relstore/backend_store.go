@@ -124,9 +124,13 @@ func (b *storeTable) insert(row value.Row, pkKey string) error {
 }
 
 func (b *storeTable) scan(fn func(row value.Row) bool) error {
+	return b.scanProject(nil, fn)
+}
+
+func (b *storeTable) scanProject(need []bool, fn func(row value.Row) bool) error {
 	var decErr error
 	err := b.rows.Scan(nil, func(_, v []byte) bool {
-		row, err := decodeRow(v)
+		row, err := value.DecodeRowProject(v, need)
 		if err != nil {
 			decErr = err
 			return false

@@ -318,3 +318,60 @@ func TestRowCodecRejectsCorrupt(t *testing.T) {
 		}
 	}
 }
+
+// TestBackendsScanProject pins the column-pruned scan contract on both
+// backends: pruned columns arrive as Nulls at their original positions,
+// needed ones carry their stored values, and a nil mask is a full scan.
+func TestBackendsScanProject(t *testing.T) {
+	runBothDBs(t, func(t *testing.T, db *Database) {
+		tb, err := db.CreateTable(citySchema())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 20; i++ {
+			err := tb.Insert(value.Row{
+				value.NewInt(int64(i)),
+				value.NewString(fmt.Sprintf("city%d", i)),
+				value.NewInt(int64(i * 1000)),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		rows := tb.RowsProject([]bool{true, false, true})
+		if len(rows) != 20 {
+			t.Fatalf("projected rows = %d, want 20", len(rows))
+		}
+		for i, r := range rows {
+			if len(r) != 3 {
+				t.Fatalf("row %d has %d values, want 3", i, len(r))
+			}
+			if r[0].Int() != int64(i) || r[2].Int() != int64(i*1000) {
+				t.Fatalf("row %d needed columns wrong: %v", i, r)
+			}
+			if !r[1].IsNull() {
+				t.Fatalf("row %d pruned column not Null: %v", i, r[1])
+			}
+		}
+		if full := tb.RowsProject(nil); len(full) != 20 || full[7][1].Str() != "city7" {
+			t.Fatalf("nil mask should scan all columns: %v", full[7])
+		}
+		// Pruned scans feed the executor: a query touching only id/pop
+		// must not depend on the pruned name column.
+		res, err := db.Exec("SELECT id, pop FROM city WHERE pop >= 18000 ORDER BY id")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 2 || res.Rows[0][0].Int() != 18 || res.Rows[1][1].Int() != 19000 {
+			t.Fatalf("pruned query wrong: %v", res.Rows)
+		}
+		// And a query that does need every column still sees them all.
+		res, err = db.Exec("SELECT * FROM city WHERE id = 7")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 1 || res.Rows[0][1].Str() != "city7" {
+			t.Fatalf("star query wrong: %v", res.Rows)
+		}
+	})
+}

@@ -1,129 +1,14 @@
 package relstore
 
 import (
-	"encoding/binary"
-	"fmt"
-	"math"
-	"time"
-
 	"tatooine/internal/value"
 )
 
-// Binary row codec for the store backend. Layout:
-//
-//	u16 column count, then per value:
-//	  u8 kind, then a kind-specific payload:
-//	    Null   —
-//	    String u32 length + bytes
-//	    Int    u64 big-endian (two's complement)
-//	    Float  u64 big-endian IEEE-754 bits
-//	    Bool   u8
-//	    Time   u32 length + RFC3339Nano bytes (values are stored UTC)
-func encodeRow(r value.Row) []byte {
-	buf := make([]byte, 2, 2+8*len(r))
-	binary.BigEndian.PutUint16(buf, uint16(len(r)))
-	var u64 [8]byte
-	var u32 [4]byte
-	for _, v := range r {
-		buf = append(buf, byte(v.Kind()))
-		switch v.Kind() {
-		case value.Null:
-		case value.String:
-			s := v.Str()
-			binary.BigEndian.PutUint32(u32[:], uint32(len(s)))
-			buf = append(buf, u32[:]...)
-			buf = append(buf, s...)
-		case value.Int:
-			binary.BigEndian.PutUint64(u64[:], uint64(v.Int()))
-			buf = append(buf, u64[:]...)
-		case value.Float:
-			binary.BigEndian.PutUint64(u64[:], math.Float64bits(v.Float()))
-			buf = append(buf, u64[:]...)
-		case value.Bool:
-			if v.Bool() {
-				buf = append(buf, 1)
-			} else {
-				buf = append(buf, 0)
-			}
-		case value.Time:
-			s := v.Time().UTC().Format(time.RFC3339Nano)
-			binary.BigEndian.PutUint32(u32[:], uint32(len(s)))
-			buf = append(buf, u32[:]...)
-			buf = append(buf, s...)
-		}
-	}
-	return buf
-}
+// The binary row codec lives in internal/value (value.EncodeRow /
+// value.DecodeRow / value.DecodeRowProject) so the executor's spill
+// files share one format with stored tables; these aliases keep the
+// package-local call sites short.
 
-func decodeRow(b []byte) (value.Row, error) {
-	if len(b) < 2 {
-		return nil, fmt.Errorf("relstore: row codec: short buffer")
-	}
-	n := int(binary.BigEndian.Uint16(b))
-	b = b[2:]
-	row := make(value.Row, 0, n)
-	str := func() (string, error) {
-		if len(b) < 4 {
-			return "", fmt.Errorf("relstore: row codec: truncated length")
-		}
-		l := int(binary.BigEndian.Uint32(b))
-		b = b[4:]
-		if len(b) < l {
-			return "", fmt.Errorf("relstore: row codec: truncated string")
-		}
-		s := string(b[:l])
-		b = b[l:]
-		return s, nil
-	}
-	for i := 0; i < n; i++ {
-		if len(b) < 1 {
-			return nil, fmt.Errorf("relstore: row codec: truncated kind")
-		}
-		k := value.Kind(b[0])
-		b = b[1:]
-		switch k {
-		case value.Null:
-			row = append(row, value.NewNull())
-		case value.String:
-			s, err := str()
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, value.NewString(s))
-		case value.Int:
-			if len(b) < 8 {
-				return nil, fmt.Errorf("relstore: row codec: truncated int")
-			}
-			row = append(row, value.NewInt(int64(binary.BigEndian.Uint64(b))))
-			b = b[8:]
-		case value.Float:
-			if len(b) < 8 {
-				return nil, fmt.Errorf("relstore: row codec: truncated float")
-			}
-			row = append(row, value.NewFloat(math.Float64frombits(binary.BigEndian.Uint64(b))))
-			b = b[8:]
-		case value.Bool:
-			if len(b) < 1 {
-				return nil, fmt.Errorf("relstore: row codec: truncated bool")
-			}
-			row = append(row, value.NewBool(b[0] != 0))
-			b = b[1:]
-		case value.Time:
-			s, err := str()
-			if err != nil {
-				return nil, err
-			}
-			t, err := time.Parse(time.RFC3339Nano, s)
-			if err != nil {
-				return nil, fmt.Errorf("relstore: row codec: bad time %q: %v", s, err)
-			}
-			row = append(row, value.NewTime(t))
-		default:
-			return nil, fmt.Errorf("relstore: row codec: unknown kind %d", k)
-		}
-	}
-	if len(b) != 0 {
-		return nil, fmt.Errorf("relstore: row codec: %d trailing bytes", len(b))
-	}
-	return row, nil
-}
+func encodeRow(r value.Row) []byte { return value.EncodeRow(r) }
+
+func decodeRow(b []byte) (value.Row, error) { return value.DecodeRow(b) }

@@ -60,6 +60,11 @@ type tableBackend interface {
 	// scan iterates rows in id order; stops when fn returns false. The
 	// row passed to fn must not be retained.
 	scan(fn func(row value.Row) bool) error
+	// scanProject is scan with column pruning: only columns need[i]
+	// marks true are materialized, the rest arrive as Nulls at their
+	// original positions (so positional references stay valid). need ==
+	// nil means every column.
+	scanProject(need []bool, fn func(row value.Row) bool) error
 	// createIndex builds (or rebuilds) the hash index for the column at
 	// position ci, canonically named col.
 	createIndex(col string, ci int) error
@@ -224,6 +229,30 @@ func (t *Table) Rows() []value.Row {
 	defer t.mu.RUnlock()
 	out := make([]value.Row, 0, t.be.rowCount())
 	t.be.scan(func(r value.Row) bool {
+		out = append(out, r.Clone())
+		return true
+	})
+	return out
+}
+
+// ScanProject is Scan with column pruning: only columns need[i] marks
+// true are materialized; the rest arrive as Nulls at their original
+// positions so positional references stay valid. A nil need scans every
+// column. Store-backed tables skip decoding pruned values entirely.
+func (t *Table) ScanProject(need []bool, fn func(row value.Row) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.be.scanProject(need, fn)
+}
+
+// RowsProject returns a deep copy of all rows with only the columns
+// need[i] marks true materialized (Nulls elsewhere). A nil need is
+// equivalent to Rows.
+func (t *Table) RowsProject(need []bool) []value.Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]value.Row, 0, t.be.rowCount())
+	t.be.scanProject(need, func(r value.Row) bool {
 		out = append(out, r.Clone())
 		return true
 	})

@@ -160,6 +160,19 @@ type Stats struct {
 	// pruner lookups the catalog answered from memory, and how many
 	// bind-join probes digest filters pruned before any round trip.
 	Digest DigestBlock `json:"digest"`
+
+	// Memory reports the bounded-memory configuration and its effect:
+	// the per-join build-side budget queries execute under (bytes;
+	// 0 = unbounded) and the process-wide spill totals. The page-cache
+	// cap and resident-page count appear under Store.
+	Memory MemoryBlock `json:"memory"`
+}
+
+// MemoryBlock is the /stats bounded-memory section.
+type MemoryBlock struct {
+	JoinMemBudget int64 `json:"joinMemBudget"` // bytes; 0 disables spilling
+	SpilledJoins  int64 `json:"spilledJoins"`  // joins that exceeded the budget
+	SpilledBytes  int64 `json:"spilledBytes"`  // bytes written to spill files
 }
 
 // DigestBlock is the /stats digest section.
@@ -416,6 +429,8 @@ func (s *Server) Stats() Stats {
 	if s.opts.Exec.Tuner != nil {
 		st.ProbeBatchSizes = s.opts.Exec.Tuner.Sizes()
 	}
+	st.Memory.JoinMemBudget = s.opts.Exec.JoinMemBudget
+	st.Memory.SpilledJoins, st.Memory.SpilledBytes = core.SpillCounters()
 	st.Store = s.in.StoreStats()
 	return st
 }

@@ -1,0 +1,7 @@
+package store
+
+import "tatooine/internal/obs"
+
+// Process-wide store metrics (internal/obs.Default).
+var storeVacuumTotal = obs.Default.Counter("tat_store_vacuums_total",
+	"Completed store vacuum passes (manual and auto-triggered).")

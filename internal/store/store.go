@@ -47,9 +47,11 @@ type KV interface {
 type Store interface {
 	// Keyspace returns the named keyspace, creating it if absent.
 	Keyspace(name string) (KV, error)
-	// DropKeyspace removes the keyspace from the directory. Its pages
-	// are not reclaimed (the engine has no free list), but the name can
-	// be reused with fresh content.
+	// DropKeyspace removes the keyspace from the directory and returns
+	// every page it owned (tree nodes and overflow chains) to the
+	// pager's free list, where later allocations reuse them. The caller
+	// must guarantee no concurrent reader still iterates the keyspace:
+	// its pages may be rewritten by the very next mutation.
 	DropKeyspace(name string) error
 	// Keyspaces lists the existing keyspace names, sorted.
 	Keyspaces() []string
@@ -58,6 +60,11 @@ type Store interface {
 	Commit() error
 	// Checkpoint folds the WAL into the database file (no-op in memory).
 	Checkpoint() error
+	// Vacuum rewrites every keyspace into freshly packed pages and
+	// sweeps unreachable pages onto the free list, shrinking the pages
+	// a fragmented store touches back toward its live payload. Writers
+	// are excluded per keyspace while it is rewritten.
+	Vacuum() error
 	// Close checkpoints and releases the store. Uncommitted mutations
 	// are discarded.
 	Close() error
@@ -71,6 +78,12 @@ type Store interface {
 type Stats struct {
 	pager.Stats
 	Keyspaces int `json:"keyspaces"`
+	// LiveBytes sums the key+value payload live across all keyspaces —
+	// the numerator of the fragmentation ratio that triggers
+	// auto-vacuum (pages×PageSize being the denominator).
+	LiveBytes int64 `json:"liveBytes"`
+	// Vacuums counts completed Vacuum passes (manual and automatic).
+	Vacuums int64 `json:"vacuums"`
 }
 
 // Options tune a store.
@@ -81,11 +94,30 @@ type Options struct {
 	// larger than this. Zero means DefaultAutoCheckpointBytes; negative
 	// disables auto-checkpointing.
 	AutoCheckpointBytes int64
+	// AutoVacuumRatio triggers a vacuum from Commit when live payload
+	// falls below this fraction of the in-use (non-free) page bytes —
+	// i.e. when most of the file is dead space from deletes and
+	// dropped keyspaces. Zero means DefaultAutoVacuumRatio; negative
+	// disables auto-vacuum. Stores smaller than minAutoVacuumPages are
+	// never auto-vacuumed, and a vacuum re-arms only after the file
+	// grows past its post-vacuum size again.
+	AutoVacuumRatio float64
 }
 
 // DefaultAutoCheckpointBytes bounds WAL growth between automatic
 // checkpoints: 8 MiB.
 const DefaultAutoCheckpointBytes = 8 << 20
+
+// DefaultAutoVacuumRatio is the live-payload fraction below which
+// Commit triggers an automatic vacuum. The B-tree's structural
+// overhead (cell headers, slot arrays, page slack) keeps healthy
+// trees' ratios well above this, so only genuine garbage — deleted
+// rows, dropped generations — trips it.
+const DefaultAutoVacuumRatio = 0.10
+
+// minAutoVacuumPages exempts small stores from auto-vacuum: below 256
+// pages (1 MiB) fragmentation cannot matter.
+const minAutoVacuumPages = 256
 
 // catalogPage is the fixed page holding the keyspace directory.
 const catalogPage pager.PageID = 1
@@ -113,11 +145,17 @@ func Open(path string, opts Options) (Store, error) {
 }
 
 type diskStore struct {
-	mu     sync.Mutex
-	pg     *pager.Pager
-	spaces map[string]*keyspace
-	opts   Options
-	closed bool
+	mu      sync.Mutex
+	pg      *pager.Pager
+	spaces  map[string]*keyspace
+	opts    Options
+	closed  bool
+	vacuums int64
+	// vacuumArmPages re-arms auto-vacuum: after a vacuum, Commit will
+	// not trigger another until the file grows past this page count,
+	// so a store whose ratio stays low from structural overhead alone
+	// cannot thrash.
+	vacuumArmPages int
 }
 
 type keyspace struct {
@@ -167,10 +205,12 @@ func open(path string, opts Options) (*diskStore, error) {
 		return nil, err
 	}
 	for _, e := range entries {
+		tree := btree.Open(pg, e.root)
+		tree.SetLiveBytes(e.live)
 		s.spaces[e.name] = &keyspace{
 			st:    s,
 			name:  e.name,
-			tree:  btree.Open(pg, e.root),
+			tree:  tree,
 			count: int(e.count),
 		}
 	}
@@ -181,12 +221,16 @@ type catEntry struct {
 	name  string
 	root  pager.PageID
 	count uint64
+	live  int64
 }
 
-// Catalog layout on page 1: "TATC", n u16, then per entry
-// [2 namelen][name][4 root][8 count].
+// Catalog layout on page 1: "TATD", n u16, then per entry
+// [2 namelen][name][4 root][8 count][8 liveBytes]. The previous
+// format ("TATC") lacked liveBytes; readCatalog still accepts it so
+// PR-8-era files open, with live bytes rebuilt as zero (a vacuum
+// restores accurate counters).
 func writeCatalog(page []byte, entries []catEntry) {
-	copy(page[0:4], "TATC")
+	copy(page[0:4], "TATD")
 	binary.BigEndian.PutUint16(page[4:], uint16(len(entries)))
 	off := 6
 	for _, e := range entries {
@@ -198,6 +242,8 @@ func writeCatalog(page []byte, entries []catEntry) {
 		off += 4
 		binary.BigEndian.PutUint64(page[off:], e.count)
 		off += 8
+		binary.BigEndian.PutUint64(page[off:], uint64(e.live))
+		off += 8
 	}
 	for i := off; i < len(page); i++ {
 		page[i] = 0
@@ -205,7 +251,8 @@ func writeCatalog(page []byte, entries []catEntry) {
 }
 
 func readCatalog(page []byte) ([]catEntry, error) {
-	if string(page[0:4]) != "TATC" {
+	magic := string(page[0:4])
+	if magic != "TATD" && magic != "TATC" {
 		return nil, fmt.Errorf("store: corrupt keyspace catalog")
 	}
 	n := int(binary.BigEndian.Uint16(page[4:]))
@@ -220,7 +267,12 @@ func readCatalog(page []byte) ([]catEntry, error) {
 		off += 4
 		count := binary.BigEndian.Uint64(page[off:])
 		off += 8
-		out = append(out, catEntry{name: name, root: root, count: count})
+		var live int64
+		if magic == "TATD" {
+			live = int64(binary.BigEndian.Uint64(page[off:]))
+			off += 8
+		}
+		out = append(out, catEntry{name: name, root: root, count: count, live: live})
 	}
 	return out, nil
 }
@@ -236,18 +288,20 @@ func (s *diskStore) catalogEntries() []catEntry {
 		ks := s.spaces[n]
 		ks.mu.RLock()
 		count := ks.count
+		live := ks.tree.LiveBytes()
+		root := ks.tree.Root()
 		ks.mu.RUnlock()
-		out = append(out, catEntry{name: n, root: ks.tree.Root(), count: uint64(count)})
+		out = append(out, catEntry{name: n, root: root, count: uint64(count), live: live})
 	}
 	return out
 }
 
 // catalogCapacity guards the single-page directory: each entry costs
-// 14+len(name) bytes after the 6-byte header.
+// 22+len(name) bytes after the 6-byte header.
 func catalogFits(entries []catEntry) bool {
 	size := 6
 	for _, e := range entries {
-		size += 14 + len(e.name)
+		size += 22 + len(e.name)
 	}
 	return size <= pager.PageSize
 }
@@ -274,7 +328,22 @@ func (s *diskStore) Keyspace(name string) (KV, error) {
 func (s *diskStore) DropKeyspace(name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	ks, ok := s.spaces[name]
+	if !ok {
+		return nil
+	}
 	delete(s.spaces, name)
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	pages, err := ks.tree.Pages()
+	if err != nil {
+		return err
+	}
+	for _, id := range pages {
+		if err := s.pg.Free(id); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -292,16 +361,169 @@ func (s *diskStore) Keyspaces() []string {
 func (s *diskStore) Commit() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.commitLocked(); err != nil {
+		return err
+	}
+	if s.shouldAutoVacuumLocked() {
+		if err := s.vacuumLocked(); err != nil {
+			return err
+		}
+	}
+	if s.opts.AutoCheckpointBytes > 0 && s.pg.WALSize() > s.opts.AutoCheckpointBytes {
+		return s.pg.Checkpoint()
+	}
+	return nil
+}
+
+// commitLocked persists the catalog and commits the pager transaction.
+func (s *diskStore) commitLocked() error {
 	page, err := s.pg.Mut(catalogPage)
 	if err != nil {
 		return err
 	}
 	writeCatalog(page, s.catalogEntries())
-	if err := s.pg.Commit(); err != nil {
+	return s.pg.Commit()
+}
+
+func (s *diskStore) liveBytesLocked() int64 {
+	var live int64
+	for _, ks := range s.spaces {
+		ks.mu.RLock()
+		live += ks.tree.LiveBytes()
+		ks.mu.RUnlock()
+	}
+	return live
+}
+
+func (s *diskStore) shouldAutoVacuumLocked() bool {
+	ratio := s.opts.AutoVacuumRatio
+	if ratio == 0 {
+		ratio = DefaultAutoVacuumRatio
+	}
+	if ratio < 0 {
+		return false
+	}
+	st := s.pg.Stats()
+	if st.Pages < minAutoVacuumPages || st.Pages <= s.vacuumArmPages {
+		return false
+	}
+	used := int64(st.Pages-st.FreePages) * pager.PageSize
+	return float64(s.liveBytesLocked()) < float64(used)*ratio
+}
+
+func (s *diskStore) Vacuum() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.vacuumLocked()
+}
+
+// vacuumLocked rewrites every keyspace into freshly packed pages, then
+// mark-sweeps: any allocated page reachable from neither the catalog,
+// a keyspace tree, nor the free list is garbage (including pages
+// leaked by a crash mid-vacuum) and goes onto the free list. Each
+// keyspace commits separately so the dirty set stays bounded by the
+// largest keyspace, not the whole store; a crash between those commits
+// leaks the in-flight rewrite's pages, which the next completed vacuum
+// reclaims.
+func (s *diskStore) vacuumLocked() error {
+	names := make([]string, 0, len(s.spaces))
+	for n := range s.spaces {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		ks := s.spaces[n]
+		ks.mu.Lock()
+		err := s.rewriteKeyspace(ks)
+		ks.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		if err := s.commitLocked(); err != nil {
+			return err
+		}
+	}
+	if err := s.sweepLocked(); err != nil {
 		return err
 	}
-	if s.opts.AutoCheckpointBytes > 0 && s.pg.WALSize() > s.opts.AutoCheckpointBytes {
-		return s.pg.Checkpoint()
+	if err := s.commitLocked(); err != nil {
+		return err
+	}
+	s.vacuums++
+	storeVacuumTotal.Inc()
+	s.vacuumArmPages = s.pg.PageCount() + s.pg.PageCount()/4
+	return nil
+}
+
+// rewriteKeyspace copies ks's live entries into a new tree and frees
+// the old tree's pages. Caller holds ks.mu (writers and readers are
+// out) and s.mu.
+func (s *diskStore) rewriteKeyspace(ks *keyspace) error {
+	old := ks.tree
+	oldPages, err := old.Pages()
+	if err != nil {
+		return err
+	}
+	nt, err := btree.New(s.pg)
+	if err != nil {
+		return err
+	}
+	c := old.NewCursor()
+	for c.Seek(nil); c.Valid(); c.Next() {
+		if _, err := nt.Insert(c.Key(), c.Value()); err != nil {
+			return err
+		}
+	}
+	if err := c.Err(); err != nil {
+		return err
+	}
+	for _, id := range oldPages {
+		if err := s.pg.Free(id); err != nil {
+			return err
+		}
+	}
+	ks.tree = nt
+	return nil
+}
+
+// sweepLocked frees every allocated page that is not the header, the
+// catalog, part of a keyspace tree, or already on the free list.
+func (s *diskStore) sweepLocked() error {
+	n := s.pg.PageCount()
+	reach := make([]bool, n)
+	reach[0] = true
+	if int(catalogPage) < n {
+		reach[catalogPage] = true
+	}
+	for _, ks := range s.spaces {
+		ks.mu.RLock()
+		pages, err := ks.tree.Pages()
+		ks.mu.RUnlock()
+		if err != nil {
+			return err
+		}
+		for _, id := range pages {
+			if int(id) < n {
+				reach[id] = true
+			}
+		}
+	}
+	free, err := s.pg.FreePages()
+	if err != nil {
+		return err
+	}
+	for _, id := range free {
+		if int(id) < n {
+			reach[id] = true
+		}
+	}
+	for id := 2; id < n; id++ {
+		if reach[id] {
+			continue
+		}
+		if err := s.pg.Free(pager.PageID(id)); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -323,8 +545,10 @@ func (s *diskStore) Persistent() bool { return !s.pg.Mem() }
 func (s *diskStore) Stats() Stats {
 	s.mu.Lock()
 	n := len(s.spaces)
+	live := s.liveBytesLocked()
+	vacs := s.vacuums
 	s.mu.Unlock()
-	return Stats{Stats: s.pg.Stats(), Keyspaces: n}
+	return Stats{Stats: s.pg.Stats(), Keyspaces: n, LiveBytes: live, Vacuums: vacs}
 }
 
 // clampKey bounds keys to the B-tree's limit: longer keys keep their

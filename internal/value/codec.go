@@ -1,0 +1,165 @@
+package value
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Binary row codec shared by the relational store and the executor's
+// spill files. Layout:
+//
+//	u16 column count, then per value:
+//	  u8 kind, then a kind-specific payload:
+//	    Null   —
+//	    String u32 length + bytes
+//	    Int    u64 big-endian (two's complement)
+//	    Float  u64 big-endian IEEE-754 bits
+//	    Bool   u8
+//	    Time   u32 length + RFC3339Nano bytes (values are stored UTC)
+
+// EncodeRow serializes r with the row codec.
+func EncodeRow(r Row) []byte {
+	buf := make([]byte, 2, 2+8*len(r))
+	binary.BigEndian.PutUint16(buf, uint16(len(r)))
+	var u64 [8]byte
+	var u32 [4]byte
+	for _, v := range r {
+		buf = append(buf, byte(v.Kind()))
+		switch v.Kind() {
+		case Null:
+		case String:
+			s := v.Str()
+			binary.BigEndian.PutUint32(u32[:], uint32(len(s)))
+			buf = append(buf, u32[:]...)
+			buf = append(buf, s...)
+		case Int:
+			binary.BigEndian.PutUint64(u64[:], uint64(v.Int()))
+			buf = append(buf, u64[:]...)
+		case Float:
+			binary.BigEndian.PutUint64(u64[:], math.Float64bits(v.Float()))
+			buf = append(buf, u64[:]...)
+		case Bool:
+			if v.Bool() {
+				buf = append(buf, 1)
+			} else {
+				buf = append(buf, 0)
+			}
+		case Time:
+			s := v.Time().UTC().Format(time.RFC3339Nano)
+			binary.BigEndian.PutUint32(u32[:], uint32(len(s)))
+			buf = append(buf, u32[:]...)
+			buf = append(buf, s...)
+		}
+	}
+	return buf
+}
+
+// DecodeRow deserializes a row encoded by EncodeRow.
+func DecodeRow(b []byte) (Row, error) {
+	return decodeRowInto(b, nil)
+}
+
+// DecodeRowProject decodes only the columns need[i] marks true,
+// leaving Null placeholders elsewhere so positional references stay
+// valid. Columns beyond len(need) are skipped. Unneeded variable-width
+// values are skipped without materializing their bytes — the point of
+// column-pruned scans.
+func DecodeRowProject(b []byte, need []bool) (Row, error) {
+	return decodeRowInto(b, need)
+}
+
+func decodeRowInto(b []byte, need []bool) (Row, error) {
+	if len(b) < 2 {
+		return nil, fmt.Errorf("value: row codec: short buffer")
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	row := make(Row, 0, n)
+	varlen := func() ([]byte, error) {
+		if len(b) < 4 {
+			return nil, fmt.Errorf("value: row codec: truncated length")
+		}
+		l := int(binary.BigEndian.Uint32(b))
+		b = b[4:]
+		if len(b) < l {
+			return nil, fmt.Errorf("value: row codec: truncated string")
+		}
+		s := b[:l]
+		b = b[l:]
+		return s, nil
+	}
+	for i := 0; i < n; i++ {
+		if len(b) < 1 {
+			return nil, fmt.Errorf("value: row codec: truncated kind")
+		}
+		k := Kind(b[0])
+		b = b[1:]
+		want := need == nil || (i < len(need) && need[i])
+		switch k {
+		case Null:
+			row = append(row, NewNull())
+		case String:
+			s, err := varlen()
+			if err != nil {
+				return nil, err
+			}
+			if want {
+				row = append(row, NewString(string(s)))
+			} else {
+				row = append(row, NewNull())
+			}
+		case Int:
+			if len(b) < 8 {
+				return nil, fmt.Errorf("value: row codec: truncated int")
+			}
+			if want {
+				row = append(row, NewInt(int64(binary.BigEndian.Uint64(b))))
+			} else {
+				row = append(row, NewNull())
+			}
+			b = b[8:]
+		case Float:
+			if len(b) < 8 {
+				return nil, fmt.Errorf("value: row codec: truncated float")
+			}
+			if want {
+				row = append(row, NewFloat(math.Float64frombits(binary.BigEndian.Uint64(b))))
+			} else {
+				row = append(row, NewNull())
+			}
+			b = b[8:]
+		case Bool:
+			if len(b) < 1 {
+				return nil, fmt.Errorf("value: row codec: truncated bool")
+			}
+			if want {
+				row = append(row, NewBool(b[0] != 0))
+			} else {
+				row = append(row, NewNull())
+			}
+			b = b[1:]
+		case Time:
+			s, err := varlen()
+			if err != nil {
+				return nil, err
+			}
+			if want {
+				t, err := time.Parse(time.RFC3339Nano, string(s))
+				if err != nil {
+					return nil, fmt.Errorf("value: row codec: bad time %q: %v", s, err)
+				}
+				row = append(row, NewTime(t))
+			} else {
+				row = append(row, NewNull())
+			}
+		default:
+			return nil, fmt.Errorf("value: row codec: unknown kind %d", k)
+		}
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("value: row codec: %d trailing bytes", len(b))
+	}
+	return row, nil
+}
